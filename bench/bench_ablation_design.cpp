@@ -1,0 +1,84 @@
+// Ablation bench — which PPB design pieces carry the gains?
+//
+// Runs the web/SQL trace with individual PPB mechanisms disabled, plus the
+// design alternatives DESIGN.md calls out:
+//   full            : the complete strategy (reference)
+//   no-gc-migrate   : data never migrates during GC (update-only movement)
+//   no-upd-migrate  : updates ignore hotness (GC-only movement)
+//   strict-pairing  : Algorithm-1 literal allocation (max_open_fast_vbs = 0)
+//   split-4         : four virtual blocks per physical block
+//   always-hot      : first-stage classifier disabled (everything "hot")
+#include <iostream>
+
+#include "harness.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace ctflash;
+  const auto options = bench::BenchOptions::FromArgs(argc, argv);
+  bench::PrintHeader("Ablation: PPB design choices (web/SQL trace, 2x)",
+                     "Section 3 design elements", options);
+
+  struct Variant {
+    std::string name;
+    core::PpbConfig cfg;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"full", core::PpbConfig{}});
+  {
+    core::PpbConfig c;
+    c.migrate_on_gc = false;
+    variants.push_back({"no-gc-migrate", c});
+  }
+  {
+    core::PpbConfig c;
+    c.migrate_on_update = false;
+    variants.push_back({"no-upd-migrate", c});
+  }
+  {
+    core::PpbConfig c;
+    c.max_open_fast_vbs = 0;
+    variants.push_back({"strict-pairing", c});
+  }
+  {
+    core::PpbConfig c;
+    c.vb_split = 4;
+    variants.push_back({"split-4", c});
+  }
+  {
+    core::PpbConfig c;
+    c.hot_size_threshold_bytes = 1ull << 40;  // size check always true
+    variants.push_back({"always-hot", c});
+  }
+
+  const auto baseline =
+      bench::RunOne(ssd::FtlKind::kConventional, bench::Workload::kWebServer,
+                    16 * 1024, 2.0, options);
+
+  util::TablePrinter table({"Variant", "Read enh.", "Write delta",
+                            "Erase ratio", "WAF"});
+  for (const auto& v : variants) {
+    const auto res =
+        bench::RunOne(ssd::FtlKind::kPpb, bench::Workload::kWebServer,
+                      16 * 1024, 2.0, options, v.cfg);
+    const double erase_ratio =
+        baseline.erase_count == 0
+            ? 1.0
+            : static_cast<double>(res.erase_count) /
+                  static_cast<double>(baseline.erase_count);
+    table.AddRow({v.name,
+                  util::TablePrinter::FormatPercent(ssd::Enhancement(
+                      baseline.TotalReadSeconds(), res.TotalReadSeconds())),
+                  util::TablePrinter::FormatPercent(
+                      ssd::Enhancement(baseline.TotalWriteSeconds(),
+                                       res.TotalWriteSeconds()),
+                      4),
+                  util::TablePrinter::FormatDouble(erase_ratio, 3),
+                  util::TablePrinter::FormatDouble(res.waf, 3)});
+  }
+  table.Print();
+  std::cout << "\nExpected: 'full' leads on read enhancement; removing either\n"
+               "migration path or the first stage shrinks the gain; strict\n"
+               "pairing degenerates placement under demand imbalance.\n";
+  return 0;
+}

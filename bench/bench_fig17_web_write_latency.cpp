@@ -1,0 +1,31 @@
+// Figure 17 — Web Server Trace: Write Latency Comparison.
+//
+// Cumulative write latency of conventional FTL vs FTL+PPB across speed
+// differences 2x-5x on the web/SQL trace.  Paper shape: curves coincide.
+#include <iostream>
+
+#include "harness.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace ctflash;
+  const auto options = bench::BenchOptions::FromArgs(argc, argv);
+  bench::PrintHeader("Figure 17: Web Server Trace - Write Latency",
+                     "Figure 17", options);
+
+  util::TablePrinter table({"Speed Difference", "Conventional FTL (s)",
+                            "FTL with PPB (s)", "Delta"});
+  for (const double ratio : {2.0, 3.0, 4.0, 5.0}) {
+    const auto cmp = bench::RunComparison(bench::Workload::kWebServer,
+                                          16 * 1024, ratio, options);
+    table.AddRow({util::TablePrinter::FormatDouble(ratio, 0) + "x",
+                  util::TablePrinter::FormatScientific(
+                      cmp.conventional.TotalWriteSeconds()),
+                  util::TablePrinter::FormatScientific(
+                      cmp.ppb.TotalWriteSeconds()),
+                  util::TablePrinter::FormatPercent(cmp.WriteEnhancement(), 4)});
+  }
+  table.Print();
+  std::cout << "\nPaper shape: curves coincide at every ratio.\n";
+  return 0;
+}

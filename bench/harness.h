@@ -1,0 +1,72 @@
+// Shared harness for the figure-regeneration benches.
+//
+// Every bench replays the same deterministic synthetic traces (media-server
+// and web/SQL-server stand-ins, see src/trace/synthetic.h) against a scaled
+// device that keeps the paper's Table 1 block shape and timing, once per FTL
+// variant, and prints the rows/series the corresponding paper figure reports.
+//
+// Command-line knobs (all optional):
+//   --device <bytes|"4GiB">   device capacity        (default 4 GiB)
+//   --requests <n>            trace length           (default per workload)
+//   --quick                   1/10th-length traces for smoke runs
+//   --media-trace <csv>       replay a real MSR CSV instead of the media
+//   --web-trace <csv>         (resp. web) synthetic stand-in; offsets are
+//                             wrapped into the device's logical space
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ssd/experiment.h"
+#include "trace/synthetic.h"
+
+namespace ctflash::bench {
+
+struct BenchOptions {
+  std::uint64_t device_bytes = 4ull << 30;
+  std::uint64_t web_requests = 1'200'000;
+  std::uint64_t media_requests = 600'000;
+  std::string media_trace_path;  ///< real MSR CSV overriding the stand-in
+  std::string web_trace_path;
+
+  static BenchOptions FromArgs(int argc, char** argv);
+};
+
+enum class Workload { kMediaServer, kWebServer };
+
+const char* WorkloadName(Workload w);
+
+/// Runs one experiment: build the device, prefill 80 % of the logical space,
+/// replay the workload trace.  `ppb_override` customizes the PPB knobs for
+/// ablations (ignored for the conventional FTL).
+ssd::ExperimentResult RunOne(
+    ssd::FtlKind kind, Workload workload, std::uint32_t page_size_bytes,
+    double speed_ratio, const BenchOptions& options,
+    const std::optional<core::PpbConfig>& ppb_override = std::nullopt);
+
+/// Conventional + PPB pair on identical traces.
+struct ComparisonResult {
+  ssd::ExperimentResult conventional;
+  ssd::ExperimentResult ppb;
+
+  double ReadEnhancement() const {
+    return ssd::Enhancement(conventional.TotalReadSeconds(),
+                            ppb.TotalReadSeconds());
+  }
+  double WriteEnhancement() const {
+    return ssd::Enhancement(conventional.TotalWriteSeconds(),
+                            ppb.TotalWriteSeconds());
+  }
+};
+
+ComparisonResult RunComparison(
+    Workload workload, std::uint32_t page_size_bytes, double speed_ratio,
+    const BenchOptions& options,
+    const std::optional<core::PpbConfig>& ppb_override = std::nullopt);
+
+/// Prints the standard bench header (device, workload sizes, paper pointer).
+void PrintHeader(const std::string& title, const std::string& paper_ref,
+                 const BenchOptions& options);
+
+}  // namespace ctflash::bench

@@ -1,0 +1,74 @@
+#include "core/access_frequency_table.h"
+
+#include <stdexcept>
+
+namespace ctflash::core {
+
+AccessFrequencyTable::AccessFrequencyTable(std::uint32_t promote_threshold,
+                                           std::size_t capacity)
+    : promote_threshold_(promote_threshold), capacity_(capacity) {
+  if (promote_threshold == 0) {
+    throw std::invalid_argument(
+        "AccessFrequencyTable: promote_threshold must be > 0");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument("AccessFrequencyTable: capacity must be > 0");
+  }
+}
+
+void AccessFrequencyTable::MaybeDecay() {
+  if (freq_.size() < capacity_) return;
+  ++decays_;
+  for (auto it = freq_.begin(); it != freq_.end();) {
+    it->second /= 2;
+    if (it->second == 0) {
+      it = freq_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Pathological case: every entry still above zero after halving.  Drop
+  // enough entries to make room; which ones go is unspecified (they are all
+  // popular) but deterministic within a run.
+  while (freq_.size() >= capacity_) freq_.erase(freq_.begin());
+}
+
+void AccessFrequencyTable::OnWrite(Lpn lpn) {
+  const auto it = freq_.find(lpn);
+  if (it != freq_.end()) {
+    it->second = 0;
+    return;
+  }
+  MaybeDecay();
+  freq_.emplace(lpn, 0);
+}
+
+void AccessFrequencyTable::Register(Lpn lpn, std::uint32_t initial_frequency) {
+  const auto it = freq_.find(lpn);
+  if (it != freq_.end()) {
+    it->second = initial_frequency;
+    return;
+  }
+  MaybeDecay();
+  freq_.emplace(lpn, initial_frequency);
+}
+
+std::uint32_t AccessFrequencyTable::OnRead(Lpn lpn) {
+  const auto it = freq_.find(lpn);
+  if (it != freq_.end()) {
+    if (it->second < ~0u) ++it->second;
+    return it->second;
+  }
+  MaybeDecay();
+  freq_.emplace(lpn, 1);
+  return 1;
+}
+
+std::uint32_t AccessFrequencyTable::FrequencyOf(Lpn lpn) const {
+  const auto it = freq_.find(lpn);
+  return it == freq_.end() ? 0 : it->second;
+}
+
+void AccessFrequencyTable::Erase(Lpn lpn) { freq_.erase(lpn); }
+
+}  // namespace ctflash::core

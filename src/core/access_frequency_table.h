@@ -1,0 +1,60 @@
+// Access-frequency table for the cold data area (paper Fig. 11(a)).
+//
+// Logs per-chunk read counts for data the first stage classified cold.
+// Chunks whose read frequency reaches `promote_threshold` are "cold"
+// (write-once-read-MANY -> fast pages); the rest are "icy-cold"
+// (write-once-read-few -> slow pages).  A write resets the counter — the
+// data is new content whose popularity is unknown again.
+//
+// The table is capacity-bounded.  On overflow all counters are halved and
+// zero entries dropped (classic aging), which both bounds memory and lets
+// stale popularity decay, standing in for the paper's "sorted by logged
+// access frequency" maintenance.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace ctflash::core {
+
+class AccessFrequencyTable {
+ public:
+  AccessFrequencyTable(std::uint32_t promote_threshold, std::size_t capacity);
+
+  /// Registers (or re-registers) newly written cold data; counter resets.
+  void OnWrite(Lpn lpn);
+
+  /// Registers an entry with an explicit popularity seed (used when data is
+  /// demoted from the hot area with known read history).
+  void Register(Lpn lpn, std::uint32_t initial_frequency);
+
+  /// Increments and returns the read counter (registering if unknown).
+  std::uint32_t OnRead(Lpn lpn);
+
+  /// Current read count (0 when untracked).
+  std::uint32_t FrequencyOf(Lpn lpn) const;
+
+  /// Second-level classification: cold (true) vs icy-cold (false).
+  bool IsCold(Lpn lpn) const {
+    return FrequencyOf(lpn) >= promote_threshold_;
+  }
+
+  void Erase(Lpn lpn);
+
+  std::size_t Size() const { return freq_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint32_t promote_threshold() const { return promote_threshold_; }
+  std::uint64_t decay_count() const { return decays_; }
+
+ private:
+  void MaybeDecay();
+
+  std::uint32_t promote_threshold_;
+  std::size_t capacity_;
+  std::unordered_map<Lpn, std::uint32_t> freq_;
+  std::uint64_t decays_ = 0;
+};
+
+}  // namespace ctflash::core

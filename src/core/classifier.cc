@@ -1,0 +1,28 @@
+#include "core/classifier.h"
+
+#include <stdexcept>
+
+namespace ctflash::core {
+
+SizeCheckClassifier::SizeCheckClassifier(std::uint64_t threshold_bytes)
+    : threshold_bytes_(threshold_bytes) {
+  if (threshold_bytes == 0) {
+    throw std::invalid_argument("SizeCheckClassifier: threshold must be > 0");
+  }
+}
+
+bool SizeCheckClassifier::IsHotWrite(std::uint64_t /*offset_bytes*/,
+                                     std::uint64_t size_bytes) const {
+  return size_bytes < threshold_bytes_;
+}
+
+std::string SizeCheckClassifier::Name() const {
+  return "size-check<" + std::to_string(threshold_bytes_) + "B";
+}
+
+std::unique_ptr<FirstStageClassifier> MakeSizeCheckClassifier(
+    std::uint64_t threshold_bytes) {
+  return std::make_unique<SizeCheckClassifier>(threshold_bytes);
+}
+
+}  // namespace ctflash::core

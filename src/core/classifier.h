@@ -1,0 +1,64 @@
+// First-stage hot/cold classifiers.
+//
+// The PPB strategy deliberately reuses existing identification work
+// ("preserve the decades worth of work on data hotness identification",
+// Section 3.1): any predicate over (offset, size) can serve as the first
+// stage.  The paper's case study is the request-size check [1]: writes
+// smaller than one page are metadata-like and hot.  Additional classifiers
+// are provided for ablations and tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ctflash::core {
+
+class FirstStageClassifier {
+ public:
+  virtual ~FirstStageClassifier() = default;
+
+  /// True when a write request of `size_bytes` at `offset_bytes` should be
+  /// routed to the hot data area.
+  virtual bool IsHotWrite(std::uint64_t offset_bytes,
+                          std::uint64_t size_bytes) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// The paper's case study: hot iff size < threshold (one page by default).
+class SizeCheckClassifier : public FirstStageClassifier {
+ public:
+  explicit SizeCheckClassifier(std::uint64_t threshold_bytes);
+
+  bool IsHotWrite(std::uint64_t offset_bytes,
+                  std::uint64_t size_bytes) const override;
+  std::string Name() const override;
+
+  std::uint64_t threshold_bytes() const { return threshold_bytes_; }
+
+ private:
+  std::uint64_t threshold_bytes_;
+};
+
+/// Routes everything to one area; used by ablation benches to isolate the
+/// contribution of the first stage.
+class ConstantClassifier : public FirstStageClassifier {
+ public:
+  explicit ConstantClassifier(bool always_hot) : always_hot_(always_hot) {}
+
+  bool IsHotWrite(std::uint64_t, std::uint64_t) const override {
+    return always_hot_;
+  }
+  std::string Name() const override {
+    return always_hot_ ? "always-hot" : "always-cold";
+  }
+
+ private:
+  bool always_hot_;
+};
+
+std::unique_ptr<FirstStageClassifier> MakeSizeCheckClassifier(
+    std::uint64_t threshold_bytes);
+
+}  // namespace ctflash::core

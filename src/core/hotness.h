@@ -1,0 +1,69 @@
+// The paper's four-level data hotness taxonomy (Section 3.2).
+//
+//   iron-hot : frequently read AND updated (file-system metadata) -> fast
+//              pages of hot blocks;
+//   hot      : frequently updated, rarely read (temp/cache files)  -> slow
+//              pages of hot blocks;
+//   cold     : write-once-read-many (videos, pictures)             -> fast
+//              pages of cold blocks;
+//   icy-cold : write-once-read-few (backups)                       -> slow
+//              pages of cold blocks.
+//
+// Hot vs cold is decided by a pluggable first-stage classifier (size check
+// by default); the second level (iron-hot vs hot, cold vs icy-cold) is
+// decided by re-access frequency inside the hot/cold areas.
+#pragma once
+
+#include <cstdint>
+
+namespace ctflash::core {
+
+enum class HotnessLevel : std::uint8_t {
+  kIronHot = 0,
+  kHot = 1,
+  kCold = 2,
+  kIcyCold = 3,
+};
+
+/// Which of the two data areas a level belongs to.
+enum class Area : std::uint8_t { kNone = 0, kHot = 1, kCold = 2 };
+
+constexpr Area AreaOf(HotnessLevel level) {
+  return (level == HotnessLevel::kIronHot || level == HotnessLevel::kHot)
+             ? Area::kHot
+             : Area::kCold;
+}
+
+/// True when the level is served by the fast (bottom-layer) virtual block of
+/// its area: iron-hot data and cold (write-once-read-MANY) data.
+constexpr bool WantsFastPages(HotnessLevel level) {
+  return level == HotnessLevel::kIronHot || level == HotnessLevel::kCold;
+}
+
+constexpr const char* HotnessName(HotnessLevel level) {
+  switch (level) {
+    case HotnessLevel::kIronHot:
+      return "iron-hot";
+    case HotnessLevel::kHot:
+      return "hot";
+    case HotnessLevel::kCold:
+      return "cold";
+    case HotnessLevel::kIcyCold:
+      return "icy-cold";
+  }
+  return "?";
+}
+
+constexpr const char* AreaName(Area area) {
+  switch (area) {
+    case Area::kNone:
+      return "none";
+    case Area::kHot:
+      return "hot";
+    case Area::kCold:
+      return "cold";
+  }
+  return "?";
+}
+
+}  // namespace ctflash::core

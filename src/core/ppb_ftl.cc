@@ -1,0 +1,275 @@
+#include "core/ppb_ftl.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ctflash::core {
+
+void PpbConfig::Validate() const {
+  if (vb_split < 2 || vb_split % 2 != 0) {
+    throw std::invalid_argument("PpbConfig: vb_split must be even and >= 2");
+  }
+  if (cold_promote_threshold == 0) {
+    throw std::invalid_argument("PpbConfig: cold_promote_threshold must be > 0");
+  }
+}
+
+namespace {
+std::uint64_t AutoSize(std::uint64_t configured, std::uint64_t logical_pages,
+                       double fraction) {
+  if (configured != 0) return configured;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(logical_pages) * fraction);
+  return v == 0 ? 1 : v;
+}
+}  // namespace
+
+PpbFtl::PpbFtl(ftl::FlashTarget& target, const ftl::FtlConfig& ftl_config,
+               const PpbConfig& ppb_config,
+               std::unique_ptr<FirstStageClassifier> classifier)
+    : FtlBase(target, ftl_config),
+      map_(logical_pages_, target.geometry().TotalPages()),
+      blocks_(target.geometry().TotalBlocks(),
+              target.geometry().pages_per_block),
+      vbm_(blocks_, target.geometry().pages_per_block, ppb_config.vb_split,
+           ppb_config.max_open_fast_vbs),
+      lru_(AutoSize(ppb_config.hot_lru_capacity, logical_pages_, 0.08),
+           AutoSize(ppb_config.iron_lru_capacity, logical_pages_, 0.04)),
+      freq_(ppb_config.cold_promote_threshold,
+            AutoSize(ppb_config.freq_table_capacity, logical_pages_, 0.25)),
+      classifier_(std::move(classifier)),
+      ppb_config_(ppb_config) {
+  ppb_config_.Validate();
+  if (config_.wear.Enabled()) {
+    blocks_.SetWearProvider(
+        [this](BlockId b) { return target_.nand().PeCycles(b); });
+  }
+  if (!classifier_) {
+    const std::uint64_t threshold =
+        ppb_config_.hot_size_threshold_bytes != 0
+            ? ppb_config_.hot_size_threshold_bytes
+            : target.geometry().page_size_bytes;
+    classifier_ = MakeSizeCheckClassifier(threshold);
+  }
+}
+
+HotnessLevel PpbFtl::LevelOf(Lpn lpn) const {
+  switch (lru_.TierOf(lpn)) {
+    case TwoLevelLru::Tier::kIronHot:
+      return HotnessLevel::kIronHot;
+    case TwoLevelLru::Tier::kHot:
+      return HotnessLevel::kHot;
+    case TwoLevelLru::Tier::kNone:
+      break;
+  }
+  return freq_.IsCold(lpn) ? HotnessLevel::kCold : HotnessLevel::kIcyCold;
+}
+
+HotnessLevel PpbFtl::ClassifyWrite(Lpn lpn, std::uint64_t request_bytes) {
+  const std::uint64_t offset = lpn * PageSize();
+  if (classifier_->IsHotWrite(offset, request_bytes)) {
+    // Hot area: two-level LRU decides iron-hot vs hot.
+    freq_.Erase(lpn);  // leaving the cold area
+    const auto out = lru_.OnWrite(lpn);
+    if (out.demoted_to_cold) {
+      freq_.OnWrite(*out.demoted_to_cold);
+      ppb_stats_.cold_demotions++;
+    }
+    if (!ppb_config_.migrate_on_update) return HotnessLevel::kHot;
+    return out.tier == TwoLevelLru::Tier::kIronHot ? HotnessLevel::kIronHot
+                                                   : HotnessLevel::kHot;
+  }
+  // Cold area: fresh content, popularity unknown again -> icy-cold; reads
+  // promote it to cold progressively (Figure 6 "promote if read").
+  if (lru_.Contains(lpn)) {
+    lru_.Erase(lpn);
+    ppb_stats_.cold_demotions++;
+  }
+  freq_.OnWrite(lpn);
+  return HotnessLevel::kIcyCold;
+}
+
+HotnessLevel PpbFtl::RelocationLevel(Lpn lpn, Area src_area) {
+  if (src_area == Area::kHot) {
+    switch (lru_.TierOf(lpn)) {
+      case TwoLevelLru::Tier::kIronHot:
+        // Still in the iron-hot LRU -> actively read; GC moves it onto the
+        // fast pages of the hot area (progressive migration, Fig. 6).
+        return HotnessLevel::kIronHot;
+      case TwoLevelLru::Tier::kHot:
+        // Survived a full GC cycle without modification -> not hot after
+        // all; "demote if not modified" sends it to the icy-cold area.
+        lru_.Erase(lpn);
+        ppb_stats_.cold_demotions++;
+        freq_.OnWrite(lpn);
+        return HotnessLevel::kIcyCold;
+      case TwoLevelLru::Tier::kNone:
+        break;  // already LRU-evicted; fall through to the frequency table
+    }
+  }
+  // Cold-area re-ranking: the GC-time icy-cold <-> cold movement.
+  return freq_.IsCold(lpn) ? HotnessLevel::kCold : HotnessLevel::kIcyCold;
+}
+
+Us PpbFtl::PlacePage(Lpn lpn, HotnessLevel level, Us earliest) {
+  const Area area = AreaOf(level);
+  auto alloc = vbm_.AllocatePage(area, level);
+  CTFLASH_CHECK(alloc.has_value());  // GC thresholds keep the free pool alive
+  if (alloc->diverted) ppb_stats_.diverted_writes++;
+  if (alloc->fast_class) {
+    ppb_stats_.fast_class_writes++;
+  } else {
+    ppb_stats_.slow_class_writes++;
+  }
+  const Ppn ppn = alloc->ppn;
+  const Ppn old = map_.Update(lpn, ppn);
+  if (old != kInvalidPpn) blocks_.RemoveValid(target_.geometry().BlockOf(old));
+  blocks_.AddValid(target_.geometry().BlockOf(ppn));
+  return target_.ProgramPage(ppn, earliest);
+}
+
+Us PpbFtl::MaybeRunGc(Us earliest) {
+  if (in_gc_) return earliest;
+  Us completion = earliest;
+  while (blocks_.FreeCount() <= config_.gc_threshold_low) {
+    const auto victim = PickVictim(blocks_);
+    if (!victim) break;
+    in_gc_ = true;
+    const auto& geo = target_.geometry();
+    {
+      const auto area_idx = static_cast<std::size_t>(vbm_.AreaOfBlock(*victim));
+      ppb_stats_.gc_victims_by_area[area_idx]++;
+      ppb_stats_.gc_victim_valid_by_area[area_idx] += blocks_.ValidCount(*victim);
+    }
+    for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+      const Ppn src = geo.PpnOf(*victim, p);
+      const Lpn lpn = map_.LpnOf(src);
+      if (lpn == kInvalidLpn) continue;
+      // Progressive migration: relocate to the survivor's demoted hotness
+      // level (or, with the ablation knob off, keep the source area/class).
+      HotnessLevel level;
+      if (ppb_config_.migrate_on_gc) {
+        level = RelocationLevel(lpn, vbm_.AreaOfBlock(*victim));
+      } else {
+        const Area src_area = vbm_.AreaOfBlock(*victim);
+        const bool src_fast = vbm_.IsFastClassPage(p);
+        level = src_area == Area::kHot
+                    ? (src_fast ? HotnessLevel::kIronHot : HotnessLevel::kHot)
+                    : (src_fast ? HotnessLevel::kCold : HotnessLevel::kIcyCold);
+      }
+      auto alloc = vbm_.AllocatePage(AreaOf(level), level, /*gc_stream=*/true);
+      CTFLASH_CHECK(alloc.has_value());
+      const bool class_changed = alloc->fast_class != vbm_.IsFastClassPage(p) ||
+                                 AreaOf(level) != vbm_.AreaOfBlock(*victim);
+      if (class_changed) ppb_stats_.gc_migrations++;
+      if (alloc->fast_class) {
+        ppb_stats_.fast_class_writes++;
+      } else {
+        ppb_stats_.slow_class_writes++;
+      }
+      // Perform the copy through the flash fabric.
+      Us read_done = target_.ReadPage(src, completion);
+      const Ppn dst = alloc->ppn;
+      const Us done = [&] {
+        // Program must follow the read of the source page.
+        return target_.ProgramPage(dst, read_done);
+      }();
+      if (done > completion) completion = done;
+      map_.ReleasePpn(src);
+      map_.Update(lpn, dst);
+      blocks_.RemoveValid(*victim);
+      blocks_.AddValid(geo.BlockOf(dst));
+      stats_.gc_page_copies++;
+    }
+    completion = target_.EraseBlock(*victim, completion);
+    blocks_.Release(*victim);
+    vbm_.OnBlockErased(*victim);
+    stats_.gc_erases++;
+    wear_leveler_.OnErase();
+    in_gc_ = false;
+    if (blocks_.FreeCount() >= config_.gc_threshold_high) break;
+  }
+  stats_.gc_time_us += completion - earliest;
+  return completion;
+}
+
+Us PpbFtl::DoWrite(Lpn lpn_first, std::uint32_t pages,
+                   std::uint64_t request_bytes, Us earliest) {
+  const Us gc_done = MaybeRunGc(earliest);
+  const Us start = config_.charge_gc_to_write ? gc_done : earliest;
+  Us completion = start;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const Lpn lpn = lpn_first + i;
+    const HotnessLevel level = ClassifyWrite(lpn, request_bytes);
+    if (AreaOf(level) == Area::kHot) {
+      ppb_stats_.hot_area_writes++;
+    } else {
+      ppb_stats_.cold_area_writes++;
+    }
+    const Us done = PlacePage(lpn, level, start);
+    if (done > completion) completion = done;
+  }
+  return completion;
+}
+
+Us PpbFtl::DoRead(Lpn lpn_first, std::uint32_t pages,
+                  std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                  Us earliest) {
+  Us completion = earliest;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const Lpn lpn = lpn_first + i;
+    const Ppn ppn = map_.Lookup(lpn);
+    if (ppn == kInvalidPpn) continue;
+    const std::uint32_t page_in_block = target_.geometry().PageOf(ppn);
+    if (vbm_.IsFastClassPage(page_in_block)) {
+      ppb_stats_.fast_reads++;
+    } else {
+      ppb_stats_.slow_reads++;
+    }
+    const auto level_idx = static_cast<std::size_t>(LevelOf(lpn));
+    ppb_stats_.reads_at_level[level_idx]++;
+    ppb_stats_.read_factor_sum[level_idx] +=
+        target_.latency_model().SpeedFactor(page_in_block);
+    const Us done = target_.ReadPage(
+        ppn, earliest, TransferBytesFor(lpn, offset_bytes, size_bytes));
+    if (done > completion) completion = done;
+
+    // Progressive bookkeeping (no physical movement here).
+    const auto tier_before = lru_.TierOf(lpn);
+    if (tier_before != TwoLevelLru::Tier::kNone) {
+      const auto out = lru_.OnRead(lpn);
+      if (tier_before == TwoLevelLru::Tier::kHot) ppb_stats_.iron_promotions++;
+      if (out.demoted_to_cold) {
+        freq_.OnWrite(*out.demoted_to_cold);
+        ppb_stats_.cold_demotions++;
+      }
+    } else {
+      freq_.OnRead(lpn);
+    }
+  }
+  return completion;
+}
+
+bool PpbFtl::CheckInvariants() const {
+  if (!map_.CheckConsistent()) return false;
+  if (!vbm_.CheckInvariants()) return false;
+  const auto& geo = target_.geometry();
+  std::vector<std::uint32_t> valid(geo.TotalBlocks(), 0);
+  for (Lpn lpn = 0; lpn < map_.logical_pages(); ++lpn) {
+    const Ppn ppn = map_.Lookup(lpn);
+    if (ppn == kInvalidPpn) continue;
+    if (!target_.nand().IsPageProgrammed(ppn)) return false;
+    valid[geo.BlockOf(ppn)]++;
+  }
+  for (BlockId b = 0; b < geo.TotalBlocks(); ++b) {
+    if (valid[b] != blocks_.ValidCount(b)) return false;
+    // The VBM fill pointer must agree with the NAND program pointer.
+    if (vbm_.FillOf(b) != target_.nand().NextProgramPage(b)) return false;
+    // Pairing invariant: any block holding data belongs to exactly one area.
+    if (vbm_.FillOf(b) > 0 && vbm_.AreaOfBlock(b) == Area::kNone) return false;
+  }
+  return true;
+}
+
+}  // namespace ctflash::core

@@ -1,0 +1,90 @@
+#include "core/two_level_lru.h"
+
+#include <stdexcept>
+
+namespace ctflash::core {
+
+TwoLevelLru::TwoLevelLru(std::size_t hot_capacity, std::size_t iron_capacity)
+    : hot_capacity_(hot_capacity), iron_capacity_(iron_capacity) {
+  if (hot_capacity == 0 || iron_capacity == 0) {
+    throw std::invalid_argument("TwoLevelLru: capacities must be > 0");
+  }
+}
+
+TwoLevelLru::Tier TwoLevelLru::TierOf(Lpn lpn) const {
+  const auto it = index_.find(lpn);
+  return it == index_.end() ? Tier::kNone : it->second.tier;
+}
+
+void TwoLevelLru::Detach(Lpn lpn) {
+  const auto it = index_.find(lpn);
+  if (it == index_.end()) return;
+  (it->second.tier == Tier::kHot ? hot_ : iron_).erase(it->second.it);
+  index_.erase(it);
+}
+
+std::optional<Lpn> TwoLevelLru::InsertHead(Lpn lpn, Tier tier) {
+  std::list<Lpn>& list = tier == Tier::kHot ? hot_ : iron_;
+  const std::size_t capacity =
+      tier == Tier::kHot ? hot_capacity_ : iron_capacity_;
+  list.push_front(lpn);
+  index_[lpn] = Node{list.begin(), tier};
+  if (list.size() <= capacity) return std::nullopt;
+  // Demote the LRU tail: iron-hot -> hot head; hot -> out (cold area).
+  const Lpn victim = list.back();
+  list.pop_back();
+  index_.erase(victim);
+  if (tier == Tier::kIronHot) return InsertHead(victim, Tier::kHot);
+  return victim;
+}
+
+TwoLevelLru::Outcome TwoLevelLru::OnWrite(Lpn lpn) {
+  Outcome out;
+  const Tier current = TierOf(lpn);
+  // Algorithm 1 lines 2-5: drop the duplicated entry before re-inserting.
+  Detach(lpn);
+  const Tier target = current == Tier::kIronHot ? Tier::kIronHot : Tier::kHot;
+  out.tier = target;
+  out.demoted_to_cold = InsertHead(lpn, target);
+  return out;
+}
+
+TwoLevelLru::Outcome TwoLevelLru::OnRead(Lpn lpn) {
+  Outcome out;
+  const Tier current = TierOf(lpn);
+  if (current == Tier::kNone) return out;  // not in the hot area
+  Detach(lpn);
+  out.tier = Tier::kIronHot;  // "promote if read"
+  out.demoted_to_cold = InsertHead(lpn, Tier::kIronHot);
+  return out;
+}
+
+void TwoLevelLru::Erase(Lpn lpn) { Detach(lpn); }
+
+std::optional<Lpn> TwoLevelLru::HotTail() const {
+  if (hot_.empty()) return std::nullopt;
+  return hot_.back();
+}
+
+std::optional<Lpn> TwoLevelLru::IronTail() const {
+  if (iron_.empty()) return std::nullopt;
+  return iron_.back();
+}
+
+bool TwoLevelLru::CheckInvariants() const {
+  if (hot_.size() > hot_capacity_ || iron_.size() > iron_capacity_) return false;
+  if (index_.size() != hot_.size() + iron_.size()) return false;
+  for (auto it = hot_.begin(); it != hot_.end(); ++it) {
+    const auto node = index_.find(*it);
+    if (node == index_.end()) return false;
+    if (node->second.tier != Tier::kHot || node->second.it != it) return false;
+  }
+  for (auto it = iron_.begin(); it != iron_.end(); ++it) {
+    const auto node = index_.find(*it);
+    if (node == index_.end()) return false;
+    if (node->second.tier != Tier::kIronHot || node->second.it != it) return false;
+  }
+  return true;
+}
+
+}  // namespace ctflash::core

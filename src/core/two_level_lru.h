@@ -1,0 +1,84 @@
+// Two-level LRU for the hot data area (paper Fig. 10(a), Algorithm 1).
+//
+// New hot writes enter the head of the HOT list.  A read of a hot-list entry
+// promotes it to the head of the IRON-HOT list (its data will be moved to a
+// fast virtual block progressively, on the next update or GC).  Overflow
+// demotes: the iron-hot LRU tail falls back to the hot head; the hot LRU
+// tail leaves the hot area entirely (demoted to the cold area).  Duplicate
+// LBAs are collapsed on every write (Algorithm 1 lines 2-5).
+//
+// At most one entry can cascade out of the structure per operation, so every
+// mutator returns an optional demoted LPN instead of a vector.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace ctflash::core {
+
+class TwoLevelLru {
+ public:
+  enum class Tier : std::uint8_t { kNone = 0, kHot = 1, kIronHot = 2 };
+
+  /// Capacities are entry counts (> 0).
+  TwoLevelLru(std::size_t hot_capacity, std::size_t iron_capacity);
+
+  Tier TierOf(Lpn lpn) const;
+  bool Contains(Lpn lpn) const { return TierOf(lpn) != Tier::kNone; }
+
+  struct Outcome {
+    /// Tier the caller should place the data in (kHot or kIronHot); kNone
+    /// from OnRead means the lpn is not tracked by the hot area.
+    Tier tier = Tier::kNone;
+    /// Entry pushed out of the hot area (goes to the cold area), if any.
+    std::optional<Lpn> demoted_to_cold;
+  };
+
+  /// Registers a host write.  Re-writes of an iron-hot entry stay iron-hot
+  /// (the VB-list divert rules may still redirect the physical placement);
+  /// everything else (re)enters the hot list head.
+  Outcome OnWrite(Lpn lpn);
+
+  /// Registers a host read.  Hot entries are promoted to iron-hot; iron-hot
+  /// entries are refreshed.  Unknown lpns return tier kNone and no demotion.
+  Outcome OnRead(Lpn lpn);
+
+  /// Removes an entry (data reclassified cold by the first stage, or
+  /// trimmed).  No-op when absent.
+  void Erase(Lpn lpn);
+
+  std::size_t HotSize() const { return hot_.size(); }
+  std::size_t IronSize() const { return iron_.size(); }
+  std::size_t hot_capacity() const { return hot_capacity_; }
+  std::size_t iron_capacity() const { return iron_capacity_; }
+
+  /// Least-recently-used entries (tails), for tests.
+  std::optional<Lpn> HotTail() const;
+  std::optional<Lpn> IronTail() const;
+
+  /// O(n) structural check: map entries and list nodes agree, sizes within
+  /// capacity.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    std::list<Lpn>::iterator it;
+    Tier tier;
+  };
+
+  /// Inserts at the head of `tier`'s list, cascading demotions.
+  std::optional<Lpn> InsertHead(Lpn lpn, Tier tier);
+  void Detach(Lpn lpn);
+
+  std::size_t hot_capacity_;
+  std::size_t iron_capacity_;
+  std::list<Lpn> hot_;   // front = MRU
+  std::list<Lpn> iron_;  // front = MRU
+  std::unordered_map<Lpn, Node> index_;
+};
+
+}  // namespace ctflash::core

@@ -1,0 +1,206 @@
+#include "core/virtual_block.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ctflash::core {
+
+VirtualBlockManager::VirtualBlockManager(ftl::BlockManager& blocks,
+                                         std::uint32_t pages_per_block,
+                                         std::uint32_t split_count,
+                                         std::uint32_t max_open_fast_vbs)
+    : blocks_(blocks),
+      pages_per_block_(pages_per_block),
+      split_count_(split_count),
+      pages_per_slice_(split_count == 0 ? 0 : pages_per_block / split_count),
+      max_open_fast_vbs_(max_open_fast_vbs),
+      area_of_block_(blocks.total_blocks(), Area::kNone),
+      fill_(blocks.total_blocks(), 0),
+      slow_home_(blocks.total_blocks(), 0) {
+  if (split_count < 2 || split_count % 2 != 0) {
+    throw std::invalid_argument(
+        "VirtualBlockManager: split_count must be an even number >= 2");
+  }
+  if (pages_per_block % split_count != 0) {
+    throw std::invalid_argument(
+        "VirtualBlockManager: pages_per_block must be divisible by split_count");
+  }
+  if (pages_per_block != blocks.pages_per_block()) {
+    throw std::invalid_argument(
+        "VirtualBlockManager: geometry disagrees with BlockManager");
+  }
+}
+
+std::size_t VirtualBlockManager::SlowListIndex(Area area, bool gc_stream) {
+  if (area == Area::kNone) {
+    throw std::invalid_argument("VirtualBlockManager: area must be hot or cold");
+  }
+  return (area == Area::kHot ? 0u : 1u) + (gc_stream ? 2u : 0u);
+}
+
+std::size_t VirtualBlockManager::AreaIndex(Area area) {
+  if (area == Area::kNone) {
+    throw std::invalid_argument("VirtualBlockManager: area must be hot or cold");
+  }
+  return area == Area::kHot ? 0u : 1u;
+}
+
+std::optional<BlockId> VirtualBlockManager::ClaimNewBlock(
+    Area area, std::size_t slow_list) {
+  // Dual-pool wear leveling (active only when the FTL installed a wear
+  // provider): the hot area takes young blocks, the cold area parks its
+  // stable data on worn ones.
+  const ftl::AllocPolicy policy =
+      !blocks_.HasWearProvider() ? ftl::AllocPolicy::kById
+      : area == Area::kHot       ? ftl::AllocPolicy::kLeastWorn
+                                 : ftl::AllocPolicy::kMostWorn;
+  const auto fresh = blocks_.AllocateBlock(policy);
+  if (!fresh) return std::nullopt;
+  CTFLASH_CHECK(area_of_block_[*fresh] == Area::kNone);
+  CTFLASH_CHECK(fill_[*fresh] == 0);
+  area_of_block_[*fresh] = area;
+  slow_home_[*fresh] = static_cast<std::uint8_t>(slow_list);
+  slow_lists_[slow_list].push_back(*fresh);
+  return fresh;
+}
+
+void VirtualBlockManager::AdvanceFill(BlockId block,
+                                      std::deque<BlockId>& current_list) {
+  fill_[block]++;
+  if (fill_[block] % pages_per_slice_ != 0) return;
+  // Slice boundary: the block leaves its current list.
+  CTFLASH_CHECK(!current_list.empty() && current_list.front() == block);
+  current_list.pop_front();
+  if (fill_[block] == pages_per_block_) {
+    blocks_.MarkFull(block);
+    return;
+  }
+  const std::uint32_t next_slice = fill_[block] / pages_per_slice_;
+  if (IsFastClassSlice(next_slice)) {
+    fast_lists_[AreaIndex(area_of_block_[block])].push_back(block);
+  } else {
+    slow_lists_[slow_home_[block]].push_back(block);
+  }
+}
+
+std::optional<VbAllocation> VirtualBlockManager::AllocatePage(
+    Area area, HotnessLevel level, bool gc_stream) {
+  if (AreaOf(level) != area) {
+    throw std::invalid_argument("AllocatePage: level does not belong to area");
+  }
+  const std::size_t slow_idx = SlowListIndex(area, gc_stream);
+  std::deque<BlockId>& slow = slow_lists_[slow_idx];
+  std::deque<BlockId>& fast = fast_lists_[AreaIndex(area)];
+  const bool want_fast = WantsFastPages(level);
+
+  VbAllocation out;
+  std::deque<BlockId>* chosen = nullptr;
+  if (want_fast) {
+    if (!fast.empty()) {
+      chosen = &fast;  // the area's iron-hot / cold VB list has space
+    } else if (!slow.empty()) {
+      // Rule II: fast list out of space -> demote the write to a slow VB.
+      chosen = &slow;
+      out.diverted = true;
+    } else {
+      // Rule III: both lists out of space -> claim a new physical block;
+      // its slice 0 (slow class) is the only writable slice.
+      if (!ClaimNewBlock(area, slow_idx)) return std::nullopt;
+      chosen = &slow;
+      out.diverted = true;
+      out.new_block = true;
+    }
+  } else {
+    if (!slow.empty()) {
+      chosen = &slow;  // the hot / icy-cold VB list has space
+    } else {
+      const std::size_t open_fast = fast.size();
+      if (open_fast < max_open_fast_vbs_ && ClaimNewBlock(area, slow_idx)) {
+        // Fig. 8 reading: start the next physical block instead of polluting
+        // an open fast VB with slow-class data.
+        chosen = &slow;
+        out.new_block = true;
+      } else if (!fast.empty()) {
+        // Rule I: slow list out of space -> promote the write to a fast VB.
+        chosen = &fast;
+        out.diverted = true;
+      } else {
+        if (!ClaimNewBlock(area, slow_idx)) return std::nullopt;
+        chosen = &slow;
+        out.new_block = true;
+      }
+    }
+  }
+
+  const BlockId block = chosen->front();
+  const std::uint32_t page = fill_[block];
+  CTFLASH_CHECK(page < pages_per_block_);
+  out.ppn = static_cast<Ppn>(block) * pages_per_block_ + page;
+  out.slice = SliceOfPage(page);
+  out.fast_class = IsFastClassSlice(out.slice);
+  AdvanceFill(block, *chosen);
+  return out;
+}
+
+void VirtualBlockManager::OnBlockErased(BlockId block) {
+  if (block >= area_of_block_.size()) {
+    throw std::out_of_range("OnBlockErased: block out of range");
+  }
+  // Only full (list-free) blocks are ever erased by the FTL.
+  CTFLASH_CHECK(fill_[block] == pages_per_block_ || fill_[block] == 0);
+  area_of_block_[block] = Area::kNone;
+  fill_[block] = 0;
+}
+
+Area VirtualBlockManager::AreaOfBlock(BlockId block) const {
+  if (block >= area_of_block_.size()) {
+    throw std::out_of_range("AreaOfBlock: block out of range");
+  }
+  return area_of_block_[block];
+}
+
+std::uint32_t VirtualBlockManager::FillOf(BlockId block) const {
+  if (block >= fill_.size()) {
+    throw std::out_of_range("FillOf: block out of range");
+  }
+  return fill_[block];
+}
+
+std::size_t VirtualBlockManager::OpenBlockCount(Area area) const {
+  return slow_lists_[SlowListIndex(area, false)].size() +
+         slow_lists_[SlowListIndex(area, true)].size() +
+         fast_lists_[AreaIndex(area)].size();
+}
+
+bool VirtualBlockManager::CheckInvariants() const {
+  auto check_list = [&](const std::deque<BlockId>& list, Area area,
+                        bool fast_list) {
+    for (const BlockId b : list) {
+      if (b >= area_of_block_.size()) return false;
+      if (area_of_block_[b] != area) return false;
+      const std::uint32_t f = fill_[b];
+      if (f >= pages_per_block_) return false;  // full blocks leave lists
+      if (IsFastClassSlice(SliceOfPage(f)) != fast_list) return false;
+      if (blocks_.UseOf(b) != ftl::BlockUse::kOpen) return false;
+    }
+    return true;
+  };
+  const Area slow_area[kSlowListCount] = {Area::kHot, Area::kCold, Area::kHot,
+                                          Area::kCold};
+  for (std::size_t i = 0; i < kSlowListCount; ++i) {
+    if (!check_list(slow_lists_[i], slow_area[i], /*fast_list=*/false)) {
+      return false;
+    }
+  }
+  if (!check_list(fast_lists_[0], Area::kHot, /*fast_list=*/true)) return false;
+  if (!check_list(fast_lists_[1], Area::kCold, /*fast_list=*/true)) return false;
+  for (BlockId b = 0; b < area_of_block_.size(); ++b) {
+    if (area_of_block_[b] == Area::kNone && fill_[b] != 0) return false;
+    if (fill_[b] != 0 && blocks_.UseOf(b) == ftl::BlockUse::kFree) return false;
+  }
+  return true;
+}
+
+}  // namespace ctflash::core

@@ -1,0 +1,116 @@
+#include "ftl/block_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ctflash::ftl {
+
+BlockManager::BlockManager(std::uint64_t total_blocks,
+                           std::uint32_t pages_per_block)
+    : info_(total_blocks), pages_per_block_(pages_per_block) {
+  if (total_blocks == 0 || pages_per_block == 0) {
+    throw std::invalid_argument("BlockManager: zero-sized device");
+  }
+  for (BlockId b = 0; b < total_blocks; ++b) free_list_.push_back(b);
+}
+
+void BlockManager::CheckId(BlockId block) const {
+  if (block >= info_.size()) {
+    throw std::out_of_range("BlockManager: block id out of range");
+  }
+}
+
+std::optional<BlockId> BlockManager::AllocateBlock(AllocPolicy policy) {
+  if (free_list_.empty()) return std::nullopt;
+  auto chosen = free_list_.begin();
+  if (policy != AllocPolicy::kById && wear_provider_) {
+    for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+      const std::uint32_t wear = wear_provider_(*it);
+      const std::uint32_t best = wear_provider_(*chosen);
+      if (policy == AllocPolicy::kLeastWorn ? wear < best : wear > best) {
+        chosen = it;
+      }
+    }
+  }
+  const BlockId b = *chosen;
+  free_list_.erase(chosen);
+  info_[b].use = BlockUse::kOpen;
+  return b;
+}
+
+void BlockManager::MarkFull(BlockId block) {
+  CheckId(block);
+  if (info_[block].use != BlockUse::kOpen) {
+    throw std::logic_error("BlockManager::MarkFull: block not open");
+  }
+  info_[block].use = BlockUse::kFull;
+}
+
+void BlockManager::Release(BlockId block) {
+  CheckId(block);
+  if (info_[block].use == BlockUse::kFree) {
+    throw std::logic_error("BlockManager::Release: block already free");
+  }
+  if (info_[block].valid != 0) {
+    throw std::logic_error("BlockManager::Release: block still has valid pages");
+  }
+  info_[block].use = BlockUse::kFree;
+  // Keep the free list ordered by id so allocation order is deterministic
+  // and matches "arranged according to their original physical block number".
+  const auto pos = std::lower_bound(free_list_.begin(), free_list_.end(), block);
+  free_list_.insert(pos, block);
+}
+
+void BlockManager::AddValid(BlockId block) {
+  CheckId(block);
+  if (info_[block].valid >= pages_per_block_) {
+    throw std::logic_error("BlockManager::AddValid: counter overflow");
+  }
+  info_[block].valid++;
+}
+
+void BlockManager::RemoveValid(BlockId block) {
+  CheckId(block);
+  if (info_[block].valid == 0) {
+    throw std::logic_error("BlockManager::RemoveValid: counter underflow");
+  }
+  info_[block].valid--;
+}
+
+std::uint32_t BlockManager::ValidCount(BlockId block) const {
+  CheckId(block);
+  return info_[block].valid;
+}
+
+BlockUse BlockManager::UseOf(BlockId block) const {
+  CheckId(block);
+  return info_[block].use;
+}
+
+std::optional<BlockId> BlockManager::PickGcVictim(
+    const std::vector<std::uint32_t>& pe_hint) const {
+  std::optional<BlockId> best;
+  for (BlockId b = 0; b < info_.size(); ++b) {
+    if (info_[b].use != BlockUse::kFull) continue;
+    if (!best) {
+      best = b;
+      continue;
+    }
+    const std::uint32_t v = info_[b].valid;
+    const std::uint32_t bv = info_[*best].valid;
+    if (v < bv) {
+      best = b;
+    } else if (v == bv && !pe_hint.empty() && pe_hint[b] < pe_hint[*best]) {
+      best = b;
+    }
+  }
+  return best;
+}
+
+std::uint64_t BlockManager::TotalValid() const {
+  std::uint64_t total = 0;
+  for (const auto& i : info_) total += i.valid;
+  return total;
+}
+
+}  // namespace ctflash::ftl

@@ -1,0 +1,91 @@
+// Per-block bookkeeping: valid-page counters, free-block FIFO, and greedy
+// victim selection for garbage collection.
+//
+// The free list is ordered by block id (deterministic allocation — the same
+// rule the paper's free VB list uses).  Victim selection is greedy minimum
+// valid count with lowest-P/E tie-break, restricted to FULL blocks so open
+// (partially written) blocks are never collected mid-fill.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ctflash::ftl {
+
+enum class BlockUse : std::uint8_t {
+  kFree = 0,   ///< erased, in the free list
+  kOpen,       ///< taken by an allocator, still has unwritten pages
+  kFull,       ///< every page programmed; GC candidate
+};
+
+/// Free-block selection policy.  kById is the deterministic default ("free
+/// virtual blocks arranged according to their original physical block
+/// number").  The wear-aware policies implement dual-pool wear leveling:
+/// hot write streams take the LEAST worn free block, cold/GC streams take
+/// the MOST worn one so stable data parks on tired blocks.  They require a
+/// wear provider (SetWearProvider); without one they fall back to kById.
+enum class AllocPolicy : std::uint8_t { kById = 0, kLeastWorn, kMostWorn };
+
+class BlockManager {
+ public:
+  BlockManager(std::uint64_t total_blocks, std::uint32_t pages_per_block);
+
+  std::uint64_t total_blocks() const { return info_.size(); }
+  std::uint32_t pages_per_block() const { return pages_per_block_; }
+
+  std::uint64_t FreeCount() const { return free_list_.size(); }
+
+  /// Pops a free block per `policy` and marks it kOpen.
+  /// Returns std::nullopt when no free block remains.
+  std::optional<BlockId> AllocateBlock(AllocPolicy policy = AllocPolicy::kById);
+
+  /// Installs the per-block wear accessor (P/E cycles) used by the
+  /// wear-aware allocation policies.
+  void SetWearProvider(std::function<std::uint32_t(BlockId)> provider) {
+    wear_provider_ = std::move(provider);
+  }
+  bool HasWearProvider() const { return static_cast<bool>(wear_provider_); }
+
+  /// Marks an open block full (all pages programmed).
+  void MarkFull(BlockId block);
+
+  /// Returns an erased block to the free list (caller must have erased it).
+  void Release(BlockId block);
+
+  /// Valid-page accounting: one page of this block now holds live data.
+  void AddValid(BlockId block);
+  /// One page of this block was invalidated (update or trim).
+  void RemoveValid(BlockId block);
+
+  std::uint32_t ValidCount(BlockId block) const;
+  BlockUse UseOf(BlockId block) const;
+
+  /// Greedy GC victim: the FULL block with the fewest valid pages; ties
+  /// break toward lower `pe_hint` (wear-aware) then lower id.  `pe_hint`
+  /// may be empty, in which case ties break by id only.
+  std::optional<BlockId> PickGcVictim(
+      const std::vector<std::uint32_t>& pe_hint = {}) const;
+
+  /// Total valid pages across all blocks (O(n), for invariant checks).
+  std::uint64_t TotalValid() const;
+
+ private:
+  struct Info {
+    std::uint32_t valid = 0;
+    BlockUse use = BlockUse::kFree;
+  };
+
+  void CheckId(BlockId block) const;
+
+  std::vector<Info> info_;
+  std::deque<BlockId> free_list_;
+  std::uint32_t pages_per_block_;
+  std::function<std::uint32_t(BlockId)> wear_provider_;
+};
+
+}  // namespace ctflash::ftl

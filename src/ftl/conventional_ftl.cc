@@ -1,0 +1,129 @@
+#include "ftl/conventional_ftl.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ctflash::ftl {
+
+ConventionalFtl::ConventionalFtl(FlashTarget& target, const FtlConfig& config)
+    : FtlBase(target, config),
+      map_(logical_pages_, target.geometry().TotalPages()),
+      blocks_(target.geometry().TotalBlocks(),
+              target.geometry().pages_per_block) {
+  if (config_.wear.Enabled()) {
+    blocks_.SetWearProvider(
+        [this](BlockId b) { return target_.nand().PeCycles(b); });
+  }
+}
+
+Us ConventionalFtl::DoRead(Lpn lpn_first, std::uint32_t pages,
+                           std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                           Us earliest) {
+  Us completion = earliest;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const Lpn lpn = lpn_first + i;
+    const Ppn ppn = map_.Lookup(lpn);
+    if (ppn == kInvalidPpn) continue;  // never-written data: no flash work
+    const Us done = target_.ReadPage(
+        ppn, earliest, TransferBytesFor(lpn, offset_bytes, size_bytes));
+    if (done > completion) completion = done;
+  }
+  return completion;
+}
+
+Ppn ConventionalFtl::AllocatePage(bool for_gc) {
+  const auto& geo = target_.geometry();
+  std::optional<BlockId>& active = for_gc ? gc_active_block_ : active_block_;
+  if (active &&
+      target_.nand().NextProgramPage(*active) >= geo.pages_per_block) {
+    blocks_.MarkFull(*active);
+    active.reset();
+  }
+  if (!active) {
+    // Dual-pool wear leveling: hot host writes take young blocks, GC
+    // survivors (cold) park on worn ones.
+    const AllocPolicy policy = !blocks_.HasWearProvider() ? AllocPolicy::kById
+                               : for_gc ? AllocPolicy::kMostWorn
+                                        : AllocPolicy::kLeastWorn;
+    const auto b = blocks_.AllocateBlock(policy);
+    CTFLASH_CHECK(b.has_value());  // GC thresholds guarantee spare blocks
+    active = *b;
+  }
+  return geo.PpnOf(*active, target_.nand().NextProgramPage(*active));
+}
+
+Us ConventionalFtl::WriteOnePage(Lpn lpn, Us earliest) {
+  const Ppn ppn = AllocatePage(/*for_gc=*/false);
+  const Ppn old = map_.Update(lpn, ppn);
+  if (old != kInvalidPpn) blocks_.RemoveValid(target_.geometry().BlockOf(old));
+  blocks_.AddValid(target_.geometry().BlockOf(ppn));
+  return target_.ProgramPage(ppn, earliest);
+}
+
+Us ConventionalFtl::MaybeRunGc(Us earliest) {
+  if (in_gc_) return earliest;
+  Us completion = earliest;
+  while (blocks_.FreeCount() <= config_.gc_threshold_low) {
+    const auto victim = PickVictim(blocks_);
+    if (!victim) break;  // nothing reclaimable
+    in_gc_ = true;
+    const auto& geo = target_.geometry();
+    // Relocate every valid page of the victim.
+    for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+      const Ppn src = geo.PpnOf(*victim, p);
+      const Lpn lpn = map_.LpnOf(src);
+      if (lpn == kInvalidLpn) continue;
+      const Ppn dst = AllocatePage(/*for_gc=*/true);
+      const Us done = target_.CopyPage(src, dst, completion);
+      if (done > completion) completion = done;
+      map_.ReleasePpn(src);
+      map_.Update(lpn, dst);
+      blocks_.RemoveValid(*victim);
+      blocks_.AddValid(geo.BlockOf(dst));
+      stats_.gc_page_copies++;
+    }
+    completion = target_.EraseBlock(*victim, completion);
+    blocks_.Release(*victim);
+    stats_.gc_erases++;
+    wear_leveler_.OnErase();
+    in_gc_ = false;
+    if (blocks_.FreeCount() >= config_.gc_threshold_high) break;
+  }
+  stats_.gc_time_us += completion - earliest;
+  return completion;
+}
+
+Us ConventionalFtl::DoWrite(Lpn lpn_first, std::uint32_t pages,
+                            std::uint64_t /*request_bytes*/, Us earliest) {
+  const Us gc_done = MaybeRunGc(earliest);
+  const Us start = config_.charge_gc_to_write ? gc_done : earliest;
+  Us completion = start;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    const Us done = WriteOnePage(lpn_first + i, start);
+    if (done > completion) completion = done;
+  }
+  return completion;
+}
+
+bool ConventionalFtl::CheckInvariants() const {
+  if (!map_.CheckConsistent()) return false;
+  const auto& geo = target_.geometry();
+  // Valid counters must equal the number of mapped pages per block.
+  std::vector<std::uint32_t> valid(geo.TotalBlocks(), 0);
+  for (Lpn lpn = 0; lpn < map_.logical_pages(); ++lpn) {
+    const Ppn ppn = map_.Lookup(lpn);
+    if (ppn == kInvalidPpn) continue;
+    if (!target_.nand().IsPageProgrammed(ppn)) return false;
+    valid[geo.BlockOf(ppn)]++;
+  }
+  for (BlockId b = 0; b < geo.TotalBlocks(); ++b) {
+    if (valid[b] != blocks_.ValidCount(b)) return false;
+    if (blocks_.UseOf(b) == BlockUse::kFree && !target_.nand().IsBlockErased(b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ctflash::ftl

@@ -1,0 +1,60 @@
+// The conventional page-mapping FTL baseline (the paper's comparator).
+//
+// One globally active block is filled page-by-page in sequential order
+// regardless of data hotness — pages of different layer speeds are handed
+// out blindly, which is exactly the behaviour the paper's Section 2.2
+// motivates against.  Greedy GC relocates valid pages into the same active
+// stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ftl/block_manager.h"
+#include "ftl/ftl_base.h"
+#include "ftl/mapping_table.h"
+
+namespace ctflash::ftl {
+
+class ConventionalFtl : public FtlBase {
+ public:
+  ConventionalFtl(FlashTarget& target, const FtlConfig& config);
+
+  std::string Name() const override { return "conventional-ftl"; }
+
+  const MappingTable& mapping() const { return map_; }
+  const BlockManager& blocks() const { return blocks_; }
+
+  /// Invariant probe for property tests: every mapped lpn points at a
+  /// programmed page, valid counters match the mapping, free counts agree.
+  bool CheckInvariants() const;
+
+ protected:
+  Us DoRead(Lpn lpn_first, std::uint32_t pages, std::uint64_t offset_bytes,
+            std::uint64_t size_bytes, Us earliest) override;
+  Us DoWrite(Lpn lpn_first, std::uint32_t pages, std::uint64_t request_bytes,
+             Us earliest) override;
+
+ private:
+  /// Next programmable ppn on the host or GC write stream, opening a new
+  /// block when needed.  Never runs GC.  Host and GC traffic use separate
+  /// active blocks (standard dual-stream design); this also prevents the
+  /// GC-burst/host-write phasing from accidentally sorting cold data into
+  /// top-layer pages.
+  Ppn AllocatePage(bool for_gc);
+
+  /// Runs GC until free blocks reach gc_threshold_high; returns completion
+  /// time of all GC work (>= earliest).
+  Us MaybeRunGc(Us earliest);
+
+  /// Writes one logical page (mapping update + program).
+  Us WriteOnePage(Lpn lpn, Us earliest);
+
+  MappingTable map_;
+  BlockManager blocks_;
+  std::optional<BlockId> active_block_;     ///< host write stream
+  std::optional<BlockId> gc_active_block_;  ///< GC relocation stream
+  bool in_gc_ = false;
+};
+
+}  // namespace ctflash::ftl

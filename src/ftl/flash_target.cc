@@ -1,0 +1,101 @@
+#include "ftl/flash_target.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace ctflash::ftl {
+
+FlashTarget::FlashTarget(const nand::NandGeometry& geometry,
+                         const nand::NandTiming& timing,
+                         std::uint32_t endurance_pe_cycles, TimingMode mode)
+    : nand_(geometry, timing, endurance_pe_cycles),
+      chips_(geometry.TotalChips()),
+      channels_(geometry.channels),
+      page_transfer_us_(
+          nand_.latency_model().TransferUs(geometry.page_size_bytes)),
+      mode_(mode) {}
+
+Us FlashTarget::ReadPage(Ppn ppn, Us earliest, std::uint64_t transfer_bytes) {
+  Us cell_us = 0;
+  const nand::NandStatus st = nand_.Read(ppn, &cell_us);
+  if (st != nand::NandStatus::kOk) {
+    LOG_ERROR << "FlashTarget::ReadPage(" << ppn
+              << "): " << nand::NandStatusName(st);
+    std::abort();
+  }
+  const Us xfer_us =
+      transfer_bytes == 0 || transfer_bytes >= geometry().page_size_bytes
+          ? page_transfer_us_
+          : nand_.latency_model().TransferUs(transfer_bytes);
+  if (error_model_ != nullptr) {
+    const BlockId blk = geometry().BlockOf(ppn);
+    const std::uint64_t bits = error_model_->SampleBitErrors(
+        geometry().PageOf(ppn), nand_.PeCycles(blk), error_rng_);
+    error_stats_.sampled_reads++;
+    error_stats_.total_bit_errors += bits;
+    if (!error_model_->Correctable(bits)) error_stats_.uncorrectable_reads++;
+  }
+  const BlockId block = geometry().BlockOf(ppn);
+  auto& chip = chips_.At(geometry().ChipOfBlock(block));
+  auto& channel = channels_.At(geometry().ChannelOfBlock(block));
+  if (mode_ == TimingMode::kServiceTime) {
+    chip.Reserve(chip.FreeAt(), cell_us);          // busy-time accounting only
+    channel.Reserve(channel.FreeAt(), xfer_us);
+    return earliest + cell_us + xfer_us;
+  }
+  const sim::Interval cell = chip.Reserve(earliest, cell_us);
+  const sim::Interval xfer = channel.Reserve(cell.end, xfer_us);
+  return xfer.end;
+}
+
+Us FlashTarget::ProgramPage(Ppn ppn, Us earliest) {
+  Us cell_us = 0;
+  const nand::NandStatus st = nand_.Program(ppn, &cell_us);
+  if (st != nand::NandStatus::kOk) {
+    LOG_ERROR << "FlashTarget::ProgramPage(" << ppn
+              << "): " << nand::NandStatusName(st);
+    std::abort();
+  }
+  const BlockId block = geometry().BlockOf(ppn);
+  auto& chip = chips_.At(geometry().ChipOfBlock(block));
+  auto& channel = channels_.At(geometry().ChannelOfBlock(block));
+  if (mode_ == TimingMode::kServiceTime) {
+    channel.Reserve(channel.FreeAt(), page_transfer_us_);
+    chip.Reserve(chip.FreeAt(), cell_us);
+    return earliest + page_transfer_us_ + cell_us;
+  }
+  const sim::Interval xfer = channel.Reserve(earliest, page_transfer_us_);
+  const sim::Interval cell = chip.Reserve(xfer.end, cell_us);
+  return cell.end;
+}
+
+void FlashTarget::ArmErrorModel(const nand::ErrorModelConfig& config,
+                                std::uint64_t seed) {
+  error_model_ = std::make_unique<nand::LayerErrorModel>(geometry(), config);
+  error_rng_.Reseed(seed);
+  error_stats_ = ReadErrorStats{};
+}
+
+Us FlashTarget::EraseBlock(BlockId block, Us earliest) {
+  Us erase_us = 0;
+  const nand::NandStatus st = nand_.Erase(block, &erase_us);
+  if (st != nand::NandStatus::kOk) {
+    LOG_ERROR << "FlashTarget::EraseBlock(" << block
+              << "): " << nand::NandStatusName(st);
+    std::abort();
+  }
+  auto& chip = chips_.At(geometry().ChipOfBlock(block));
+  if (mode_ == TimingMode::kServiceTime) {
+    chip.Reserve(chip.FreeAt(), erase_us);
+    return earliest + erase_us;
+  }
+  return chip.Reserve(earliest, erase_us).end;
+}
+
+Us FlashTarget::CopyPage(Ppn from, Ppn to, Us earliest) {
+  const Us read_done = ReadPage(from, earliest);
+  return ProgramPage(to, read_done);
+}
+
+}  // namespace ctflash::ftl

@@ -1,0 +1,97 @@
+#include "ftl/ftl_base.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace ctflash::ftl {
+
+void FtlConfig::Validate() const {
+  if (op_ratio <= 0.0 || op_ratio >= 0.9) {
+    throw std::invalid_argument("FtlConfig: op_ratio must be in (0, 0.9)");
+  }
+  if (gc_threshold_low < 2) {
+    throw std::invalid_argument("FtlConfig: gc_threshold_low must be >= 2");
+  }
+  if (gc_threshold_high <= gc_threshold_low) {
+    throw std::invalid_argument(
+        "FtlConfig: gc_threshold_high must exceed gc_threshold_low");
+  }
+}
+
+FtlBase::FtlBase(FlashTarget& target, const FtlConfig& config)
+    : target_(target), config_(config), wear_leveler_(config.wear) {
+  config_.Validate();
+  const std::uint64_t physical = target.geometry().TotalPages();
+  logical_pages_ =
+      static_cast<std::uint64_t>(static_cast<double>(physical) *
+                                 (1.0 - config_.op_ratio));
+  if (logical_pages_ == 0) {
+    throw std::invalid_argument("FtlBase: device too small for op_ratio");
+  }
+  const std::uint64_t min_spare =
+      config_.gc_threshold_high + 2;  // room for open blocks during GC
+  if (target.geometry().TotalBlocks() <
+      min_spare + logical_pages_ / target.geometry().pages_per_block) {
+    throw std::invalid_argument(
+        "FtlBase: over-provisioning too small for the GC thresholds");
+  }
+}
+
+void FtlBase::CheckRange(std::uint64_t offset_bytes,
+                         std::uint64_t size_bytes) const {
+  if (size_bytes == 0) {
+    throw std::invalid_argument("FtlBase: zero-sized request");
+  }
+  if (offset_bytes + size_bytes > LogicalBytes()) {
+    throw std::invalid_argument("FtlBase: request beyond logical capacity");
+  }
+}
+
+RequestResult FtlBase::Read(std::uint64_t offset_bytes,
+                            std::uint64_t size_bytes, Us arrival_us) {
+  CheckRange(offset_bytes, size_bytes);
+  const Lpn first = offset_bytes / PageSize();
+  const Lpn last = (offset_bytes + size_bytes - 1) / PageSize();
+  const auto pages = static_cast<std::uint32_t>(last - first + 1);
+  RequestResult r;
+  r.arrival_us = arrival_us;
+  r.pages = pages;
+  r.completion_us = DoRead(first, pages, offset_bytes, size_bytes, arrival_us);
+  if (r.completion_us < arrival_us) r.completion_us = arrival_us;
+  stats_.host_read_pages += pages;
+  return r;
+}
+
+std::optional<BlockId> FtlBase::PickVictim(const BlockManager& blocks) {
+  const auto wl = wear_leveler_.MaybeOverrideVictim(blocks, target_.nand());
+  if (wl) return wl;
+  return blocks.PickGcVictim();
+}
+
+std::uint64_t FtlBase::TransferBytesFor(Lpn lpn, std::uint64_t offset_bytes,
+                                        std::uint64_t size_bytes) const {
+  const std::uint64_t page_start = lpn * PageSize();
+  const std::uint64_t page_end = page_start + PageSize();
+  const std::uint64_t req_end = offset_bytes + size_bytes;
+  const std::uint64_t lo = std::max(page_start, offset_bytes);
+  const std::uint64_t hi = std::min(page_end, req_end);
+  return hi > lo ? hi - lo : 0;
+}
+
+RequestResult FtlBase::Write(std::uint64_t offset_bytes,
+                             std::uint64_t size_bytes, Us arrival_us) {
+  CheckRange(offset_bytes, size_bytes);
+  const Lpn first = offset_bytes / PageSize();
+  const Lpn last = (offset_bytes + size_bytes - 1) / PageSize();
+  const auto pages = static_cast<std::uint32_t>(last - first + 1);
+  RequestResult r;
+  r.arrival_us = arrival_us;
+  r.pages = pages;
+  r.completion_us = DoWrite(first, pages, size_bytes, arrival_us);
+  if (r.completion_us < arrival_us) r.completion_us = arrival_us;
+  stats_.host_write_pages += pages;
+  return r;
+}
+
+}  // namespace ctflash::ftl

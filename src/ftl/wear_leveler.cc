@@ -1,0 +1,42 @@
+#include "ftl/wear_leveler.h"
+
+#include <algorithm>
+
+namespace ctflash::ftl {
+
+std::uint32_t WearLeveler::WearSpread(const nand::NandDevice& nand) {
+  std::uint32_t min_pe = ~0u;
+  std::uint32_t max_pe = 0;
+  for (BlockId b = 0; b < nand.TotalBlocks(); ++b) {
+    if (nand.IsBlockBad(b)) continue;
+    const std::uint32_t pe = nand.PeCycles(b);
+    min_pe = std::min(min_pe, pe);
+    max_pe = std::max(max_pe, pe);
+  }
+  if (min_pe == ~0u) return 0;
+  return max_pe - min_pe;
+}
+
+std::optional<BlockId> WearLeveler::MaybeOverrideVictim(
+    const BlockManager& blocks, const nand::NandDevice& nand) {
+  if (!config_.Enabled()) return std::nullopt;
+  if (overrides_ > 0 &&
+      erases_ - last_override_erase_ < config_.cooldown_erases) {
+    return std::nullopt;
+  }
+  if (WearSpread(nand) <= config_.delta_threshold) return std::nullopt;
+  // Pick the least-worn FULL block (coldest resting data).
+  std::optional<BlockId> best;
+  for (BlockId b = 0; b < blocks.total_blocks(); ++b) {
+    if (blocks.UseOf(b) != BlockUse::kFull) continue;
+    if (nand.IsBlockBad(b)) continue;
+    if (!best || nand.PeCycles(b) < nand.PeCycles(*best)) best = b;
+  }
+  if (best) {
+    ++overrides_;
+    last_override_erase_ = erases_;
+  }
+  return best;
+}
+
+}  // namespace ctflash::ftl

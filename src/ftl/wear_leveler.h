@@ -1,0 +1,59 @@
+// Static wear leveling.
+//
+// The paper scopes endurance out ("many excellent wear-leveling designs can
+// be easily integrated"); this module is that integration point.  Classic
+// threshold-triggered static wear leveling: when the P/E spread between the
+// most- and least-worn eligible blocks exceeds `delta_threshold`, the GC
+// victim is overridden to the least-worn FULL block (which holds the
+// longest-resting, coldest data), forcing its content to rotate onto younger
+// blocks.  Both FTL variants consult the same policy, so wear behaviour does
+// not confound the PPB comparison.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ftl/block_manager.h"
+#include "nand/device.h"
+#include "util/types.h"
+
+namespace ctflash::ftl {
+
+struct WearLevelerConfig {
+  /// 0 disables static wear leveling (the paper's configuration).
+  std::uint32_t delta_threshold = 0;
+  /// Erases between two override swaps.  Without a cooldown the override
+  /// would fire on every GC pass while the spread is high, turning GC into
+  /// full-valid cold-block recycling and inflating write amplification.
+  std::uint32_t cooldown_erases = 8;
+
+  bool Enabled() const { return delta_threshold > 0; }
+};
+
+class WearLeveler {
+ public:
+  explicit WearLeveler(const WearLevelerConfig& config) : config_(config) {}
+
+  /// Returns the least-worn FULL block when the device's P/E spread exceeds
+  /// the threshold and the cooldown has elapsed, std::nullopt otherwise
+  /// (caller falls back to greedy victim selection).
+  std::optional<BlockId> MaybeOverrideVictim(const BlockManager& blocks,
+                                             const nand::NandDevice& nand);
+
+  /// Must be called once per block erase so the cooldown advances.
+  void OnErase() { ++erases_; }
+
+  /// Max P/E minus min P/E across all non-bad blocks.
+  static std::uint32_t WearSpread(const nand::NandDevice& nand);
+
+  const WearLevelerConfig& config() const { return config_; }
+  std::uint64_t override_count() const { return overrides_; }
+
+ private:
+  WearLevelerConfig config_;
+  std::uint64_t overrides_ = 0;
+  std::uint64_t erases_ = 0;
+  std::uint64_t last_override_erase_ = 0;
+};
+
+}  // namespace ctflash::ftl

@@ -1,0 +1,105 @@
+#include "nand/device.h"
+
+#include <stdexcept>
+
+namespace ctflash::nand {
+
+const char* NandStatusName(NandStatus status) {
+  switch (status) {
+    case NandStatus::kOk:
+      return "kOk";
+    case NandStatus::kInvalidAddress:
+      return "kInvalidAddress";
+    case NandStatus::kProgramOutOfOrder:
+      return "kProgramOutOfOrder";
+    case NandStatus::kProgramPageNotFree:
+      return "kProgramPageNotFree";
+    case NandStatus::kReadFreePage:
+      return "kReadFreePage";
+    case NandStatus::kBlockBad:
+      return "kBlockBad";
+  }
+  return "?";
+}
+
+NandDevice::NandDevice(const NandGeometry& geometry, const NandTiming& timing,
+                       std::uint32_t endurance_pe_cycles)
+    : latency_(geometry, timing),
+      endurance_(endurance_pe_cycles),
+      blocks_(geometry.TotalBlocks()) {}
+
+NandStatus NandDevice::Program(Ppn ppn, Us* op_us) {
+  if (!ValidPpn(ppn)) return NandStatus::kInvalidAddress;
+  const BlockId block = geometry().BlockOf(ppn);
+  const std::uint32_t page = geometry().PageOf(ppn);
+  BlockState& st = blocks_[block];
+  if (st.bad) return NandStatus::kBlockBad;
+  if (page < st.next_page) return NandStatus::kProgramPageNotFree;
+  if (page > st.next_page) return NandStatus::kProgramOutOfOrder;
+  st.next_page = page + 1;
+  const Us t = latency_.ProgramUs(page);
+  counters_.programs++;
+  counters_.program_time_us += t;
+  if (op_us != nullptr) *op_us = t;
+  return NandStatus::kOk;
+}
+
+NandStatus NandDevice::Read(Ppn ppn, Us* op_us) const {
+  if (!ValidPpn(ppn)) return NandStatus::kInvalidAddress;
+  const BlockId block = geometry().BlockOf(ppn);
+  const std::uint32_t page = geometry().PageOf(ppn);
+  const BlockState& st = blocks_[block];
+  if (st.bad) return NandStatus::kBlockBad;
+  if (page >= st.next_page) return NandStatus::kReadFreePage;
+  const Us t = latency_.ReadUs(page);
+  counters_.reads++;
+  counters_.read_time_us += t;
+  if (op_us != nullptr) *op_us = t;
+  return NandStatus::kOk;
+}
+
+NandStatus NandDevice::Erase(BlockId block, Us* op_us) {
+  if (!ValidBlock(block)) return NandStatus::kInvalidAddress;
+  BlockState& st = blocks_[block];
+  if (st.bad) return NandStatus::kBlockBad;
+  st.next_page = 0;
+  st.pe_cycles++;
+  if (st.pe_cycles >= endurance_) st.bad = true;
+  const Us t = latency_.EraseUs();
+  counters_.erases++;
+  counters_.erase_time_us += t;
+  if (op_us != nullptr) *op_us = t;
+  return NandStatus::kOk;
+}
+
+std::uint32_t NandDevice::NextProgramPage(BlockId block) const {
+  if (!ValidBlock(block)) {
+    throw std::out_of_range("NextProgramPage: block out of range");
+  }
+  return blocks_[block].next_page;
+}
+
+bool NandDevice::IsBlockFull(BlockId block) const {
+  return NextProgramPage(block) == geometry().pages_per_block;
+}
+
+bool NandDevice::IsBlockErased(BlockId block) const {
+  return NextProgramPage(block) == 0;
+}
+
+bool NandDevice::IsPageProgrammed(Ppn ppn) const {
+  if (!ValidPpn(ppn)) throw std::out_of_range("IsPageProgrammed: bad ppn");
+  return geometry().PageOf(ppn) < blocks_[geometry().BlockOf(ppn)].next_page;
+}
+
+std::uint32_t NandDevice::PeCycles(BlockId block) const {
+  if (!ValidBlock(block)) throw std::out_of_range("PeCycles: block out of range");
+  return blocks_[block].pe_cycles;
+}
+
+bool NandDevice::IsBlockBad(BlockId block) const {
+  if (!ValidBlock(block)) throw std::out_of_range("IsBlockBad: block out of range");
+  return blocks_[block].bad;
+}
+
+}  // namespace ctflash::nand

@@ -1,0 +1,98 @@
+// Behavioural model of the NAND array: page/block state, command execution
+// with flash-constraint enforcement, and operation timing.
+//
+// Enforced constraints (violations return a NandStatus error, they never
+// silently corrupt state):
+//  * erase-before-write: a page can be programmed exactly once per P/E cycle;
+//  * in-block sequential programming: page p can be programmed only when all
+//    pages < p of the block are already programmed (one-shot order, the
+//    constraint the paper's virtual-block lifecycle revolves around);
+//  * reads target programmed pages only;
+//  * erase operates on whole blocks and resets their program pointer.
+//
+// The device also tallies per-operation counters and P/E cycles per block,
+// which the FTL layers and the figure benches consume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/geometry.h"
+#include "nand/latency_model.h"
+#include "util/types.h"
+
+namespace ctflash::nand {
+
+enum class NandStatus {
+  kOk = 0,
+  kInvalidAddress,       ///< ppn/block outside the geometry
+  kProgramOutOfOrder,    ///< violates in-block sequential-program order
+  kProgramPageNotFree,   ///< page already programmed since last erase
+  kReadFreePage,         ///< read of a never-programmed page
+  kBlockBad,             ///< block retired (exceeded endurance budget)
+};
+
+const char* NandStatusName(NandStatus status);
+
+/// Aggregate operation counters.
+struct NandCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t programs = 0;
+  std::uint64_t erases = 0;
+  Us read_time_us = 0;
+  Us program_time_us = 0;
+  Us erase_time_us = 0;
+};
+
+class NandDevice {
+ public:
+  NandDevice(const NandGeometry& geometry, const NandTiming& timing,
+             std::uint32_t endurance_pe_cycles = 3000);
+
+  const NandGeometry& geometry() const { return latency_.geometry(); }
+  const LatencyModel& latency_model() const { return latency_; }
+
+  /// Programs one page; on success `*op_us` (if non-null) receives the cell
+  /// program time (transfer time is accounted by the SSD channel model).
+  NandStatus Program(Ppn ppn, Us* op_us = nullptr);
+
+  /// Reads one page.
+  NandStatus Read(Ppn ppn, Us* op_us = nullptr) const;
+
+  /// Erases a block, resetting all its pages to free and bumping P/E.
+  NandStatus Erase(BlockId block, Us* op_us = nullptr);
+
+  // --- state queries ------------------------------------------------------
+  /// Next page index the block's program pointer allows (== pages_per_block
+  /// when the block is full).
+  std::uint32_t NextProgramPage(BlockId block) const;
+  bool IsBlockFull(BlockId block) const;
+  bool IsBlockErased(BlockId block) const;
+  bool IsPageProgrammed(Ppn ppn) const;
+  std::uint32_t PeCycles(BlockId block) const;
+  bool IsBlockBad(BlockId block) const;
+  std::uint32_t endurance_pe_cycles() const { return endurance_; }
+
+  std::uint64_t TotalBlocks() const { return geometry().TotalBlocks(); }
+
+  const NandCounters& counters() const { return counters_; }
+  /// Resets the counters but not the array state.
+  void ResetCounters() { counters_ = NandCounters{}; }
+
+ private:
+  struct BlockState {
+    std::uint32_t next_page = 0;
+    std::uint32_t pe_cycles = 0;
+    bool bad = false;
+  };
+
+  bool ValidPpn(Ppn ppn) const { return ppn < geometry().TotalPages(); }
+  bool ValidBlock(BlockId b) const { return b < geometry().TotalBlocks(); }
+
+  LatencyModel latency_;
+  std::uint32_t endurance_;
+  std::vector<BlockState> blocks_;
+  mutable NandCounters counters_;
+};
+
+}  // namespace ctflash::nand

@@ -1,0 +1,93 @@
+#include "nand/error_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ctflash::nand {
+
+void ErrorModelConfig::Validate() const {
+  if (base_rber <= 0.0 || base_rber >= 1.0) {
+    throw std::invalid_argument("ErrorModelConfig: base_rber must be in (0,1)");
+  }
+  if (layer_skew < 1.0) {
+    throw std::invalid_argument("ErrorModelConfig: layer_skew must be >= 1");
+  }
+  if (pe_scale <= 0.0) {
+    throw std::invalid_argument("ErrorModelConfig: pe_scale must be > 0");
+  }
+  if (codeword_bytes == 0) {
+    throw std::invalid_argument("ErrorModelConfig: codeword_bytes must be > 0");
+  }
+}
+
+LayerErrorModel::LayerErrorModel(const NandGeometry& geometry,
+                                 const ErrorModelConfig& config)
+    : geometry_(geometry), config_(config) {
+  geometry_.Validate();
+  config_.Validate();
+  if (geometry_.page_size_bytes % config_.codeword_bytes != 0) {
+    throw std::invalid_argument(
+        "LayerErrorModel: page size must be a whole number of codewords");
+  }
+}
+
+double LayerErrorModel::Rber(std::uint32_t page_in_block,
+                             std::uint32_t pe_cycles) const {
+  const std::uint32_t layer = geometry_.LayerOfPage(page_in_block);
+  const std::uint32_t layers = geometry_.num_layers;
+  const double depth =
+      layers == 1 ? 1.0
+                  : static_cast<double>(layer) / static_cast<double>(layers - 1);
+  const double rber = config_.base_rber * std::pow(config_.layer_skew, depth) *
+                      std::exp(static_cast<double>(pe_cycles) / config_.pe_scale);
+  return rber >= 1.0 ? 1.0 : rber;
+}
+
+std::uint64_t LayerErrorModel::SampleBitErrors(
+    std::uint32_t page_in_block, std::uint32_t pe_cycles,
+    util::Xoshiro256StarStar& rng) const {
+  const double bits = static_cast<double>(geometry_.page_size_bytes) * 8.0;
+  const double lambda = bits * Rber(page_in_block, pe_cycles);
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's method.
+    const double limit = std::exp(-lambda);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= rng.UniformDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation for large lambda.
+  const double u1 = rng.UniformDouble();
+  const double u2 = rng.UniformDouble();
+  const double z = std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double v = lambda + std::sqrt(lambda) * z;
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+std::uint64_t LayerErrorModel::CodewordsPerPage() const {
+  return geometry_.page_size_bytes / config_.codeword_bytes;
+}
+
+bool LayerErrorModel::Correctable(std::uint64_t bit_errors) const {
+  const std::uint64_t codewords = CodewordsPerPage();
+  // Worst-case packing: ceil(bit_errors / codewords) errors in one codeword.
+  const std::uint64_t worst = (bit_errors + codewords - 1) / codewords;
+  return worst <= config_.correctable_bits_per_codeword;
+}
+
+double LayerErrorModel::EnduranceEstimate(std::uint32_t page_in_block) const {
+  const double bits_per_codeword = static_cast<double>(config_.codeword_bytes) * 8.0;
+  const double budget_rber =
+      static_cast<double>(config_.correctable_bits_per_codeword) /
+      bits_per_codeword;
+  const double fresh = Rber(page_in_block, 0);
+  if (fresh >= budget_rber) return 0.0;
+  return config_.pe_scale * std::log(budget_rber / fresh);
+}
+
+}  // namespace ctflash::nand

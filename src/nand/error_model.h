@@ -1,0 +1,67 @@
+// Synthetic layer-dependent reliability model for 3D charge-trap NAND.
+//
+// The paper evaluates performance only, but the same asymmetric feature
+// process size that makes bottom layers faster also concentrates the
+// electric field there, raising program-disturb and hence raw bit error
+// rate (RBER).  Since the authors' silicon data is unavailable, we provide a
+// synthetic model (documented substitution, see DESIGN.md):
+//
+//   RBER(layer, pe) = base_rber
+//                     * layer_skew ^ depth(layer)        (field concentration)
+//                     * exp(pe / pe_scale)               (wear-out growth)
+//
+// with depth in [0,1] (1 = bottom).  An LDPC/BCH-style ECC budget declares a
+// page read correctable when sampled bit errors per codeword stay within
+// `correctable_bits_per_codeword`.
+#pragma once
+
+#include <cstdint>
+
+#include "nand/geometry.h"
+#include "util/random.h"
+#include "util/types.h"
+
+namespace ctflash::nand {
+
+struct ErrorModelConfig {
+  double base_rber = 1e-7;          ///< fresh top-layer RBER
+  double layer_skew = 8.0;          ///< bottom-layer RBER / top-layer RBER
+  double pe_scale = 1500.0;         ///< P/E cycles for an e-fold RBER growth
+  std::uint32_t codeword_bytes = 1024;
+  std::uint32_t correctable_bits_per_codeword = 40;  ///< ECC strength (BCH-40)
+
+  void Validate() const;
+};
+
+class LayerErrorModel {
+ public:
+  LayerErrorModel(const NandGeometry& geometry, const ErrorModelConfig& config);
+
+  /// Raw bit error rate for a page at a given wear level.
+  double Rber(std::uint32_t page_in_block, std::uint32_t pe_cycles) const;
+
+  /// Samples the number of bit errors in one whole page read (Poisson
+  /// approximation of the binomial; exact enough for RBER << 1).
+  std::uint64_t SampleBitErrors(std::uint32_t page_in_block,
+                                std::uint32_t pe_cycles,
+                                util::Xoshiro256StarStar& rng) const;
+
+  /// True when `bit_errors` spread over the page's codewords stays within
+  /// the ECC budget in the worst-case uniform packing (ceil split).
+  bool Correctable(std::uint64_t bit_errors) const;
+
+  /// Expected number of P/E cycles after which the mean bit errors per
+  /// codeword of the given page exceed the ECC budget (analytic endurance).
+  double EnduranceEstimate(std::uint32_t page_in_block) const;
+
+  const ErrorModelConfig& config() const { return config_; }
+  const NandGeometry& geometry() const { return geometry_; }
+
+ private:
+  std::uint64_t CodewordsPerPage() const;
+
+  NandGeometry geometry_;
+  ErrorModelConfig config_;
+};
+
+}  // namespace ctflash::nand

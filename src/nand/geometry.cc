@@ -1,0 +1,97 @@
+#include "nand/geometry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ctflash::nand {
+
+void NandGeometry::Validate() const {
+  if (channels == 0 || chips_per_channel == 0 || dies_per_chip == 0 ||
+      planes_per_die == 0 || blocks_per_plane == 0 || pages_per_block == 0 ||
+      page_size_bytes == 0 || num_layers == 0) {
+    throw std::invalid_argument("NandGeometry: all dimensions must be > 0");
+  }
+  if (num_layers > pages_per_block) {
+    throw std::invalid_argument(
+        "NandGeometry: num_layers must not exceed pages_per_block "
+        "(every layer must hold at least one page)");
+  }
+  if (pages_per_block % num_layers != 0) {
+    throw std::invalid_argument(
+        "NandGeometry: pages_per_block must be a multiple of num_layers");
+  }
+}
+
+std::uint32_t NandGeometry::LayerOfPage(std::uint32_t page_in_block) const {
+  if (page_in_block >= pages_per_block) {
+    throw std::out_of_range("LayerOfPage: page index out of range");
+  }
+  return page_in_block / (pages_per_block / num_layers);
+}
+
+PhysicalAddress NandGeometry::AddressOfBlock(BlockId block) const {
+  if (block >= TotalBlocks()) {
+    throw std::out_of_range("AddressOfBlock: block out of range");
+  }
+  PhysicalAddress a;
+  const std::uint64_t plane_flat = block % TotalPlanes();
+  a.block = block / TotalPlanes();
+  a.plane = static_cast<std::uint32_t>(plane_flat % planes_per_die);
+  const std::uint64_t die_flat = plane_flat / planes_per_die;
+  a.die = static_cast<std::uint32_t>(die_flat % dies_per_chip);
+  const std::uint64_t chip_flat = die_flat / dies_per_chip;
+  a.chip = static_cast<std::uint32_t>(chip_flat % chips_per_channel);
+  a.channel = static_cast<std::uint32_t>(chip_flat / chips_per_channel);
+  return a;
+}
+
+PhysicalAddress NandGeometry::AddressOfPpn(Ppn ppn) const {
+  if (ppn >= TotalPages()) {
+    throw std::out_of_range("AddressOfPpn: ppn out of range");
+  }
+  PhysicalAddress a = AddressOfBlock(BlockOf(ppn));
+  a.page = PageOf(ppn);
+  return a;
+}
+
+std::uint64_t NandGeometry::ChipOfBlock(BlockId block) const {
+  if (block >= TotalBlocks()) {
+    throw std::out_of_range("ChipOfBlock: block out of range");
+  }
+  const std::uint64_t plane_flat = block % TotalPlanes();
+  return plane_flat / (planes_per_die * dies_per_chip);
+}
+
+std::uint32_t NandGeometry::ChannelOfBlock(BlockId block) const {
+  return static_cast<std::uint32_t>(ChipOfBlock(block) / chips_per_channel);
+}
+
+std::string NandGeometry::ToString() const {
+  std::ostringstream os;
+  os << channels << "ch x " << chips_per_channel << "chip x " << dies_per_chip
+     << "die x " << planes_per_die << "plane x " << blocks_per_plane
+     << "blk x " << pages_per_block << "pg x " << page_size_bytes << "B ("
+     << num_layers << " layers, "
+     << static_cast<double>(TotalBytes()) / static_cast<double>(kGiB)
+     << " GiB)";
+  return os.str();
+}
+
+NandGeometry ScaledGeometry(const NandGeometry& base,
+                            std::uint64_t target_bytes) {
+  base.Validate();
+  if (target_bytes == 0) {
+    throw std::invalid_argument("ScaledGeometry: target_bytes must be > 0");
+  }
+  NandGeometry g = base;
+  const std::uint64_t bytes_per_plane_block =
+      static_cast<std::uint64_t>(g.pages_per_block) * g.page_size_bytes *
+      g.TotalPlanes();
+  std::uint64_t blocks = target_bytes / bytes_per_plane_block;
+  if (blocks * bytes_per_plane_block < target_bytes) ++blocks;
+  if (blocks == 0) blocks = 1;
+  g.blocks_per_plane = blocks;
+  return g;
+}
+
+}  // namespace ctflash::nand

@@ -1,0 +1,98 @@
+// Physical geometry of a 3D charge-trap NAND device.
+//
+// The hierarchy is channel > chip > die > plane > block > page.  A block maps
+// to a group of vertical channels punched through `num_layers` gate-stack
+// layers; a page maps to a channel section at one layer (Section 2.1 of the
+// paper).  Page index inside a block therefore determines the layer: pages
+// are programmed bottom-up in index order, page 0 sits at the TOP of the
+// stack (widest etch opening, weakest field, slowest) and the last page at
+// the BOTTOM (narrowest opening, strongest field, fastest).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace ctflash::nand {
+
+struct PhysicalAddress {
+  std::uint32_t channel = 0;
+  std::uint32_t chip = 0;   // within channel
+  std::uint32_t die = 0;    // within chip
+  std::uint32_t plane = 0;  // within die
+  std::uint64_t block = 0;  // within plane
+  std::uint32_t page = 0;   // within block
+
+  bool operator==(const PhysicalAddress&) const = default;
+};
+
+/// Geometry; defaults give the paper's Table 1 device: 64 GiB, 16 KiB pages,
+/// 384 pages/block, 64 gate-stack layers.
+struct NandGeometry {
+  std::uint32_t channels = 4;
+  std::uint32_t chips_per_channel = 2;
+  std::uint32_t dies_per_chip = 2;
+  std::uint32_t planes_per_die = 2;
+  std::uint64_t blocks_per_plane = 342;  // 32 planes * 342 * 384 * 16KiB ~ 64.1 GiB
+  std::uint32_t pages_per_block = 384;
+  std::uint32_t page_size_bytes = 16 * 1024;
+  std::uint32_t num_layers = 64;
+
+  /// Validates invariants; throws std::invalid_argument on violation.
+  void Validate() const;
+
+  std::uint64_t TotalPlanes() const {
+    return static_cast<std::uint64_t>(channels) * chips_per_channel *
+           dies_per_chip * planes_per_die;
+  }
+  std::uint64_t TotalBlocks() const { return TotalPlanes() * blocks_per_plane; }
+  std::uint64_t TotalPages() const {
+    return TotalBlocks() * pages_per_block;
+  }
+  std::uint64_t TotalBytes() const {
+    return TotalPages() * page_size_bytes;
+  }
+  std::uint64_t TotalChips() const {
+    return static_cast<std::uint64_t>(channels) * chips_per_channel;
+  }
+
+  // --- Flat index conversions -------------------------------------------
+  // Blocks are numbered plane-major: block b lives on plane (b %
+  // TotalPlanes()), so consecutive block ids stripe across planes/chips/
+  // channels, which is how FTL allocators spread load.
+
+  Ppn PpnOf(BlockId block, std::uint32_t page) const {
+    return block * pages_per_block + page;
+  }
+  BlockId BlockOf(Ppn ppn) const { return ppn / pages_per_block; }
+  std::uint32_t PageOf(Ppn ppn) const {
+    return static_cast<std::uint32_t>(ppn % pages_per_block);
+  }
+
+  /// Gate-stack layer of a page (0 = top/slow, num_layers-1 = bottom/fast).
+  /// Multiple consecutive pages share one layer when pages_per_block >
+  /// num_layers (multi-bit cells / multiple strings per wordline).
+  std::uint32_t LayerOfPage(std::uint32_t page_in_block) const;
+
+  /// Decomposes a flat block id into the full physical address (page = 0).
+  PhysicalAddress AddressOfBlock(BlockId block) const;
+  PhysicalAddress AddressOfPpn(Ppn ppn) const;
+
+  /// Global chip index (channel * chips_per_channel + chip) serving a block.
+  std::uint64_t ChipOfBlock(BlockId block) const;
+  /// Channel index serving a block.
+  std::uint32_t ChannelOfBlock(BlockId block) const;
+
+  std::string ToString() const;
+
+  bool operator==(const NandGeometry&) const = default;
+};
+
+/// Builds a proportionally scaled-down geometry with the same block shape
+/// (pages/block, page size, layers) but fewer blocks so experiments run in
+/// seconds.  `target_bytes` is rounded up to a whole number of blocks per
+/// plane.
+NandGeometry ScaledGeometry(const NandGeometry& base, std::uint64_t target_bytes);
+
+}  // namespace ctflash::nand

@@ -1,0 +1,29 @@
+#include "sim/resource.h"
+
+namespace ctflash::sim {
+
+Interval ResourceTimeline::Reserve(Us earliest, Us duration) {
+  if (duration < 0) {
+    throw std::invalid_argument("ResourceTimeline::Reserve: negative duration");
+  }
+  const Us start = earliest > free_at_ ? earliest : free_at_;
+  const Us end = start + duration;
+  free_at_ = end;
+  busy_time_ += duration;
+  ++reservations_;
+  return Interval{start, end};
+}
+
+void ResourceTimeline::Reset() { *this = ResourceTimeline{}; }
+
+Us ResourcePool::TotalBusyTime() const {
+  Us total = 0;
+  for (const auto& t : timelines_) total += t.BusyTime();
+  return total;
+}
+
+void ResourcePool::Reset() {
+  for (auto& t : timelines_) t.Reset();
+}
+
+}  // namespace ctflash::sim

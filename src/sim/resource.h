@@ -1,0 +1,81 @@
+// Resource occupancy timelines.
+//
+// A ResourceTimeline models an exclusive FCFS resource (a NAND die, a channel
+// bus): Reserve(earliest, duration) books the first slot starting at or after
+// both `earliest` and the resource's current free time, and returns the
+// [start, end) interval.  This captures queueing delay without a full event
+// per busy period.
+//
+// ResourcePool is a fixed-size collection addressed by index (one timeline
+// per channel / per chip).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ctflash::sim {
+
+struct Interval {
+  Us start = 0;
+  Us end = 0;
+  Us Duration() const { return end - start; }
+};
+
+class ResourceTimeline {
+ public:
+  /// Books the resource for `duration` starting no earlier than `earliest`.
+  Interval Reserve(Us earliest, Us duration);
+
+  /// First time the resource is free.
+  Us FreeAt() const { return free_at_; }
+
+  /// Total time the resource has been busy.
+  Us BusyTime() const { return busy_time_; }
+
+  /// Number of reservations made.
+  std::uint64_t ReservationCount() const { return reservations_; }
+
+  void Reset();
+
+ private:
+  Us free_at_ = 0;
+  Us busy_time_ = 0;
+  std::uint64_t reservations_ = 0;
+};
+
+class ResourcePool {
+ public:
+  explicit ResourcePool(std::size_t count) : timelines_(count) {
+    if (count == 0) {
+      throw std::invalid_argument("ResourcePool: count must be > 0");
+    }
+  }
+
+  ResourceTimeline& At(std::size_t index) {
+    if (index >= timelines_.size()) {
+      throw std::out_of_range("ResourcePool::At: index out of range");
+    }
+    return timelines_[index];
+  }
+  const ResourceTimeline& At(std::size_t index) const {
+    if (index >= timelines_.size()) {
+      throw std::out_of_range("ResourcePool::At: index out of range");
+    }
+    return timelines_[index];
+  }
+
+  std::size_t Count() const { return timelines_.size(); }
+
+  /// Aggregate busy time across all members.
+  Us TotalBusyTime() const;
+
+  void Reset();
+
+ private:
+  std::vector<ResourceTimeline> timelines_;
+};
+
+}  // namespace ctflash::sim

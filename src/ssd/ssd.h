@@ -1,0 +1,86 @@
+// Ssd: the assembled device — NAND array + timing fabric + selected FTL.
+//
+// This is the library's main entry point for applications: construct an
+// SsdConfig (Table1Config() gives the paper's device), pick the FTL kind,
+// and issue Read/Write with byte offsets.  All returned latencies come from
+// the shared flash timing model, so conventional vs PPB comparisons are
+// apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/ppb_ftl.h"
+#include "ftl/conventional_ftl.h"
+#include "ftl/flash_target.h"
+#include "ftl/ftl_base.h"
+#include "nand/geometry.h"
+#include "nand/latency_model.h"
+#include "util/types.h"
+
+namespace ctflash::ssd {
+
+enum class FtlKind { kConventional = 0, kPpb = 1 };
+
+const char* FtlKindName(FtlKind kind);
+
+struct SsdConfig {
+  nand::NandGeometry geometry;     ///< defaults = paper Table 1 (64 GiB)
+  nand::NandTiming timing;         ///< defaults = paper Table 1
+  ftl::FtlConfig ftl;
+  core::PpbConfig ppb;             ///< used only when kind == kPpb
+  FtlKind kind = FtlKind::kConventional;
+  ftl::TimingMode timing_mode = ftl::TimingMode::kServiceTime;
+  std::uint32_t endurance_pe_cycles = 1'000'000;
+  /// Arm the synthetic layer error model on every read (reliability study).
+  bool model_read_errors = false;
+  nand::ErrorModelConfig error_model;
+  std::uint64_t error_model_seed = 0x5EED;
+
+  void Validate() const;
+};
+
+/// The paper's Table 1 device verbatim.
+SsdConfig Table1Config(FtlKind kind = FtlKind::kConventional);
+
+/// Table 1 timing/shape on a proportionally scaled-down array so experiments
+/// replay large traces in seconds.  `page_size` of 8 KiB or 16 KiB matches
+/// the paper's page-size sweep; `speed_ratio` is the 2x..5x asymmetry.
+SsdConfig ScaledConfig(FtlKind kind, std::uint64_t device_bytes,
+                       std::uint32_t page_size_bytes, double speed_ratio);
+
+class Ssd {
+ public:
+  explicit Ssd(const SsdConfig& config);
+
+  Ssd(const Ssd&) = delete;
+  Ssd& operator=(const Ssd&) = delete;
+
+  /// Host operations; see ftl::FtlBase for semantics.
+  ftl::RequestResult Read(std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                          Us arrival_us);
+  ftl::RequestResult Write(std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                           Us arrival_us);
+
+  std::uint64_t LogicalBytes() const { return ftl_->LogicalBytes(); }
+  std::string FtlName() const { return ftl_->Name(); }
+  const SsdConfig& config() const { return config_; }
+
+  ftl::FtlBase& ftl() { return *ftl_; }
+  const ftl::FtlBase& ftl() const { return *ftl_; }
+  ftl::FlashTarget& target() { return *target_; }
+  const ftl::FlashTarget& target() const { return *target_; }
+
+  /// Non-null only when configured with FtlKind::kPpb.
+  core::PpbFtl* ppb() { return ppb_; }
+  const core::PpbFtl* ppb() const { return ppb_; }
+
+ private:
+  SsdConfig config_;
+  std::unique_ptr<ftl::FlashTarget> target_;
+  std::unique_ptr<ftl::FtlBase> ftl_;
+  core::PpbFtl* ppb_ = nullptr;  // borrowed view into ftl_
+};
+
+}  // namespace ctflash::ssd

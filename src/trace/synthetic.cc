@@ -1,0 +1,217 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ctflash::trace {
+
+void SyntheticWorkloadConfig::Validate() const {
+  if (num_requests == 0) {
+    throw std::invalid_argument("SyntheticWorkloadConfig: num_requests == 0");
+  }
+  if (footprint_bytes == 0 || region_bytes == 0) {
+    throw std::invalid_argument("SyntheticWorkloadConfig: zero footprint/region");
+  }
+  if (region_bytes > footprint_bytes) {
+    throw std::invalid_argument(
+        "SyntheticWorkloadConfig: region larger than footprint");
+  }
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    throw std::invalid_argument("SyntheticWorkloadConfig: bad read_fraction");
+  }
+  if (sequential_read_fraction < 0.0 || sequential_read_fraction > 1.0) {
+    throw std::invalid_argument(
+        "SyntheticWorkloadConfig: bad sequential_read_fraction");
+  }
+  if (read_sizes.empty() || write_sizes.empty()) {
+    throw std::invalid_argument("SyntheticWorkloadConfig: empty size dist");
+  }
+  for (const auto& sw : read_sizes) {
+    if (sw.bytes == 0 || sw.weight < 0.0) {
+      throw std::invalid_argument("SyntheticWorkloadConfig: bad read size entry");
+    }
+  }
+  for (const auto& sw : write_sizes) {
+    if (sw.bytes == 0 || sw.weight < 0.0) {
+      throw std::invalid_argument("SyntheticWorkloadConfig: bad write size entry");
+    }
+  }
+  if (alignment_bytes == 0) {
+    throw std::invalid_argument("SyntheticWorkloadConfig: zero alignment");
+  }
+  if (mean_interarrival_us < 0) {
+    throw std::invalid_argument("SyntheticWorkloadConfig: negative interarrival");
+  }
+}
+
+namespace {
+std::uint64_t NumRegions(const SyntheticWorkloadConfig& c) {
+  return std::max<std::uint64_t>(1, c.footprint_bytes / c.region_bytes);
+}
+
+double TotalWeight(const std::vector<SizeWeight>& dist) {
+  double sum = 0.0;
+  for (const auto& sw : dist) sum += sw.weight;
+  if (sum <= 0.0) {
+    throw std::invalid_argument("SyntheticTraceGenerator: zero total weight");
+  }
+  return sum;
+}
+}  // namespace
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(
+    const SyntheticWorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      read_zipf_(NumRegions(config), config.read_zipf_theta),
+      write_zipf_(NumRegions(config), config.write_zipf_theta),
+      hot_write_zipf_(NumRegions(config), config.hot_write_zipf_theta) {
+  config_.Validate();
+  read_size_weight_ = TotalWeight(config_.read_sizes);
+  write_size_weight_ = TotalWeight(config_.write_sizes);
+  if (config_.rw_popularity_correlation < 0.0 ||
+      config_.rw_popularity_correlation > 1.0) {
+    throw std::invalid_argument(
+        "SyntheticWorkloadConfig: rw_popularity_correlation outside [0,1]");
+  }
+  // Deterministic scatter of popularity ranks across the footprint; reads
+  // and writes get independent scatters, blended by the correlation knob.
+  auto shuffle = [](std::vector<std::uint64_t>& perm, std::uint64_t seed) {
+    std::iota(perm.begin(), perm.end(), 0);
+    util::Xoshiro256StarStar perm_rng(seed);
+    for (std::uint64_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[perm_rng.UniformBelow(i)]);
+    }
+  };
+  region_perm_.resize(NumRegions(config_));
+  write_perm_.resize(NumRegions(config_));
+  shuffle(region_perm_, config_.seed ^ 0xA5A5A5A5A5A5A5A5ull);
+  shuffle(write_perm_, config_.seed ^ 0x5A5A5A5A5A5A5A5Aull);
+}
+
+std::uint64_t SyntheticTraceGenerator::SampleSize(
+    const std::vector<SizeWeight>& dist, double total_weight) {
+  double u = rng_.UniformDouble() * total_weight;
+  for (const auto& sw : dist) {
+    if (u < sw.weight) return sw.bytes;
+    u -= sw.weight;
+  }
+  return dist.back().bytes;
+}
+
+std::uint64_t SyntheticTraceGenerator::RegionOffset(
+    const util::ZipfSampler& zipf, const std::vector<std::uint64_t>& perm) {
+  const std::uint64_t rank = zipf.Sample(rng_);
+  const std::uint64_t region = perm[rank];
+  const std::uint64_t base = region * config_.region_bytes;
+  const std::uint64_t slots =
+      std::max<std::uint64_t>(1, config_.region_bytes / config_.alignment_bytes);
+  return base + rng_.UniformBelow(slots) * config_.alignment_bytes;
+}
+
+TraceRecord SyntheticTraceGenerator::Next() {
+  TraceRecord r;
+  // Exponential inter-arrival gaps.
+  if (config_.mean_interarrival_us > 0) {
+    const double u = rng_.UniformDouble();
+    const double gap =
+        -std::log(1.0 - u) * static_cast<double>(config_.mean_interarrival_us);
+    clock_us_ += static_cast<Us>(std::llround(gap));
+  }
+  r.timestamp_us = clock_us_;
+
+  const bool is_read = rng_.Bernoulli(config_.read_fraction);
+  if (is_read) {
+    r.op = OpType::kRead;
+    r.size_bytes = SampleSize(config_.read_sizes, read_size_weight_);
+    if (have_prev_read_ && rng_.Bernoulli(config_.sequential_read_fraction) &&
+        next_sequential_offset_ + r.size_bytes <= config_.footprint_bytes) {
+      r.offset_bytes = next_sequential_offset_;
+    } else {
+      r.offset_bytes = RegionOffset(read_zipf_, region_perm_);
+    }
+    next_sequential_offset_ = r.offset_bytes + r.size_bytes;
+    have_prev_read_ = true;
+  } else {
+    r.op = OpType::kWrite;
+    if (rng_.Bernoulli(config_.metadata_fraction)) {
+      // Metadata update: small, and on the READ-popular end of the space
+      // (metadata is both read and written).
+      r.size_bytes = config_.metadata_size_bytes;
+      r.offset_bytes = RegionOffset(hot_write_zipf_, region_perm_);
+    } else {
+      r.size_bytes = SampleSize(config_.write_sizes, write_size_weight_);
+      const bool shared_rank =
+          rng_.Bernoulli(config_.rw_popularity_correlation);
+      r.offset_bytes = RegionOffset(
+          write_zipf_, shared_rank ? region_perm_ : write_perm_);
+    }
+  }
+  // Clip to footprint.
+  if (r.offset_bytes >= config_.footprint_bytes) {
+    r.offset_bytes = config_.footprint_bytes - config_.alignment_bytes;
+  }
+  if (r.offset_bytes + r.size_bytes > config_.footprint_bytes) {
+    r.size_bytes = config_.footprint_bytes - r.offset_bytes;
+  }
+  return r;
+}
+
+std::vector<TraceRecord> SyntheticTraceGenerator::Generate() {
+  std::vector<TraceRecord> out;
+  out.reserve(config_.num_requests);
+  for (std::uint64_t i = 0; i < config_.num_requests; ++i) out.push_back(Next());
+  return out;
+}
+
+SyntheticWorkloadConfig MediaServerWorkload(std::uint64_t footprint_bytes,
+                                            std::uint64_t num_requests,
+                                            std::uint64_t seed) {
+  SyntheticWorkloadConfig c;
+  c.name = "media-server";
+  c.num_requests = num_requests;
+  c.footprint_bytes = footprint_bytes;
+  c.region_bytes = std::min<std::uint64_t>(4 * kMiB, footprint_bytes);
+  c.read_fraction = 0.90;
+  c.read_zipf_theta = 1.10;   // popular titles get streamed repeatedly
+  c.write_zipf_theta = 0.20;  // ingest spreads across the library
+  c.hot_write_zipf_theta = 1.20;
+  c.rw_popularity_correlation = 0.10;  // ingest targets rarely-read space
+  c.sequential_read_fraction = 0.70;
+  c.read_sizes = {{64 * kKiB, 0.45}, {128 * kKiB, 0.35}, {256 * kKiB, 0.20}};
+  c.write_sizes = {{128 * kKiB, 0.60}, {256 * kKiB, 0.40}};  // bulk ingest
+  c.metadata_fraction = 0.25;  // directory/index updates per ingest batch
+  c.mean_interarrival_us = 500;
+  c.seed = seed;
+  return c;
+}
+
+SyntheticWorkloadConfig WebServerWorkload(std::uint64_t footprint_bytes,
+                                          std::uint64_t num_requests,
+                                          std::uint64_t seed) {
+  SyntheticWorkloadConfig c;
+  c.name = "web-sql-server";
+  c.num_requests = num_requests;
+  c.footprint_bytes = footprint_bytes;
+  // Fine-grained popularity: hot objects are individual pages/rows, not
+  // whole extents, so the region granularity stays near the page scale.
+  c.region_bytes = std::min<std::uint64_t>(64 * kKiB, footprint_bytes);
+  c.read_fraction = 0.60;
+  c.read_zipf_theta = 1.05;  // strongly skewed hot set
+  c.write_zipf_theta = 0.95; // frequent overwrites of the same rows/objects
+  c.hot_write_zipf_theta = 1.20;
+  // Logs/session state (write-hot, rarely read) vs content/index (read-hot):
+  // only part of the write popularity coincides with the read popularity.
+  c.rw_popularity_correlation = 0.35;
+  c.sequential_read_fraction = 0.05;
+  c.read_sizes = {{4 * kKiB, 0.50}, {8 * kKiB, 0.30}, {16 * kKiB, 0.20}};
+  c.write_sizes = {{4 * kKiB, 0.45}, {8 * kKiB, 0.35}, {16 * kKiB, 0.20}};
+  c.metadata_fraction = 0.15;  // index/metadata pages: read-hot and rewritten
+  c.mean_interarrival_us = 100;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace ctflash::trace

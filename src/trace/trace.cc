@@ -1,0 +1,103 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/config.h"
+
+namespace ctflash::trace {
+
+TraceStats ComputeStats(const std::vector<TraceRecord>& records) {
+  TraceStats s;
+  for (const auto& r : records) {
+    s.total_requests++;
+    if (r.op == OpType::kRead) {
+      s.read_requests++;
+      s.read_bytes += r.size_bytes;
+      s.read_size.Add(static_cast<double>(r.size_bytes));
+    } else {
+      s.write_requests++;
+      s.write_bytes += r.size_bytes;
+      s.write_size.Add(static_cast<double>(r.size_bytes));
+    }
+    s.max_offset_bytes = std::max(s.max_offset_bytes, r.offset_bytes + r.size_bytes);
+  }
+  return s;
+}
+
+namespace {
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+}  // namespace
+
+std::vector<TraceRecord> ParseMsrCsv(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::uint64_t lineno = 0;
+  std::int64_t base_filetime = -1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto fields = SplitCsv(trimmed);
+    if (fields.size() < 6) {
+      throw std::invalid_argument("ParseMsrCsv: too few fields at line " +
+                                  std::to_string(lineno));
+    }
+    try {
+      TraceRecord r;
+      const std::int64_t filetime = std::stoll(fields[0]);
+      if (base_filetime < 0) base_filetime = filetime;
+      // FILETIME is in 100 ns ticks; 10 ticks per microsecond.
+      r.timestamp_us = (filetime - base_filetime) / 10;
+      if (r.timestamp_us < 0) r.timestamp_us = 0;  // out-of-order arrivals
+      const std::string type = util::ToLower(util::Trim(fields[3]));
+      if (type == "read" || type == "r") {
+        r.op = OpType::kRead;
+      } else if (type == "write" || type == "w") {
+        r.op = OpType::kWrite;
+      } else {
+        throw std::invalid_argument("bad op '" + fields[3] + "'");
+      }
+      r.offset_bytes = std::stoull(fields[4]);
+      r.size_bytes = std::stoull(fields[5]);
+      if (r.size_bytes == 0) continue;  // zero-length ops carry no work
+      records.push_back(r);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("ParseMsrCsv: malformed line " +
+                                  std::to_string(lineno) + ": " + trimmed);
+    }
+  }
+  return records;
+}
+
+std::vector<TraceRecord> ParseMsrCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ParseMsrCsvFile: cannot open " + path);
+  return ParseMsrCsv(in);
+}
+
+void WriteMsrCsv(const std::vector<TraceRecord>& records, std::ostream& out,
+                 const std::string& hostname) {
+  for (const auto& r : records) {
+    out << r.timestamp_us * 10 << "," << hostname << ",0,"
+        << (r.op == OpType::kRead ? "Read" : "Write") << "," << r.offset_bytes
+        << "," << r.size_bytes << ",0\n";
+  }
+}
+
+}  // namespace ctflash::trace

@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ctflash::util {
+
+void RunningMoments::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningMoments::Reset() { *this = RunningMoments{}; }
+
+double RunningMoments::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+int BucketOf(std::uint64_t value) {
+  if (value == 0) return 0;
+  return std::bit_width(value) - 1;
+}
+}  // namespace
+
+void LogHistogram::Add(std::uint64_t value) {
+  buckets_[static_cast<std::size_t>(BucketOf(value))]++;
+  ++count_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+}
+
+void LogHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Quantile: q outside [0,1]");
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double n = static_cast<double>(buckets_[b]);
+    if (cum + n >= target && n > 0) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b);
+      const double hi = std::ldexp(1.0, b + 1);
+      const double frac = n == 0.0 ? 0.0 : (target - cum) / n;
+      return lo + frac * (hi - lo);
+    }
+    cum += n;
+  }
+  return std::ldexp(1.0, kBuckets);  // unreachable in practice
+}
+
+void LatencyStats::Add(Us latency_us) {
+  moments_.Add(static_cast<double>(latency_us));
+  hist_.Add(latency_us < 0 ? 0u : static_cast<std::uint64_t>(latency_us));
+}
+
+void LatencyStats::Merge(const LatencyStats& other) {
+  moments_.Merge(other.moments_);
+  hist_.Merge(other.hist_);
+}
+
+void LatencyStats::Reset() {
+  moments_.Reset();
+  hist_.Reset();
+}
+
+std::string LatencyStats::Summary(const std::string& label) const {
+  std::ostringstream os;
+  os << label << ": n=" << count() << " total=" << total_seconds() << "s"
+     << " mean=" << mean_us() << "us"
+     << " p50=" << p50_us() << "us"
+     << " p99=" << p99_us() << "us"
+     << " max=" << max_us() << "us";
+  return os.str();
+}
+
+}  // namespace ctflash::util

@@ -1,0 +1,88 @@
+// Streaming statistics and latency histograms.
+//
+// LatencyStats keeps O(1) running moments plus a log-scaled histogram so
+// percentile summaries never require storing per-sample data, matching how
+// long trace replays (millions of requests) are aggregated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ctflash::util {
+
+/// Running mean / min / max / variance (Welford) over double samples.
+class RunningMoments {
+ public:
+  void Add(double x);
+  void Merge(const RunningMoments& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log2-bucketed histogram over non-negative integer samples (e.g. latency
+/// in microseconds).  Bucket b holds samples in [2^b, 2^(b+1)); bucket 0 also
+/// holds 0.  Percentile estimates interpolate linearly inside a bucket.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Add(std::uint64_t value);
+  void Merge(const LogHistogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  /// Estimated value at quantile q in [0,1].
+  double Quantile(double q) const;
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t count_ = 0;
+};
+
+/// Composite latency aggregate: moments + histogram, in microseconds.
+class LatencyStats {
+ public:
+  void Add(Us latency_us);
+  void Merge(const LatencyStats& other);
+  void Reset();
+
+  std::uint64_t count() const { return moments_.count(); }
+  double total_us() const { return moments_.sum(); }
+  double total_seconds() const { return moments_.sum() / 1e6; }
+  double mean_us() const { return moments_.mean(); }
+  double max_us() const { return moments_.max(); }
+  double min_us() const { return moments_.min(); }
+  double stddev_us() const { return moments_.stddev(); }
+  double p50_us() const { return hist_.Quantile(0.50); }
+  double p95_us() const { return hist_.Quantile(0.95); }
+  double p99_us() const { return hist_.Quantile(0.99); }
+
+  /// One-line human-readable summary.
+  std::string Summary(const std::string& label) const;
+
+ private:
+  RunningMoments moments_;
+  LogHistogram hist_;
+};
+
+}  // namespace ctflash::util

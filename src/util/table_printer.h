@@ -1,0 +1,32 @@
+// Fixed-width console table printer used by the figure-regeneration benches
+// so every experiment emits the same row/series layout the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ctflash::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header separator; column widths fit the widest cell.
+  std::string ToString() const;
+
+  /// Convenience: prints to stdout.
+  void Print() const;
+
+  static std::string FormatDouble(double v, int precision = 3);
+  static std::string FormatPercent(double fraction, int precision = 2);
+  /// Scientific notation like the paper's axis labels (e.g. "3.00E+06").
+  static std::string FormatScientific(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ctflash::util

@@ -1,0 +1,42 @@
+// Fundamental scalar type aliases used across the ctflash libraries.
+//
+// All simulated time is carried in microseconds as a double-free integral
+// count (ctflash::Us).  All byte quantities are 64-bit.  Logical/physical
+// page numbers are 64-bit so a 64 GiB device with 4 KiB pages is far below
+// the representable range.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ctflash {
+
+/// Simulated time in microseconds (integral; 2^63 us ~ 292k years).
+using Us = std::int64_t;
+
+/// Logical block address in units of 512-byte sectors (host view).
+using Lba = std::uint64_t;
+
+/// Logical page number (device page granularity).
+using Lpn = std::uint64_t;
+
+/// Physical page number (flat index across the whole device).
+using Ppn = std::uint64_t;
+
+/// Flat physical block index across the whole device.
+using BlockId = std::uint64_t;
+
+/// Virtual-block index (BlockId * split_count + slice).
+using VbId = std::uint64_t;
+
+/// Sentinel for "no page / unmapped".
+inline constexpr Ppn kInvalidPpn = std::numeric_limits<Ppn>::max();
+inline constexpr Lpn kInvalidLpn = std::numeric_limits<Lpn>::max();
+inline constexpr BlockId kInvalidBlock = std::numeric_limits<BlockId>::max();
+inline constexpr VbId kInvalidVb = std::numeric_limits<VbId>::max();
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+}  // namespace ctflash

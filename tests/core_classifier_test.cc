@@ -1,0 +1,50 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::core {
+namespace {
+
+TEST(SizeCheck, HotIffSmallerThanThreshold) {
+  const SizeCheckClassifier c(16 * 1024);
+  EXPECT_TRUE(c.IsHotWrite(0, 4096));
+  EXPECT_TRUE(c.IsHotWrite(0, 16 * 1024 - 1));
+  EXPECT_FALSE(c.IsHotWrite(0, 16 * 1024));  // strictly smaller only
+  EXPECT_FALSE(c.IsHotWrite(0, 1 << 20));
+}
+
+TEST(SizeCheck, OffsetIrrelevant) {
+  const SizeCheckClassifier c(8192);
+  EXPECT_EQ(c.IsHotWrite(0, 4096), c.IsHotWrite(1 << 30, 4096));
+}
+
+TEST(SizeCheck, ZeroThresholdRejected) {
+  EXPECT_THROW(SizeCheckClassifier(0), std::invalid_argument);
+}
+
+TEST(SizeCheck, NameMentionsThreshold) {
+  const SizeCheckClassifier c(16384);
+  EXPECT_NE(c.Name().find("16384"), std::string::npos);
+}
+
+TEST(SizeCheck, FactoryBuildsPolymorphicInstance) {
+  const auto c = MakeSizeCheckClassifier(4096);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->IsHotWrite(0, 100));
+  EXPECT_FALSE(c->IsHotWrite(0, 5000));
+}
+
+TEST(ConstantClassifier, AlwaysHotOrCold) {
+  const ConstantClassifier hot(true), cold(false);
+  for (std::uint64_t size : {1ull, 4096ull, 1ull << 20}) {
+    EXPECT_TRUE(hot.IsHotWrite(0, size));
+    EXPECT_FALSE(cold.IsHotWrite(0, size));
+  }
+  EXPECT_EQ(hot.Name(), "always-hot");
+  EXPECT_EQ(cold.Name(), "always-cold");
+}
+
+}  // namespace
+}  // namespace ctflash::core

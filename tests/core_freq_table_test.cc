@@ -1,0 +1,105 @@
+#include "core/access_frequency_table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::core {
+namespace {
+
+TEST(FreqTable, ConstructionValidation) {
+  EXPECT_THROW(AccessFrequencyTable(0, 10), std::invalid_argument);
+  EXPECT_THROW(AccessFrequencyTable(2, 0), std::invalid_argument);
+}
+
+TEST(FreqTable, UntrackedIsIcyCold) {
+  const AccessFrequencyTable t(2, 100);
+  EXPECT_EQ(t.FrequencyOf(5), 0u);
+  EXPECT_FALSE(t.IsCold(5));
+}
+
+TEST(FreqTable, ReadsAccumulateAndPromote) {
+  AccessFrequencyTable t(2, 100);
+  EXPECT_EQ(t.OnRead(5), 1u);
+  EXPECT_FALSE(t.IsCold(5));  // 1 < threshold 2
+  EXPECT_EQ(t.OnRead(5), 2u);
+  EXPECT_TRUE(t.IsCold(5));  // write-once-read-many now
+}
+
+TEST(FreqTable, WriteResetsPopularity) {
+  AccessFrequencyTable t(2, 100);
+  t.OnRead(5);
+  t.OnRead(5);
+  ASSERT_TRUE(t.IsCold(5));
+  t.OnWrite(5);  // fresh content: popularity unknown again
+  EXPECT_FALSE(t.IsCold(5));
+  EXPECT_EQ(t.FrequencyOf(5), 0u);
+}
+
+TEST(FreqTable, RegisterSeedsFrequency) {
+  AccessFrequencyTable t(3, 100);
+  t.Register(7, 3);
+  EXPECT_TRUE(t.IsCold(7));
+  t.Register(7, 0);  // overwrite existing seed
+  EXPECT_FALSE(t.IsCold(7));
+}
+
+TEST(FreqTable, EraseForgets) {
+  AccessFrequencyTable t(2, 100);
+  t.OnRead(5);
+  t.Erase(5);
+  EXPECT_EQ(t.FrequencyOf(5), 0u);
+  EXPECT_EQ(t.Size(), 0u);
+}
+
+TEST(FreqTable, DecayHalvesAndDropsZeroes) {
+  AccessFrequencyTable t(2, 4);
+  // Fill to capacity with varying counts.
+  t.Register(1, 1);
+  t.Register(2, 4);
+  t.Register(3, 8);
+  t.Register(4, 1);
+  EXPECT_EQ(t.Size(), 4u);
+  // Next insert triggers aging: counts halve, zeroes evicted.
+  t.OnRead(5);
+  EXPECT_GE(t.decay_count(), 1u);
+  EXPECT_EQ(t.FrequencyOf(1), 0u);  // 1/2 = 0 -> dropped
+  EXPECT_EQ(t.FrequencyOf(2), 2u);
+  EXPECT_EQ(t.FrequencyOf(3), 4u);
+  EXPECT_EQ(t.FrequencyOf(5), 1u);
+  EXPECT_LE(t.Size(), 4u);
+}
+
+TEST(FreqTable, CapacityNeverExceeded) {
+  AccessFrequencyTable t(2, 16);
+  for (Lpn l = 0; l < 1000; ++l) {
+    t.OnRead(l % 100);
+    ASSERT_LE(t.Size(), 16u);
+  }
+}
+
+TEST(FreqTable, PathologicalAllPopularStillBounded) {
+  AccessFrequencyTable t(2, 4);
+  // Every entry has a large count, so halving never zeroes them.
+  for (Lpn l = 0; l < 20; ++l) {
+    t.Register(l, 1000);
+    ASSERT_LE(t.Size(), 4u);
+  }
+}
+
+TEST(FreqTable, SaturatesWithoutOverflow) {
+  AccessFrequencyTable t(2, 10);
+  t.Register(1, ~0u);
+  EXPECT_EQ(t.OnRead(1), ~0u);  // clamped, no wraparound
+}
+
+TEST(FreqTable, ThresholdBoundaryExact) {
+  AccessFrequencyTable t(5, 100);
+  for (int i = 0; i < 4; ++i) t.OnRead(9);
+  EXPECT_FALSE(t.IsCold(9));
+  t.OnRead(9);
+  EXPECT_TRUE(t.IsCold(9));
+}
+
+}  // namespace
+}  // namespace ctflash::core

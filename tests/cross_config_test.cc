@@ -1,0 +1,108 @@
+// Cross-configuration property suite: the full stack must hold its
+// invariants and the paper's headline relationships for every combination of
+// page size, virtual-block split and speed ratio — not just the Table 1
+// defaults the other tests use.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ssd/experiment.h"
+#include "trace/synthetic.h"
+#include "util/random.h"
+
+namespace ctflash {
+namespace {
+
+struct Combo {
+  std::uint32_t page_size;
+  std::uint32_t vb_split;
+  double speed_ratio;
+};
+
+class CrossConfig : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(CrossConfig, PpbSurvivesChurnWithInvariants) {
+  const auto [page_size, split, ratio] = GetParam();
+  auto cfg = ssd::ScaledConfig(ssd::FtlKind::kPpb, 256ull << 20, page_size,
+                               ratio);
+  cfg.ppb.vb_split = split;
+  ssd::Ssd ssd(cfg);
+  ssd::ExperimentRunner runner(ssd);
+  const std::uint64_t footprint = ssd.LogicalBytes() / 10 * 8;
+  runner.Prefill(footprint);
+
+  auto wl = trace::WebServerWorkload(footprint, 30000, /*seed=*/split);
+  const auto records = trace::SyntheticTraceGenerator(wl).Generate();
+  const auto res = runner.Replay(records, wl.name);
+
+  EXPECT_GT(res.read_latency.count(), 0u);
+  EXPECT_GT(res.write_latency.count(), 0u);
+  EXPECT_GE(res.waf, 1.0);
+  ASSERT_NE(ssd.ppb(), nullptr);
+  EXPECT_TRUE(ssd.ppb()->CheckInvariants())
+      << "page=" << page_size << " split=" << split << " R=" << ratio;
+}
+
+TEST_P(CrossConfig, LatencyBoundsRespectSpeedRatio) {
+  const auto [page_size, split, ratio] = GetParam();
+  auto cfg =
+      ssd::ScaledConfig(ssd::FtlKind::kPpb, 256ull << 20, page_size, ratio);
+  cfg.ppb.vb_split = split;
+  ssd::Ssd ssd(cfg);
+  // Sequentially fill one block's worth and read pages back: every read
+  // latency must sit between the fast-page and slow-page service bounds.
+  const auto& timing = cfg.timing;
+  Us now = 0;
+  const std::uint32_t pages = cfg.geometry.pages_per_block;
+  for (std::uint32_t p = 0; p < pages; ++p) {
+    now = ssd.Write(static_cast<std::uint64_t>(p) * page_size, page_size, now)
+              .completion_us;
+  }
+  const Us min_cell = static_cast<Us>(timing.page_read_us / ratio) - 1;
+  const Us max_cell = timing.page_read_us + 1;
+  for (std::uint32_t p = 0; p < pages; p += 7) {
+    const auto r =
+        ssd.Read(static_cast<std::uint64_t>(p) * page_size, page_size, now);
+    now = r.completion_us;
+    const Us transfer = static_cast<Us>(
+        static_cast<double>(page_size) / (timing.transfer_mb_per_s * 1e6) *
+        1e6);
+    EXPECT_GE(r.LatencyUs(), min_cell + transfer - 2);
+    EXPECT_LE(r.LatencyUs(), max_cell + transfer + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CrossConfig,
+    ::testing::Values(Combo{8 * 1024, 2, 2.0}, Combo{8 * 1024, 4, 5.0},
+                      Combo{16 * 1024, 2, 2.0}, Combo{16 * 1024, 2, 5.0},
+                      Combo{16 * 1024, 4, 3.0}, Combo{16 * 1024, 8, 2.0},
+                      Combo{4 * 1024, 2, 4.0}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.page_size / 1024) + "k_s" +
+             std::to_string(info.param.vb_split) + "_r" +
+             std::to_string(static_cast<int>(info.param.speed_ratio));
+    });
+
+/// Determinism across the whole matrix: identical configs give identical
+/// results bit for bit.
+TEST(CrossConfigDeterminism, FullStackReproducible) {
+  auto run = [] {
+    auto cfg = ssd::ScaledConfig(ssd::FtlKind::kPpb, 256ull << 20, 16 * 1024,
+                                 3.0);
+    ssd::Ssd ssd(cfg);
+    ssd::ExperimentRunner runner(ssd);
+    const std::uint64_t footprint = ssd.LogicalBytes() / 2;
+    runner.Prefill(footprint);
+    auto wl = trace::MediaServerWorkload(footprint, 20000);
+    const auto records = trace::SyntheticTraceGenerator(wl).Generate();
+    const auto res = runner.Replay(records, wl.name);
+    return std::make_tuple(res.read_latency.total_us(),
+                           res.write_latency.total_us(), res.erase_count,
+                           res.gc_page_copies);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ctflash

@@ -1,0 +1,113 @@
+#include "ftl/block_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::ftl {
+namespace {
+
+TEST(BlockManager, ConstructionValidation) {
+  EXPECT_THROW(BlockManager(0, 8), std::invalid_argument);
+  EXPECT_THROW(BlockManager(8, 0), std::invalid_argument);
+}
+
+TEST(BlockManager, AllocatesLowestIdFirst) {
+  BlockManager bm(4, 8);
+  EXPECT_EQ(bm.FreeCount(), 4u);
+  EXPECT_EQ(bm.AllocateBlock().value(), 0u);
+  EXPECT_EQ(bm.AllocateBlock().value(), 1u);
+  EXPECT_EQ(bm.FreeCount(), 2u);
+  EXPECT_EQ(bm.UseOf(0), BlockUse::kOpen);
+  EXPECT_EQ(bm.UseOf(2), BlockUse::kFree);
+}
+
+TEST(BlockManager, ExhaustionReturnsNullopt) {
+  BlockManager bm(2, 8);
+  EXPECT_TRUE(bm.AllocateBlock().has_value());
+  EXPECT_TRUE(bm.AllocateBlock().has_value());
+  EXPECT_FALSE(bm.AllocateBlock().has_value());
+}
+
+TEST(BlockManager, ReleaseReinsertsSortedById) {
+  BlockManager bm(4, 8);
+  for (int i = 0; i < 4; ++i) bm.AllocateBlock();
+  bm.MarkFull(2);
+  bm.MarkFull(0);
+  bm.Release(2);
+  bm.Release(0);
+  // Free list ordered by id: 0 first despite later release.
+  EXPECT_EQ(bm.AllocateBlock().value(), 0u);
+  EXPECT_EQ(bm.AllocateBlock().value(), 2u);
+}
+
+TEST(BlockManager, LifecycleErrors) {
+  BlockManager bm(4, 8);
+  EXPECT_THROW(bm.MarkFull(0), std::logic_error);  // not open
+  bm.AllocateBlock();
+  bm.MarkFull(0);
+  EXPECT_THROW(bm.MarkFull(0), std::logic_error);  // already full
+  bm.AddValid(0);
+  EXPECT_THROW(bm.Release(0), std::logic_error);  // still valid data
+  bm.RemoveValid(0);
+  bm.Release(0);
+  EXPECT_THROW(bm.Release(0), std::logic_error);  // already free
+}
+
+TEST(BlockManager, ValidCounterBounds) {
+  BlockManager bm(2, 2);
+  bm.AllocateBlock();
+  EXPECT_THROW(bm.RemoveValid(0), std::logic_error);  // underflow
+  bm.AddValid(0);
+  bm.AddValid(0);
+  EXPECT_THROW(bm.AddValid(0), std::logic_error);  // overflow (2 pages)
+  EXPECT_EQ(bm.ValidCount(0), 2u);
+}
+
+TEST(BlockManager, RangeErrors) {
+  BlockManager bm(2, 4);
+  EXPECT_THROW(bm.ValidCount(2), std::out_of_range);
+  EXPECT_THROW(bm.UseOf(2), std::out_of_range);
+  EXPECT_THROW(bm.AddValid(2), std::out_of_range);
+}
+
+TEST(BlockManager, VictimPicksMinValidAmongFull) {
+  BlockManager bm(4, 8);
+  for (int i = 0; i < 3; ++i) bm.AllocateBlock();
+  bm.MarkFull(0);
+  bm.MarkFull(1);
+  // Block 2 stays open: never a victim even with 0 valid.
+  for (int i = 0; i < 5; ++i) bm.AddValid(0);
+  for (int i = 0; i < 2; ++i) bm.AddValid(1);
+  EXPECT_EQ(bm.PickGcVictim().value(), 1u);
+}
+
+TEST(BlockManager, VictimNoneWhenNothingFull) {
+  BlockManager bm(4, 8);
+  bm.AllocateBlock();
+  EXPECT_FALSE(bm.PickGcVictim().has_value());
+}
+
+TEST(BlockManager, VictimTieBreaksByWearThenId) {
+  BlockManager bm(4, 8);
+  for (int i = 0; i < 4; ++i) bm.AllocateBlock();
+  for (BlockId b = 0; b < 4; ++b) bm.MarkFull(b);
+  // All equal valid counts; pe hints favour block 2.
+  const std::vector<std::uint32_t> pe = {5, 5, 1, 5};
+  EXPECT_EQ(bm.PickGcVictim(pe).value(), 2u);
+  // Without hints: lowest id.
+  EXPECT_EQ(bm.PickGcVictim().value(), 0u);
+}
+
+TEST(BlockManager, TotalValidSumsAllBlocks) {
+  BlockManager bm(3, 8);
+  bm.AllocateBlock();
+  bm.AllocateBlock();
+  bm.AddValid(0);
+  bm.AddValid(0);
+  bm.AddValid(1);
+  EXPECT_EQ(bm.TotalValid(), 3u);
+}
+
+}  // namespace
+}  // namespace ctflash::ftl

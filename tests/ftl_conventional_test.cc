@@ -1,0 +1,202 @@
+#include "ftl/conventional_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace ctflash::ftl {
+namespace {
+
+nand::NandGeometry Geo(std::uint64_t blocks_per_plane = 16) {
+  nand::NandGeometry g;
+  g.channels = 2;
+  g.chips_per_channel = 1;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 2;
+  g.blocks_per_plane = blocks_per_plane;
+  g.pages_per_block = 16;
+  g.page_size_bytes = 4096;
+  g.num_layers = 16;
+  return g;
+}
+
+FtlConfig Config() {
+  FtlConfig c;
+  c.op_ratio = 0.25;
+  c.gc_threshold_low = 3;
+  c.gc_threshold_high = 5;
+  return c;
+}
+
+class ConventionalFtlTest : public ::testing::Test {
+ protected:
+  ConventionalFtlTest() : target_(Geo(), nand::NandTiming{}), ftl_(target_, Config()) {}
+  FlashTarget target_;
+  ConventionalFtl ftl_;
+};
+
+TEST_F(ConventionalFtlTest, LogicalCapacityReflectsOverProvisioning) {
+  const std::uint64_t physical = Geo().TotalPages();
+  EXPECT_EQ(ftl_.LogicalPages(),
+            static_cast<std::uint64_t>(physical * 0.75));
+  EXPECT_EQ(ftl_.PageSize(), 4096u);
+}
+
+TEST_F(ConventionalFtlTest, RequestValidation) {
+  EXPECT_THROW(ftl_.Write(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(ftl_.Read(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(ftl_.Write(ftl_.LogicalBytes(), 4096, 0), std::invalid_argument);
+  EXPECT_THROW(ftl_.Read(ftl_.LogicalBytes() - 100, 4096, 0),
+               std::invalid_argument);
+}
+
+TEST_F(ConventionalFtlTest, WriteThenReadHitsMappedPage) {
+  const auto w = ftl_.Write(0, 4096, 100);
+  EXPECT_EQ(w.pages, 1u);
+  EXPECT_GT(w.LatencyUs(), 0);
+  EXPECT_TRUE(ftl_.mapping().IsMapped(0));
+  const auto r = ftl_.Read(0, 4096, w.completion_us);
+  EXPECT_GT(r.LatencyUs(), 0);
+  EXPECT_EQ(ftl_.stats().host_read_pages, 1u);
+  EXPECT_EQ(ftl_.stats().host_write_pages, 1u);
+}
+
+TEST_F(ConventionalFtlTest, UnmappedReadCompletesInstantly) {
+  const auto r = ftl_.Read(4096, 4096, 50);
+  EXPECT_EQ(r.LatencyUs(), 0);
+  EXPECT_EQ(r.completion_us, 50);
+}
+
+TEST_F(ConventionalFtlTest, MultiPageRequestSpansPages) {
+  // 10 KiB starting mid-page covers 4 pages (offset 2 KiB into page 0).
+  const auto w = ftl_.Write(2048, 10240, 0);
+  EXPECT_EQ(w.pages, 3u);
+  for (Lpn l = 0; l < 3; ++l) EXPECT_TRUE(ftl_.mapping().IsMapped(l));
+}
+
+TEST_F(ConventionalFtlTest, OverwriteInvalidatesOldPage) {
+  ftl_.Write(0, 4096, 0);
+  const Ppn first = ftl_.mapping().Lookup(0);
+  ftl_.Write(0, 4096, 1000);
+  const Ppn second = ftl_.mapping().Lookup(0);
+  EXPECT_NE(first, second);  // out-of-place update
+  EXPECT_EQ(ftl_.mapping().LpnOf(first), kInvalidLpn);  // old page orphaned
+  // Exactly one live page remains in the system.
+  EXPECT_EQ(ftl_.blocks().TotalValid(), 1u);
+  EXPECT_TRUE(ftl_.CheckInvariants());
+}
+
+TEST_F(ConventionalFtlTest, PagesFillSequentiallyWithinBlock) {
+  for (int i = 0; i < 16; ++i) ftl_.Write(i * 4096ull, 4096, i);
+  // First block must be completely and sequentially filled.
+  EXPECT_TRUE(target_.nand().IsBlockFull(ftl_.mapping().Lookup(0) /
+                                         target_.geometry().pages_per_block));
+}
+
+TEST_F(ConventionalFtlTest, GcReclaimsInvalidatedSpace) {
+  // Random overwrites leave GC victims partially valid (a sequential rewrite
+  // wavefront would invalidate whole blocks and keep WAF at exactly 1).
+  const std::uint64_t span_pages = 500;
+  util::Xoshiro256StarStar rng(11);
+  Us now = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t p = rng.UniformBelow(span_pages);
+    const auto r = ftl_.Write(p * 4096, 4096, now);
+    now = r.completion_us;
+  }
+  EXPECT_GT(ftl_.stats().gc_erases, 0u);
+  EXPECT_GT(ftl_.stats().gc_page_copies, 0u);
+  EXPECT_GE(ftl_.blocks().FreeCount(), Config().gc_threshold_low);
+  EXPECT_GT(ftl_.stats().Waf(), 1.0);
+  EXPECT_TRUE(ftl_.CheckInvariants());
+}
+
+TEST_F(ConventionalFtlTest, GcTimeNotChargedByDefault) {
+  Us now = 0;
+  Us max_write_latency = 0;
+  for (int round = 0; round < 60; ++round) {
+    for (std::uint64_t p = 0; p < 64; ++p) {
+      const auto r = ftl_.Write(p * 4096, 4096, now);
+      now = r.completion_us;
+      max_write_latency = std::max(max_write_latency, r.LatencyUs());
+    }
+  }
+  ASSERT_GT(ftl_.stats().gc_erases, 0u);
+  // Background GC: even writes that triggered GC see only service time.
+  EXPECT_LT(max_write_latency, 2000);
+  EXPECT_GT(ftl_.stats().gc_time_us, 0);
+}
+
+TEST(ConventionalFtlForegroundGc, ChargesTriggeringWrite) {
+  FlashTarget target(Geo(), nand::NandTiming{});
+  auto cfg = Config();
+  cfg.charge_gc_to_write = true;
+  ConventionalFtl ftl(target, cfg);
+  Us now = 0;
+  Us max_latency = 0;
+  for (int round = 0; round < 60; ++round) {
+    for (std::uint64_t p = 0; p < 64; ++p) {
+      const auto r = ftl.Write(p * 4096, 4096, now);
+      now = r.completion_us;
+      max_latency = std::max(max_latency, r.LatencyUs());
+    }
+  }
+  ASSERT_GT(ftl.stats().gc_erases, 0u);
+  EXPECT_GT(max_latency, 4000);  // at least one erase stall visible
+}
+
+TEST_F(ConventionalFtlTest, StatsResetKeepsState) {
+  ftl_.Write(0, 4096, 0);
+  ftl_.ResetStats();
+  EXPECT_EQ(ftl_.stats().host_write_pages, 0u);
+  EXPECT_TRUE(ftl_.mapping().IsMapped(0));  // data survives
+}
+
+TEST_F(ConventionalFtlTest, RandomWorkloadPreservesInvariants) {
+  util::Xoshiro256StarStar rng(321);
+  Us now = 0;
+  const std::uint64_t logical = ftl_.LogicalBytes();
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t page = rng.UniformBelow(logical / 4096);
+    const std::uint64_t pages = 1 + rng.UniformBelow(4);
+    const std::uint64_t size =
+        std::min(pages * 4096, logical - page * 4096);
+    if (rng.Bernoulli(0.5)) {
+      const auto r = ftl_.Write(page * 4096, size, now);
+      now = r.completion_us;
+    } else {
+      const auto r = ftl_.Read(page * 4096, size, now);
+      now = r.completion_us;
+    }
+    if (i % 500 == 0) {
+      ASSERT_TRUE(ftl_.CheckInvariants()) << "iteration " << i;
+    }
+  }
+  EXPECT_TRUE(ftl_.CheckInvariants());
+  // Mapping count equals distinct pages ever written.
+  EXPECT_EQ(ftl_.mapping().mapped_count(), ftl_.blocks().TotalValid());
+}
+
+TEST(ConventionalFtlConfig, ValidationErrors) {
+  FlashTarget target(Geo(), nand::NandTiming{});
+  FtlConfig c;
+  c.op_ratio = 0.0;
+  EXPECT_THROW(ConventionalFtl(target, c), std::invalid_argument);
+  c = FtlConfig{};
+  c.gc_threshold_low = 1;
+  EXPECT_THROW(ConventionalFtl(target, c), std::invalid_argument);
+  c = FtlConfig{};
+  c.gc_threshold_high = c.gc_threshold_low;
+  EXPECT_THROW(ConventionalFtl(target, c), std::invalid_argument);
+}
+
+TEST(ConventionalFtlConfig, TinyDeviceRejected) {
+  // 4 blocks total cannot satisfy thresholds + logical space.
+  FlashTarget target(Geo(/*blocks_per_plane=*/1), nand::NandTiming{});
+  EXPECT_THROW(ConventionalFtl(target, Config()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ctflash::ftl

@@ -1,0 +1,172 @@
+// Wear-leveling policy and read-error-model integration tests.
+#include <gtest/gtest.h>
+
+#include "ftl/conventional_ftl.h"
+#include "ftl/wear_leveler.h"
+#include "ssd/experiment.h"
+#include "trace/synthetic.h"
+#include "util/random.h"
+
+namespace ctflash::ftl {
+namespace {
+
+nand::NandGeometry Geo() {
+  nand::NandGeometry g;
+  g.channels = 1;
+  g.chips_per_channel = 1;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 32;
+  g.pages_per_block = 16;
+  g.page_size_bytes = 4096;
+  g.num_layers = 16;
+  return g;
+}
+
+TEST(WearLeveler, DisabledNeverOverrides) {
+  nand::NandDevice nand(Geo(), nand::NandTiming{});
+  BlockManager blocks(32, 16);
+  WearLeveler wl(WearLevelerConfig{});  // threshold 0 = off
+  // Create a huge wear spread.
+  for (int i = 0; i < 100; ++i) nand.Erase(0);
+  EXPECT_FALSE(wl.MaybeOverrideVictim(blocks, nand).has_value());
+}
+
+TEST(WearLeveler, WearSpreadComputation) {
+  nand::NandDevice nand(Geo(), nand::NandTiming{});
+  EXPECT_EQ(WearLeveler::WearSpread(nand), 0u);
+  nand.Erase(3);
+  nand.Erase(3);
+  nand.Erase(7);
+  EXPECT_EQ(WearLeveler::WearSpread(nand), 2u);
+}
+
+TEST(WearLeveler, OverridesToLeastWornFullBlock) {
+  nand::NandDevice nand(Geo(), nand::NandTiming{});
+  BlockManager blocks(32, 16);
+  WearLevelerConfig cfg;
+  cfg.delta_threshold = 5;
+  WearLeveler wl(cfg);
+  // Wear block 0 well past the threshold; make blocks 2 and 3 FULL with
+  // different wear.
+  for (int i = 0; i < 10; ++i) nand.Erase(0);
+  nand.Erase(2);
+  nand.Erase(2);
+  nand.Erase(3);
+  for (BlockId b : {BlockId{2}, BlockId{3}}) {
+    ASSERT_TRUE(blocks.AllocateBlock().has_value());
+    (void)b;
+  }
+  blocks.MarkFull(0);  // ids 0,1 were allocated first
+  blocks.MarkFull(1);
+  // Full blocks are 0 (pe=10) and 1 (pe=0): override picks block 1.
+  const auto v = wl.MaybeOverrideVictim(blocks, nand);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1u);
+  EXPECT_EQ(wl.override_count(), 1u);
+}
+
+TEST(WearLeveler, NoOverrideBelowThreshold) {
+  nand::NandDevice nand(Geo(), nand::NandTiming{});
+  BlockManager blocks(32, 16);
+  WearLevelerConfig cfg;
+  cfg.delta_threshold = 5;
+  WearLeveler wl(cfg);
+  nand.Erase(0);  // spread 1 <= 5
+  blocks.AllocateBlock();
+  blocks.MarkFull(0);
+  EXPECT_FALSE(wl.MaybeOverrideVictim(blocks, nand).has_value());
+}
+
+TEST(WearLeveler, BoundsWearSpreadEndToEnd) {
+  // Hammer a tiny logical range: without WL the same spare blocks cycle and
+  // wear diverges from the never-rewritten cold blocks; with WL the spread
+  // stays near the threshold.
+  auto run = [&](std::uint32_t threshold) {
+    FlashTarget target(Geo(), nand::NandTiming{});
+    FtlConfig cfg;
+    cfg.op_ratio = 0.25;
+    cfg.gc_threshold_low = 3;
+    cfg.gc_threshold_high = 5;
+    cfg.wear.delta_threshold = threshold;
+    ConventionalFtl ftl(target, cfg);
+    // Fill everything once (cold data), then hammer the first 32 pages.
+    Us now = 0;
+    for (std::uint64_t off = 0; off + 4096 <= ftl.LogicalBytes(); off += 4096) {
+      now = ftl.Write(off, 4096, now).completion_us;
+    }
+    util::Xoshiro256StarStar rng(1);
+    for (int i = 0; i < 8000; ++i) {
+      now = ftl.Write(rng.UniformBelow(32) * 4096, 4096, now).completion_us;
+    }
+    return WearLeveler::WearSpread(target.nand());
+  };
+  const std::uint32_t spread_off = run(0);
+  const std::uint32_t spread_on = run(8);
+  EXPECT_GT(spread_off, 20u);  // hot spare pool cycles, cold blocks rest
+  // Dual-pool allocation + threshold swaps keep the spread near the
+  // threshold even under this pathological all-hot workload.
+  EXPECT_LE(spread_on, 2u * 8u);
+}
+
+TEST(ReadErrorModel, CountsSampledReadsThroughTheStack) {
+  auto cfg = ssd::ScaledConfig(ssd::FtlKind::kPpb, 1ull << 28, 16 * 1024, 2.0);
+  cfg.model_read_errors = true;
+  ssd::Ssd ssd(cfg);
+  ssd::ExperimentRunner runner(ssd);
+  runner.Prefill(ssd.LogicalBytes() / 2);
+  const auto wl = trace::WebServerWorkload(ssd.LogicalBytes() / 2, 5000);
+  const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+  runner.Replay(recs, wl.name);
+  const auto& es = ssd.target().read_error_stats();
+  EXPECT_GT(es.sampled_reads, 0u);
+  // Fresh device at default RBER: everything correctable.
+  EXPECT_EQ(es.uncorrectable_reads, 0u);
+}
+
+TEST(ReadErrorModel, HighRberBecomesUncorrectable) {
+  auto cfg = ssd::ScaledConfig(ssd::FtlKind::kConventional, 1ull << 28,
+                               16 * 1024, 2.0);
+  cfg.model_read_errors = true;
+  cfg.error_model.base_rber = 0.01;  // hopeless medium
+  ssd::Ssd ssd(cfg);
+  ssd.Write(0, 16 * 1024, 0);
+  ssd.Read(0, 16 * 1024, 1000);
+  const auto& es = ssd.target().read_error_stats();
+  EXPECT_EQ(es.sampled_reads, 1u);
+  EXPECT_EQ(es.uncorrectable_reads, 1u);
+  EXPECT_GT(es.MeanBitErrorsPerRead(), 100.0);
+}
+
+TEST(ReadErrorModel, DeterministicForSeed) {
+  auto make = [] {
+    auto cfg = ssd::ScaledConfig(ssd::FtlKind::kConventional, 1ull << 28,
+                                 16 * 1024, 2.0);
+    cfg.model_read_errors = true;
+    cfg.error_model.base_rber = 1e-4;
+    return cfg;
+  };
+  std::uint64_t bits[2];
+  for (int k = 0; k < 2; ++k) {
+    ssd::Ssd ssd(make());
+    Us now = 0;
+    now = ssd.Write(0, 256 * 1024, now).completion_us;
+    for (int i = 0; i < 50; ++i) {
+      now = ssd.Read(0, 256 * 1024, now).completion_us;
+    }
+    bits[k] = ssd.target().read_error_stats().total_bit_errors;
+  }
+  EXPECT_EQ(bits[0], bits[1]);
+  EXPECT_GT(bits[0], 0u);
+}
+
+TEST(ReadErrorModel, ValidationThroughSsdConfig) {
+  auto cfg = ssd::ScaledConfig(ssd::FtlKind::kConventional, 1ull << 28,
+                               16 * 1024, 2.0);
+  cfg.model_read_errors = true;
+  cfg.error_model.base_rber = 2.0;  // invalid
+  EXPECT_THROW(ssd::Ssd{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ctflash::ftl

@@ -1,0 +1,160 @@
+// Cross-module integration tests: the whole stack (trace generator ->
+// experiment runner -> SSD -> FTL -> virtual blocks -> NAND timing) exercised
+// on both FTLs, checking the paper's headline relationships end to end.
+#include <gtest/gtest.h>
+
+#include "ssd/experiment.h"
+#include "trace/synthetic.h"
+
+namespace ctflash {
+namespace {
+
+using ssd::FtlKind;
+
+ssd::SsdConfig Cfg(FtlKind kind, double speed_ratio = 2.0) {
+  return ssd::ScaledConfig(kind, 1ull << 29, 16 * 1024, speed_ratio);  // 512 MiB
+}
+
+struct Pair {
+  ssd::ExperimentResult conv;
+  ssd::ExperimentResult ppb;
+};
+
+Pair RunBoth(double speed_ratio, std::uint64_t requests) {
+  Pair out;
+  for (const auto kind : {FtlKind::kConventional, FtlKind::kPpb}) {
+    const auto cfg = Cfg(kind, speed_ratio);
+    ssd::Ssd probe(cfg);
+    const std::uint64_t footprint = probe.LogicalBytes() / 10 * 8;
+    const auto wl = trace::WebServerWorkload(footprint, requests);
+    const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+    auto res = ssd::RunExperiment(cfg, recs, footprint, wl.name);
+    (kind == FtlKind::kConventional ? out.conv : out.ppb) = std::move(res);
+  }
+  return out;
+}
+
+TEST(Integration, UniformDeviceMakesFtlsEquivalent) {
+  // R = 1: no speed asymmetry, so PPB can gain nothing — read and write
+  // latency totals must match the conventional FTL exactly (same service
+  // times for every op, placement irrelevant).
+  const auto p = RunBoth(/*speed_ratio=*/1.0, /*requests=*/40000);
+  EXPECT_DOUBLE_EQ(p.conv.TotalReadSeconds(), p.ppb.TotalReadSeconds());
+  EXPECT_DOUBLE_EQ(p.conv.TotalWriteSeconds(), p.ppb.TotalWriteSeconds());
+}
+
+TEST(Integration, PpbImprovesReadsOnAsymmetricDevice) {
+  const auto p = RunBoth(/*speed_ratio=*/3.0, /*requests=*/150000);
+  const double enh =
+      ssd::Enhancement(p.conv.TotalReadSeconds(), p.ppb.TotalReadSeconds());
+  EXPECT_GT(enh, 0.02) << "PPB should clearly beat conventional reads";
+}
+
+TEST(Integration, WritePerformancePreserved) {
+  // Paper Figs. 15-17: write latency essentially identical.
+  const auto p = RunBoth(/*speed_ratio=*/3.0, /*requests=*/150000);
+  const double delta =
+      ssd::Enhancement(p.conv.TotalWriteSeconds(), p.ppb.TotalWriteSeconds());
+  EXPECT_NEAR(delta, 0.0, 0.002);
+}
+
+TEST(Integration, EraseCountNotExcessivelyIncreased) {
+  // Paper Fig. 18: GC efficiency retained.  PPB keeps a few more blocks open
+  // (its class lists), which costs relatively more on very small devices, so
+  // this check runs on a 2 GiB array where the open-block overhead is small.
+  Pair p;
+  for (const auto kind : {FtlKind::kConventional, FtlKind::kPpb}) {
+    const auto cfg = ssd::ScaledConfig(kind, 2ull << 30, 16 * 1024, 2.0);
+    ssd::Ssd probe(cfg);
+    const std::uint64_t footprint = probe.LogicalBytes() / 10 * 8;
+    const auto wl = trace::WebServerWorkload(footprint, 150000);
+    const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+    auto res = ssd::RunExperiment(cfg, recs, footprint, wl.name);
+    (kind == FtlKind::kConventional ? p.conv : p.ppb) = std::move(res);
+  }
+  ASSERT_GT(p.conv.erase_count, 0u);
+  const double ratio = static_cast<double>(p.ppb.erase_count) /
+                       static_cast<double>(p.conv.erase_count);
+  EXPECT_LT(ratio, 1.10);
+  EXPECT_GT(ratio, 0.85);
+}
+
+TEST(Integration, EnhancementGrowsWithSpeedRatio) {
+  // Paper Figs. 13/14: the PPB gap widens from 2x to 5x.
+  const auto p2 = RunBoth(2.0, 100000);
+  const auto p5 = RunBoth(5.0, 100000);
+  const double e2 =
+      ssd::Enhancement(p2.conv.TotalReadSeconds(), p2.ppb.TotalReadSeconds());
+  const double e5 =
+      ssd::Enhancement(p5.conv.TotalReadSeconds(), p5.ppb.TotalReadSeconds());
+  EXPECT_GT(e5, e2);
+}
+
+TEST(Integration, PpbServesMoreReadsFromFastPages) {
+  const auto cfg = Cfg(FtlKind::kPpb, 2.0);
+  ssd::Ssd ssd(cfg);
+  const std::uint64_t footprint = ssd.LogicalBytes() / 10 * 8;
+  const auto wl = trace::WebServerWorkload(footprint, 150000);
+  const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+  ssd::ExperimentRunner runner(ssd);
+  runner.Prefill(footprint);
+  runner.Replay(recs, wl.name);
+  const auto& ps = ssd.ppb()->ppb_stats();
+  EXPECT_GT(ps.fast_reads, ps.slow_reads)
+      << "hotness sorting should route most reads to fast pages";
+  // The invariant battery still passes after a full workload.
+  EXPECT_TRUE(ssd.ppb()->CheckInvariants());
+}
+
+TEST(Integration, HotnessOrderingReflectsPlacement) {
+  // Mean read speed factor must be ordered iron-hot < cold < icy-cold and
+  // iron-hot < hot (smaller factor = faster pages).
+  const auto cfg = Cfg(FtlKind::kPpb, 2.0);
+  ssd::Ssd ssd(cfg);
+  const std::uint64_t footprint = ssd.LogicalBytes() / 10 * 8;
+  const auto wl = trace::WebServerWorkload(footprint, 200000);
+  const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+  ssd::ExperimentRunner runner(ssd);
+  runner.Prefill(footprint);
+  runner.Replay(recs, wl.name);
+  const auto& ps = ssd.ppb()->ppb_stats();
+  const double iron = ps.MeanReadFactor(core::HotnessLevel::kIronHot);
+  const double hot = ps.MeanReadFactor(core::HotnessLevel::kHot);
+  const double cold = ps.MeanReadFactor(core::HotnessLevel::kCold);
+  const double icy = ps.MeanReadFactor(core::HotnessLevel::kIcyCold);
+  EXPECT_LT(iron, hot);
+  EXPECT_LT(iron, icy);
+  EXPECT_LT(cold, icy);
+}
+
+TEST(Integration, MediaServerWorkloadRunsCleanly) {
+  const auto cfg = Cfg(FtlKind::kPpb, 2.0);
+  ssd::Ssd ssd(cfg);
+  const std::uint64_t footprint = ssd.LogicalBytes() / 10 * 8;
+  const auto wl = trace::MediaServerWorkload(footprint, 50000);
+  const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+  ssd::ExperimentRunner runner(ssd);
+  runner.Prefill(footprint);
+  const auto res = runner.Replay(recs, wl.name);
+  EXPECT_GT(res.read_latency.count(), 0u);
+  EXPECT_GT(res.write_latency.count(), 0u);
+  EXPECT_TRUE(ssd.ppb()->CheckInvariants());
+}
+
+TEST(Integration, QueuedTimingModeEndToEnd) {
+  auto cfg = Cfg(FtlKind::kPpb, 2.0);
+  cfg.timing_mode = ftl::TimingMode::kQueued;
+  ssd::Ssd ssd(cfg);
+  const std::uint64_t footprint = ssd.LogicalBytes() / 2;
+  const auto wl = trace::WebServerWorkload(footprint, 20000);
+  const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+  ssd::ExperimentRunner runner(ssd);
+  runner.Prefill(footprint);
+  const auto res = runner.Replay(recs, wl.name);
+  // Queued mode sees contention: latencies at least as large as service time.
+  EXPECT_GT(res.read_latency.mean_us(), 0.0);
+  EXPECT_TRUE(ssd.ppb()->CheckInvariants());
+}
+
+}  // namespace
+}  // namespace ctflash

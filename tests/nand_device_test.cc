@@ -1,0 +1,148 @@
+#include "nand/device.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::nand {
+namespace {
+
+NandGeometry Geo() {
+  NandGeometry g;
+  g.channels = 1;
+  g.chips_per_channel = 2;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 8;
+  g.page_size_bytes = 4096;
+  g.num_layers = 8;
+  return g;
+}
+
+class NandDeviceTest : public ::testing::Test {
+ protected:
+  NandDeviceTest() : dev_(Geo(), NandTiming{}, /*endurance=*/5) {}
+  NandDevice dev_;
+};
+
+TEST_F(NandDeviceTest, SequentialProgramSucceeds) {
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    Us t = 0;
+    EXPECT_EQ(dev_.Program(dev_.geometry().PpnOf(0, p), &t), NandStatus::kOk);
+    EXPECT_GT(t, 0);
+  }
+  EXPECT_TRUE(dev_.IsBlockFull(0));
+  EXPECT_EQ(dev_.NextProgramPage(0), 8u);
+}
+
+TEST_F(NandDeviceTest, OutOfOrderProgramRejected) {
+  EXPECT_EQ(dev_.Program(dev_.geometry().PpnOf(0, 1)),
+            NandStatus::kProgramOutOfOrder);
+  // State unchanged: page 0 still programmable.
+  EXPECT_EQ(dev_.Program(dev_.geometry().PpnOf(0, 0)), NandStatus::kOk);
+}
+
+TEST_F(NandDeviceTest, ReprogramWithoutEraseRejected) {
+  const Ppn ppn = dev_.geometry().PpnOf(0, 0);
+  EXPECT_EQ(dev_.Program(ppn), NandStatus::kOk);
+  EXPECT_EQ(dev_.Program(ppn), NandStatus::kProgramPageNotFree);
+}
+
+TEST_F(NandDeviceTest, ReadRequiresProgrammedPage) {
+  const Ppn ppn = dev_.geometry().PpnOf(1, 0);
+  EXPECT_EQ(dev_.Read(ppn), NandStatus::kReadFreePage);
+  EXPECT_EQ(dev_.Program(ppn), NandStatus::kOk);
+  Us t = 0;
+  EXPECT_EQ(dev_.Read(ppn, &t), NandStatus::kOk);
+  EXPECT_GT(t, 0);
+}
+
+TEST_F(NandDeviceTest, EraseResetsProgramPointer) {
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    ASSERT_EQ(dev_.Program(dev_.geometry().PpnOf(0, p)), NandStatus::kOk);
+  }
+  EXPECT_EQ(dev_.Erase(0), NandStatus::kOk);
+  EXPECT_TRUE(dev_.IsBlockErased(0));
+  EXPECT_EQ(dev_.PeCycles(0), 1u);
+  EXPECT_EQ(dev_.Read(dev_.geometry().PpnOf(0, 0)), NandStatus::kReadFreePage);
+  EXPECT_EQ(dev_.Program(dev_.geometry().PpnOf(0, 0)), NandStatus::kOk);
+}
+
+TEST_F(NandDeviceTest, EnduranceRetiresBlock) {
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(dev_.Erase(2), NandStatus::kOk);
+  }
+  EXPECT_TRUE(dev_.IsBlockBad(2));
+  EXPECT_EQ(dev_.Erase(2), NandStatus::kBlockBad);
+  EXPECT_EQ(dev_.Program(dev_.geometry().PpnOf(2, 0)), NandStatus::kBlockBad);
+  EXPECT_EQ(dev_.Read(dev_.geometry().PpnOf(2, 0)), NandStatus::kBlockBad);
+  // Other blocks unaffected.
+  EXPECT_FALSE(dev_.IsBlockBad(1));
+}
+
+TEST_F(NandDeviceTest, InvalidAddresses) {
+  EXPECT_EQ(dev_.Program(dev_.geometry().TotalPages()),
+            NandStatus::kInvalidAddress);
+  EXPECT_EQ(dev_.Read(dev_.geometry().TotalPages()),
+            NandStatus::kInvalidAddress);
+  EXPECT_EQ(dev_.Erase(dev_.geometry().TotalBlocks()),
+            NandStatus::kInvalidAddress);
+  EXPECT_THROW(dev_.NextProgramPage(999), std::out_of_range);
+  EXPECT_THROW(dev_.PeCycles(999), std::out_of_range);
+  EXPECT_THROW(dev_.IsBlockBad(999), std::out_of_range);
+  EXPECT_THROW(dev_.IsPageProgrammed(dev_.geometry().TotalPages()),
+               std::out_of_range);
+}
+
+TEST_F(NandDeviceTest, CountersAccumulate) {
+  const Ppn ppn = dev_.geometry().PpnOf(0, 0);
+  ASSERT_EQ(dev_.Program(ppn), NandStatus::kOk);
+  ASSERT_EQ(dev_.Read(ppn), NandStatus::kOk);
+  ASSERT_EQ(dev_.Read(ppn), NandStatus::kOk);
+  ASSERT_EQ(dev_.Erase(0), NandStatus::kOk);
+  const auto& c = dev_.counters();
+  EXPECT_EQ(c.programs, 1u);
+  EXPECT_EQ(c.reads, 2u);
+  EXPECT_EQ(c.erases, 1u);
+  EXPECT_GT(c.program_time_us, 0);
+  EXPECT_GT(c.read_time_us, 0);
+  EXPECT_EQ(c.erase_time_us, 4000);
+  dev_.ResetCounters();
+  EXPECT_EQ(dev_.counters().programs, 0u);
+}
+
+TEST_F(NandDeviceTest, FailedOpsDoNotCount) {
+  ASSERT_EQ(dev_.Read(dev_.geometry().PpnOf(0, 0)), NandStatus::kReadFreePage);
+  EXPECT_EQ(dev_.counters().reads, 0u);
+}
+
+TEST_F(NandDeviceTest, LayerSpeedVisibleThroughOps) {
+  // Fill block 0 and compare first/last page read times (R = 2 default).
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    ASSERT_EQ(dev_.Program(dev_.geometry().PpnOf(0, p)), NandStatus::kOk);
+  }
+  Us top = 0, bottom = 0;
+  ASSERT_EQ(dev_.Read(dev_.geometry().PpnOf(0, 0), &top), NandStatus::kOk);
+  ASSERT_EQ(dev_.Read(dev_.geometry().PpnOf(0, 7), &bottom), NandStatus::kOk);
+  EXPECT_GT(top, bottom);
+  EXPECT_NEAR(static_cast<double>(top) / static_cast<double>(bottom), 2.0, 0.1);
+}
+
+TEST_F(NandDeviceTest, IsPageProgrammedTracksPointer) {
+  const Ppn p0 = dev_.geometry().PpnOf(0, 0);
+  EXPECT_FALSE(dev_.IsPageProgrammed(p0));
+  ASSERT_EQ(dev_.Program(p0), NandStatus::kOk);
+  EXPECT_TRUE(dev_.IsPageProgrammed(p0));
+  EXPECT_FALSE(dev_.IsPageProgrammed(dev_.geometry().PpnOf(0, 1)));
+}
+
+TEST(NandStatusNames, AllDistinct) {
+  EXPECT_STREQ(NandStatusName(NandStatus::kOk), "kOk");
+  EXPECT_STREQ(NandStatusName(NandStatus::kProgramOutOfOrder),
+               "kProgramOutOfOrder");
+  EXPECT_STREQ(NandStatusName(NandStatus::kBlockBad), "kBlockBad");
+}
+
+}  // namespace
+}  // namespace ctflash::nand

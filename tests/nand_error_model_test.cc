@@ -1,0 +1,135 @@
+#include "nand/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::nand {
+namespace {
+
+NandGeometry Geo() {
+  NandGeometry g;
+  g.channels = 1;
+  g.chips_per_channel = 1;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 2;
+  g.pages_per_block = 64;
+  g.page_size_bytes = 16 * 1024;
+  g.num_layers = 64;
+  return g;
+}
+
+TEST(ErrorModelConfig, Validation) {
+  ErrorModelConfig c;
+  c.base_rber = 0.0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = ErrorModelConfig{};
+  c.layer_skew = 0.5;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = ErrorModelConfig{};
+  c.pe_scale = 0.0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = ErrorModelConfig{};
+  c.codeword_bytes = 0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+}
+
+TEST(ErrorModel, PageMustBeWholeCodewords) {
+  ErrorModelConfig c;
+  c.codeword_bytes = 1000;  // 16384 % 1000 != 0
+  EXPECT_THROW(LayerErrorModel(Geo(), c), std::invalid_argument);
+}
+
+TEST(ErrorModel, RberGrowsTowardBottomLayers) {
+  const LayerErrorModel m(Geo(), ErrorModelConfig{});
+  for (std::uint32_t p = 1; p < 64; ++p) {
+    EXPECT_GE(m.Rber(p, 0), m.Rber(p - 1, 0));
+  }
+  // Bottom/top ratio equals the configured skew.
+  EXPECT_NEAR(m.Rber(63, 0) / m.Rber(0, 0), m.config().layer_skew, 1e-6);
+}
+
+TEST(ErrorModel, RberGrowsWithWear) {
+  const LayerErrorModel m(Geo(), ErrorModelConfig{});
+  EXPECT_GT(m.Rber(0, 3000), m.Rber(0, 1000));
+  EXPECT_GT(m.Rber(0, 1000), m.Rber(0, 0));
+}
+
+TEST(ErrorModel, RberSaturatesAtOne) {
+  ErrorModelConfig c;
+  c.base_rber = 0.5;
+  c.layer_skew = 8.0;
+  const LayerErrorModel m(Geo(), c);
+  EXPECT_DOUBLE_EQ(m.Rber(63, 100000), 1.0);
+}
+
+TEST(ErrorModel, CorrectableRespectsBudget) {
+  ErrorModelConfig c;  // 16 codewords/page, 40 bits each
+  const LayerErrorModel m(Geo(), c);
+  EXPECT_TRUE(m.Correctable(0));
+  EXPECT_TRUE(m.Correctable(40 * 16));  // exactly at budget per codeword
+  EXPECT_FALSE(m.Correctable(40 * 16 + 16));
+}
+
+TEST(ErrorModel, SampledErrorsMatchExpectation) {
+  ErrorModelConfig c;
+  c.base_rber = 1e-5;  // lambda = 16KiB*8*1e-5 ~ 1.3 at the top layer
+  const LayerErrorModel m(Geo(), c);
+  util::Xoshiro256StarStar rng(99);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(m.SampleBitErrors(0, 0, rng));
+  }
+  const double expected = 16.0 * 1024 * 8 * 1e-5;
+  EXPECT_NEAR(sum / n, expected, expected * 0.05);
+}
+
+TEST(ErrorModel, LargeLambdaUsesNormalApprox) {
+  ErrorModelConfig c;
+  c.base_rber = 1e-3;  // lambda ~ 131
+  const LayerErrorModel m(Geo(), c);
+  util::Xoshiro256StarStar rng(7);
+  const int n = 5000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(m.SampleBitErrors(0, 0, rng));
+  }
+  const double expected = 16.0 * 1024 * 8 * 1e-3;
+  EXPECT_NEAR(sum / n, expected, expected * 0.05);
+}
+
+TEST(ErrorModel, SamplingDeterministicForSeed) {
+  const LayerErrorModel m(Geo(), ErrorModelConfig{});
+  util::Xoshiro256StarStar a(1), b(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(m.SampleBitErrors(10, 500, a), m.SampleBitErrors(10, 500, b));
+  }
+}
+
+TEST(ErrorModel, EnduranceHigherForTopLayers) {
+  const LayerErrorModel m(Geo(), ErrorModelConfig{});
+  // Top layers have lower RBER, so they last longer.
+  EXPECT_GT(m.EnduranceEstimate(0), m.EnduranceEstimate(63));
+  EXPECT_GT(m.EnduranceEstimate(63), 0.0);
+}
+
+TEST(ErrorModel, EnduranceZeroWhenFreshRberExceedsBudget) {
+  ErrorModelConfig c;
+  c.base_rber = 0.1;
+  const LayerErrorModel m(Geo(), c);
+  EXPECT_DOUBLE_EQ(m.EnduranceEstimate(63), 0.0);
+}
+
+TEST(ErrorModel, EnduranceConsistentWithRber) {
+  // At the estimated endurance, mean errors per codeword ~ ECC budget.
+  const LayerErrorModel m(Geo(), ErrorModelConfig{});
+  const double pe = m.EnduranceEstimate(32);
+  const double rber = m.Rber(32, static_cast<std::uint32_t>(pe));
+  const double bits_per_cw = 1024 * 8;
+  EXPECT_NEAR(rber * bits_per_cw, 40.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ctflash::nand

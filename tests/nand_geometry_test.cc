@@ -1,0 +1,191 @@
+#include "nand/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+namespace ctflash::nand {
+namespace {
+
+NandGeometry Small() {
+  NandGeometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 2;
+  g.blocks_per_plane = 3;
+  g.pages_per_block = 12;
+  g.page_size_bytes = 4096;
+  g.num_layers = 4;
+  return g;
+}
+
+TEST(Geometry, Table1DefaultsMatchPaper) {
+  const NandGeometry g;  // defaults
+  EXPECT_EQ(g.pages_per_block, 384u);
+  EXPECT_EQ(g.page_size_bytes, 16u * 1024);
+  EXPECT_EQ(g.num_layers, 64u);
+  // Total capacity ~64 GiB (Table 1 "Flash size").
+  const double gib = static_cast<double>(g.TotalBytes()) / (1ull << 30);
+  EXPECT_NEAR(gib, 64.0, 1.0);
+}
+
+TEST(Geometry, Totals) {
+  const auto g = Small();
+  EXPECT_EQ(g.TotalPlanes(), 8u);
+  EXPECT_EQ(g.TotalBlocks(), 24u);
+  EXPECT_EQ(g.TotalPages(), 24u * 12);
+  EXPECT_EQ(g.TotalBytes(), 24ull * 12 * 4096);
+  EXPECT_EQ(g.TotalChips(), 4u);
+}
+
+TEST(Geometry, ValidationRejectsZeroes) {
+  auto g = Small();
+  g.channels = 0;
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+}
+
+TEST(Geometry, ValidationRejectsLayerMismatch) {
+  auto g = Small();
+  g.num_layers = 5;  // 12 % 5 != 0
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+  g.num_layers = 24;  // more layers than pages
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+}
+
+TEST(Geometry, PpnRoundTrip) {
+  const auto g = Small();
+  for (BlockId b = 0; b < g.TotalBlocks(); ++b) {
+    for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+      const Ppn ppn = g.PpnOf(b, p);
+      EXPECT_EQ(g.BlockOf(ppn), b);
+      EXPECT_EQ(g.PageOf(ppn), p);
+    }
+  }
+}
+
+TEST(Geometry, LayerOfPageMapsTopToBottom) {
+  const auto g = Small();  // 12 pages, 4 layers -> 3 pages per layer
+  EXPECT_EQ(g.LayerOfPage(0), 0u);
+  EXPECT_EQ(g.LayerOfPage(2), 0u);
+  EXPECT_EQ(g.LayerOfPage(3), 1u);
+  EXPECT_EQ(g.LayerOfPage(11), 3u);
+  EXPECT_THROW(g.LayerOfPage(12), std::out_of_range);
+}
+
+TEST(Geometry, AddressDecompositionIsBijective) {
+  const auto g = Small();
+  // Every block id maps to a unique physical address and back.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                      std::uint32_t, std::uint64_t>>
+      seen;
+  for (BlockId b = 0; b < g.TotalBlocks(); ++b) {
+    const auto a = g.AddressOfBlock(b);
+    EXPECT_LT(a.channel, g.channels);
+    EXPECT_LT(a.chip, g.chips_per_channel);
+    EXPECT_LT(a.die, g.dies_per_chip);
+    EXPECT_LT(a.plane, g.planes_per_die);
+    EXPECT_LT(a.block, g.blocks_per_plane);
+    EXPECT_TRUE(
+        seen.insert({a.channel, a.chip, a.die, a.plane, a.block}).second);
+  }
+}
+
+TEST(Geometry, ConsecutiveBlocksStripeAcrossPlanes) {
+  const auto g = Small();
+  // Blocks 0..TotalPlanes-1 all land on different planes (plane-major).
+  std::set<std::uint64_t> chips;
+  for (BlockId b = 0; b < g.TotalPlanes(); ++b) {
+    const auto a = g.AddressOfBlock(b);
+    EXPECT_EQ(a.block, 0u);
+    chips.insert(g.ChipOfBlock(b));
+  }
+  EXPECT_EQ(chips.size(), g.TotalChips());
+}
+
+TEST(Geometry, ChipAndChannelConsistent) {
+  const auto g = Small();
+  for (BlockId b = 0; b < g.TotalBlocks(); ++b) {
+    const auto a = g.AddressOfBlock(b);
+    EXPECT_EQ(g.ChipOfBlock(b),
+              static_cast<std::uint64_t>(a.channel) * g.chips_per_channel +
+                  a.chip);
+    EXPECT_EQ(g.ChannelOfBlock(b), a.channel);
+  }
+}
+
+TEST(Geometry, AddressOfPpnIncludesPage) {
+  const auto g = Small();
+  const Ppn ppn = g.PpnOf(5, 7);
+  const auto a = g.AddressOfPpn(ppn);
+  EXPECT_EQ(a.page, 7u);
+}
+
+TEST(Geometry, OutOfRangeThrows) {
+  const auto g = Small();
+  EXPECT_THROW(g.AddressOfBlock(g.TotalBlocks()), std::out_of_range);
+  EXPECT_THROW(g.AddressOfPpn(g.TotalPages()), std::out_of_range);
+  EXPECT_THROW(g.ChipOfBlock(g.TotalBlocks()), std::out_of_range);
+}
+
+TEST(Geometry, ScaledGeometryHitsTarget) {
+  const NandGeometry base;  // 64 GiB
+  const auto g = ScaledGeometry(base, 1ull << 30);
+  EXPECT_GE(g.TotalBytes(), 1ull << 30);
+  // Block shape unchanged.
+  EXPECT_EQ(g.pages_per_block, base.pages_per_block);
+  EXPECT_EQ(g.page_size_bytes, base.page_size_bytes);
+  EXPECT_EQ(g.num_layers, base.num_layers);
+  // Not wildly oversized: within one block row of the target.
+  const std::uint64_t row = static_cast<std::uint64_t>(g.pages_per_block) *
+                            g.page_size_bytes * g.TotalPlanes();
+  EXPECT_LT(g.TotalBytes() - (1ull << 30), row);
+}
+
+TEST(Geometry, ScaledGeometryMinimumOneBlock) {
+  const NandGeometry base;
+  const auto g = ScaledGeometry(base, 1);
+  EXPECT_EQ(g.blocks_per_plane, 1u);
+  EXPECT_THROW(ScaledGeometry(base, 0), std::invalid_argument);
+}
+
+TEST(Geometry, ToStringMentionsShape) {
+  const auto g = Small();
+  const auto s = g.ToString();
+  EXPECT_NE(s.find("2ch"), std::string::npos);
+  EXPECT_NE(s.find("4 layers"), std::string::npos);
+}
+
+/// Layer mapping must be monotone non-decreasing and cover all layers, for
+/// any (pages_per_block, num_layers) pair with even division.
+class LayerSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(LayerSweep, MonotoneAndComplete) {
+  auto g = Small();
+  g.pages_per_block = GetParam().first;
+  g.num_layers = GetParam().second;
+  g.Validate();
+  std::uint32_t prev = 0;
+  std::set<std::uint32_t> layers;
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    const auto layer = g.LayerOfPage(p);
+    EXPECT_GE(layer, prev);
+    EXPECT_LT(layer, g.num_layers);
+    prev = layer;
+    layers.insert(layer);
+  }
+  EXPECT_EQ(layers.size(), g.num_layers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayerSweep,
+    ::testing::Values(std::make_pair(384u, 64u), std::make_pair(384u, 48u),
+                      std::make_pair(128u, 32u), std::make_pair(64u, 64u),
+                      std::make_pair(12u, 4u)));
+
+}  // namespace
+}  // namespace ctflash::nand

@@ -1,0 +1,153 @@
+#include "nand/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::nand {
+namespace {
+
+NandGeometry Geo() {
+  NandGeometry g;
+  g.channels = 1;
+  g.chips_per_channel = 1;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 64;
+  g.page_size_bytes = 16 * 1024;
+  g.num_layers = 64;
+  return g;
+}
+
+TEST(NandTiming, ValidationErrors) {
+  NandTiming t;
+  t.page_read_us = 0;
+  EXPECT_THROW(t.Validate(), std::invalid_argument);
+  t = NandTiming{};
+  t.transfer_mb_per_s = 0;
+  EXPECT_THROW(t.Validate(), std::invalid_argument);
+  t = NandTiming{};
+  t.speed_ratio = 0.5;
+  EXPECT_THROW(t.Validate(), std::invalid_argument);
+}
+
+TEST(LatencyModel, TopPageRunsAtBaseLatency) {
+  NandTiming t;
+  t.speed_ratio = 4.0;
+  const LatencyModel m(Geo(), t);
+  EXPECT_DOUBLE_EQ(m.SpeedFactor(0), 1.0);
+  EXPECT_EQ(m.ReadUs(0), t.page_read_us);
+}
+
+TEST(LatencyModel, BottomPageRunsAtBaseOverR) {
+  NandTiming t;
+  t.speed_ratio = 2.0;
+  const LatencyModel m(Geo(), t);
+  EXPECT_DOUBLE_EQ(m.SpeedFactor(63), 0.5);
+  EXPECT_EQ(m.ReadUs(63), 25);  // round(49 * 0.5)
+}
+
+TEST(LatencyModel, FactorMonotoneDecreasingWithDepth) {
+  NandTiming t;
+  t.speed_ratio = 5.0;
+  const LatencyModel m(Geo(), t);
+  for (std::uint32_t p = 1; p < 64; ++p) {
+    EXPECT_LT(m.SpeedFactor(p), m.SpeedFactor(p - 1));
+  }
+}
+
+TEST(LatencyModel, RatioOneMeansUniform) {
+  NandTiming t;
+  t.speed_ratio = 1.0;
+  const LatencyModel m(Geo(), t);
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    EXPECT_DOUBLE_EQ(m.SpeedFactor(p), 1.0);
+    EXPECT_EQ(m.ReadUs(p), t.page_read_us);
+  }
+}
+
+TEST(LatencyModel, ProgramLayerIndependentByDefault) {
+  NandTiming t;
+  t.speed_ratio = 5.0;
+  const LatencyModel m(Geo(), t);
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    EXPECT_EQ(m.ProgramUs(p), t.page_program_us);
+  }
+}
+
+TEST(LatencyModel, ProgramLayerDependentWhenEnabled) {
+  NandTiming t;
+  t.speed_ratio = 2.0;
+  t.program_layer_dependent = true;
+  const LatencyModel m(Geo(), t);
+  EXPECT_EQ(m.ProgramUs(0), 600);
+  EXPECT_EQ(m.ProgramUs(63), 300);
+}
+
+TEST(LatencyModel, EraseIsConstant) {
+  const LatencyModel m(Geo(), NandTiming{});
+  EXPECT_EQ(m.EraseUs(), 4000);
+}
+
+TEST(LatencyModel, TransferMatchesBusRate) {
+  const LatencyModel m(Geo(), NandTiming{});
+  // 16 KiB at 533 MB/s ~ 30.7 us.
+  EXPECT_NEAR(static_cast<double>(m.TransferUs(16 * 1024)), 30.7, 1.0);
+  // Proportional to bytes.
+  EXPECT_NEAR(static_cast<double>(m.TransferUs(4 * 1024)),
+              static_cast<double>(m.TransferUs(16 * 1024)) / 4.0, 1.0);
+  // Never zero.
+  EXPECT_GE(m.TransferUs(1), 1);
+}
+
+TEST(LatencyModel, MeanReadBetweenExtremes) {
+  NandTiming t;
+  t.speed_ratio = 2.0;
+  const LatencyModel m(Geo(), t);
+  const double mean = m.MeanReadUs();
+  EXPECT_GT(mean, static_cast<double>(m.ReadUs(63)));
+  EXPECT_LT(mean, static_cast<double>(m.ReadUs(0)));
+  // Linear model: mean factor = (1 + 1/R)/2 = 0.75.
+  EXPECT_NEAR(mean, 0.75 * 49.0, 1.0);
+}
+
+TEST(LatencyModel, SingleLayerDeviceUsesFastEnd) {
+  auto g = Geo();
+  g.num_layers = 1;
+  NandTiming t;
+  t.speed_ratio = 2.0;
+  const LatencyModel m(g, t);
+  // Degenerate stack: every page at the same (bottom) depth.
+  for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+    EXPECT_DOUBLE_EQ(m.SpeedFactor(p), 0.5);
+  }
+}
+
+TEST(LatencyModel, LatencyNeverBelowOneMicrosecond) {
+  NandTiming t;
+  t.page_read_us = 1;
+  t.speed_ratio = 5.0;
+  const LatencyModel m(Geo(), t);
+  EXPECT_GE(m.ReadUs(63), 1);
+}
+
+/// Paper footnote 1: bottom is 2x-5x faster than top.  For each ratio the
+/// end-to-end read latency ratio must equal R.
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, EndToEndRatioEqualsR) {
+  NandTiming t;
+  t.speed_ratio = GetParam();
+  t.page_read_us = 4900;  // large base to make rounding negligible
+  const LatencyModel m(Geo(), t);
+  const double ratio = static_cast<double>(m.ReadUs(0)) /
+                       static_cast<double>(m.ReadUs(63));
+  EXPECT_NEAR(ratio, GetParam(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRatios, RatioSweep,
+                         ::testing::Values(2.0, 3.0, 4.0, 5.0));
+
+}  // namespace
+}  // namespace ctflash::nand

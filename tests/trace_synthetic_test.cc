@@ -1,0 +1,213 @@
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+namespace ctflash::trace {
+namespace {
+
+SyntheticWorkloadConfig SmallConfig() {
+  SyntheticWorkloadConfig c;
+  c.num_requests = 20000;
+  c.footprint_bytes = 64 * kMiB;
+  c.region_bytes = kMiB;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SyntheticConfig, Validation) {
+  auto c = SmallConfig();
+  c.num_requests = 0;
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+  c = SmallConfig();
+  c.read_fraction = 1.5;
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+  c = SmallConfig();
+  c.region_bytes = c.footprint_bytes * 2;
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+  c = SmallConfig();
+  c.read_sizes.clear();
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+  c = SmallConfig();
+  c.write_sizes = {{0, 1.0}};
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+  c = SmallConfig();
+  c.alignment_bytes = 0;
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+  c = SmallConfig();
+  c.rw_popularity_correlation = 1.2;
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+  c = SmallConfig();
+  c.sequential_read_fraction = -0.1;
+  EXPECT_THROW(SyntheticTraceGenerator{c}, std::invalid_argument);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const auto a = SyntheticTraceGenerator(SmallConfig()).Generate();
+  const auto b = SyntheticTraceGenerator(SmallConfig()).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto cfg = SmallConfig();
+  const auto a = SyntheticTraceGenerator(cfg).Generate();
+  cfg.seed = 8;
+  const auto b = SyntheticTraceGenerator(cfg).Generate();
+  int diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += a[i] == b[i] ? 0 : 1;
+  EXPECT_GT(diff, static_cast<int>(a.size()) / 2);
+}
+
+TEST(Synthetic, RequestsStayInFootprintAndAligned) {
+  const auto cfg = SmallConfig();
+  for (const auto& r : SyntheticTraceGenerator(cfg).Generate()) {
+    EXPECT_GT(r.size_bytes, 0u);
+    EXPECT_LE(r.offset_bytes + r.size_bytes, cfg.footprint_bytes);
+    EXPECT_EQ(r.offset_bytes % cfg.alignment_bytes, 0u);
+  }
+}
+
+TEST(Synthetic, ReadFractionApproximatelyHonored) {
+  auto cfg = SmallConfig();
+  cfg.read_fraction = 0.7;
+  const auto stats = ComputeStats(SyntheticTraceGenerator(cfg).Generate());
+  EXPECT_NEAR(stats.ReadFraction(), 0.7, 0.02);
+}
+
+TEST(Synthetic, TimestampsMonotoneNonDecreasing) {
+  const auto recs = SyntheticTraceGenerator(SmallConfig()).Generate();
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i].timestamp_us, recs[i - 1].timestamp_us);
+  }
+  EXPECT_GT(recs.back().timestamp_us, 0);
+}
+
+TEST(Synthetic, ZeroInterarrivalKeepsClockAtZero) {
+  auto cfg = SmallConfig();
+  cfg.mean_interarrival_us = 0;
+  const auto recs = SyntheticTraceGenerator(cfg).Generate();
+  for (const auto& r : recs) EXPECT_EQ(r.timestamp_us, 0);
+}
+
+TEST(Synthetic, SizesComeFromDistribution) {
+  auto cfg = SmallConfig();
+  cfg.metadata_fraction = 0.0;
+  cfg.read_sizes = {{4096, 1.0}};
+  cfg.write_sizes = {{8192, 0.5}, {16384, 0.5}};
+  std::map<std::uint64_t, int> write_sizes;
+  for (const auto& r : SyntheticTraceGenerator(cfg).Generate()) {
+    if (r.op == OpType::kRead) {
+      EXPECT_EQ(r.size_bytes, 4096u);
+    } else {
+      write_sizes[r.size_bytes]++;
+    }
+  }
+  ASSERT_EQ(write_sizes.size(), 2u);
+  EXPECT_GT(write_sizes[8192], 0);
+  EXPECT_GT(write_sizes[16384], 0);
+}
+
+TEST(Synthetic, MetadataFractionProducesSmallHotWrites) {
+  auto cfg = SmallConfig();
+  cfg.read_fraction = 0.0;
+  cfg.metadata_fraction = 1.0;
+  cfg.metadata_size_bytes = 4096;
+  cfg.write_sizes = {{65536, 1.0}};  // would be used only for non-metadata
+  for (const auto& r : SyntheticTraceGenerator(cfg).Generate()) {
+    EXPECT_EQ(r.size_bytes, 4096u);
+  }
+}
+
+TEST(Synthetic, ZipfSkewConcentratesReads) {
+  auto cfg = SmallConfig();
+  cfg.read_fraction = 1.0;
+  cfg.read_zipf_theta = 1.2;
+  std::map<std::uint64_t, int> region_hits;
+  for (const auto& r : SyntheticTraceGenerator(cfg).Generate()) {
+    region_hits[r.offset_bytes / cfg.region_bytes]++;
+  }
+  // The most popular region should far exceed the mean.
+  int max_hits = 0;
+  for (const auto& [region, hits] : region_hits) max_hits = std::max(max_hits, hits);
+  const double mean_hits =
+      static_cast<double>(cfg.num_requests) /
+      static_cast<double>(cfg.footprint_bytes / cfg.region_bytes);
+  EXPECT_GT(max_hits, 5.0 * mean_hits);
+}
+
+TEST(Synthetic, SequentialReadsFollowPrevious) {
+  auto cfg = SmallConfig();
+  cfg.read_fraction = 1.0;
+  cfg.sequential_read_fraction = 1.0;
+  cfg.read_sizes = {{4096, 1.0}};
+  const auto recs = SyntheticTraceGenerator(cfg).Generate();
+  int sequential = 0;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    if (recs[i].offset_bytes == recs[i - 1].offset_bytes + recs[i - 1].size_bytes) {
+      ++sequential;
+    }
+  }
+  // All reads continue sequentially except footprint-boundary restarts.
+  EXPECT_GT(sequential, static_cast<int>(recs.size()) * 9 / 10);
+}
+
+TEST(Synthetic, DecorrelatedWritesUseDifferentHotRegions) {
+  auto cfg = SmallConfig();
+  cfg.read_fraction = 0.5;
+  cfg.metadata_fraction = 0.0;
+  cfg.read_zipf_theta = 1.3;
+  cfg.write_zipf_theta = 1.3;
+  cfg.rw_popularity_correlation = 0.0;
+  cfg.num_requests = 50000;
+  std::map<std::uint64_t, int> read_hits, write_hits;
+  for (const auto& r : SyntheticTraceGenerator(cfg).Generate()) {
+    (r.op == OpType::kRead ? read_hits : write_hits)
+        [r.offset_bytes / cfg.region_bytes]++;
+  }
+  auto top_region = [](const std::map<std::uint64_t, int>& m) {
+    std::uint64_t best = 0;
+    int best_hits = -1;
+    for (const auto& [region, hits] : m) {
+      if (hits > best_hits) {
+        best = region;
+        best_hits = hits;
+      }
+    }
+    return best;
+  };
+  // With independent rankings the hottest read and write regions almost
+  // surely differ (64 regions, scattered independently).
+  EXPECT_NE(top_region(read_hits), top_region(write_hits));
+}
+
+/// Both packaged workloads must produce their advertised first-order shape.
+class WorkloadFactories : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WorkloadFactories, ShapeMatchesDescription) {
+  const bool web = GetParam();
+  const std::uint64_t footprint = 128 * kMiB;
+  const auto cfg = web ? WebServerWorkload(footprint, 30000)
+                       : MediaServerWorkload(footprint, 30000);
+  const auto recs = SyntheticTraceGenerator(cfg).Generate();
+  const auto stats = ComputeStats(recs);
+  if (web) {
+    EXPECT_NEAR(stats.ReadFraction(), 0.60, 0.02);
+    EXPECT_LE(stats.read_size.max(), 16.0 * 1024);
+  } else {
+    EXPECT_NEAR(stats.ReadFraction(), 0.90, 0.02);
+    EXPECT_GE(stats.read_size.mean(), 64.0 * 1024);
+    // Sub-page metadata updates present among large ingests.
+    EXPECT_EQ(stats.write_size.min(), 4096.0);
+    EXPECT_GE(stats.write_size.max(), 128.0 * 1024);
+  }
+  EXPECT_EQ(stats.total_requests, 30000u);
+  EXPECT_LE(stats.max_offset_bytes, footprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WorkloadFactories, ::testing::Bool());
+
+}  // namespace
+}  // namespace ctflash::trace

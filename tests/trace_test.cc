@@ -1,0 +1,111 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ctflash::trace {
+namespace {
+
+TEST(MsrCsv, ParsesWellFormedLines) {
+  std::istringstream in(
+      "128166372003061629,web,0,Read,8192,4096,151\n"
+      "128166372013061629,web,0,Write,16384,8192,220\n");
+  const auto recs = ParseMsrCsv(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].timestamp_us, 0);  // rebased to zero
+  EXPECT_EQ(recs[0].op, OpType::kRead);
+  EXPECT_EQ(recs[0].offset_bytes, 8192u);
+  EXPECT_EQ(recs[0].size_bytes, 4096u);
+  // 1e7 FILETIME ticks = 1e6 microseconds.
+  EXPECT_EQ(recs[1].timestamp_us, 1'000'000);
+  EXPECT_EQ(recs[1].op, OpType::kWrite);
+}
+
+TEST(MsrCsv, AcceptsShortOpNamesAndCase) {
+  std::istringstream in(
+      "100,h,0,r,0,512,0\n"
+      "110,h,0,W,512,512,0\n"
+      "120,h,0,READ,1024,512,0\n");
+  const auto recs = ParseMsrCsv(in);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].op, OpType::kRead);
+  EXPECT_EQ(recs[1].op, OpType::kWrite);
+  EXPECT_EQ(recs[2].op, OpType::kRead);
+}
+
+TEST(MsrCsv, SkipsCommentsBlanksAndZeroSizes) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "100,h,0,Read,0,0,0\n"  // zero size: dropped
+      "200,h,0,Read,0,512,0\n");
+  const auto recs = ParseMsrCsv(in);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].size_bytes, 512u);
+}
+
+TEST(MsrCsv, MalformedLinesThrowWithLineNumber) {
+  std::istringstream bad_fields("100,h,0,Read\n");
+  EXPECT_THROW(ParseMsrCsv(bad_fields), std::invalid_argument);
+  std::istringstream bad_op("100,h,0,Fly,0,512,0\n");
+  EXPECT_THROW(ParseMsrCsv(bad_op), std::invalid_argument);
+  std::istringstream bad_num("xyz,h,0,Read,0,512,0\n");
+  EXPECT_THROW(ParseMsrCsv(bad_num), std::invalid_argument);
+}
+
+TEST(MsrCsv, OutOfOrderTimestampsClampToZero) {
+  std::istringstream in(
+      "1000,h,0,Read,0,512,0\n"
+      "900,h,0,Read,0,512,0\n");
+  const auto recs = ParseMsrCsv(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[1].timestamp_us, 0);
+}
+
+TEST(MsrCsv, MissingFileThrows) {
+  EXPECT_THROW(ParseMsrCsvFile("/no/such/trace.csv"), std::runtime_error);
+}
+
+TEST(MsrCsv, WriteReadRoundTrip) {
+  std::vector<TraceRecord> recs = {
+      {0, OpType::kRead, 4096, 8192},
+      {1500, OpType::kWrite, 0, 4096},
+      {99'000'000, OpType::kRead, 1 << 20, 65536},
+  };
+  std::ostringstream out;
+  WriteMsrCsv(recs, out);
+  std::istringstream in(out.str());
+  const auto parsed = ParseMsrCsv(in);
+  ASSERT_EQ(parsed.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(parsed[i], recs[i]) << "record " << i;
+  }
+}
+
+TEST(TraceStats, AggregatesByOp) {
+  std::vector<TraceRecord> recs = {
+      {0, OpType::kRead, 0, 4096},
+      {1, OpType::kRead, 8192, 8192},
+      {2, OpType::kWrite, 4096, 16384},
+  };
+  const auto s = ComputeStats(recs);
+  EXPECT_EQ(s.total_requests, 3u);
+  EXPECT_EQ(s.read_requests, 2u);
+  EXPECT_EQ(s.write_requests, 1u);
+  EXPECT_EQ(s.read_bytes, 12288u);
+  EXPECT_EQ(s.write_bytes, 16384u);
+  EXPECT_EQ(s.max_offset_bytes, 4096u + 16384u);
+  EXPECT_NEAR(s.ReadFraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.read_size.mean(), 6144.0);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const auto s = ComputeStats({});
+  EXPECT_EQ(s.total_requests, 0u);
+  EXPECT_DOUBLE_EQ(s.ReadFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace ctflash::trace

@@ -1,0 +1,136 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::util {
+namespace {
+
+TEST(ParseByteSize, PlainNumbers) {
+  EXPECT_EQ(ParseByteSize("0"), 0u);
+  EXPECT_EQ(ParseByteSize("4096"), 4096u);
+  EXPECT_EQ(ParseByteSize(" 123 "), 123u);
+}
+
+TEST(ParseByteSize, BinarySuffixes) {
+  EXPECT_EQ(ParseByteSize("1K"), 1024u);
+  EXPECT_EQ(ParseByteSize("16KiB"), 16u * 1024);
+  EXPECT_EQ(ParseByteSize("16KB"), 16u * 1024);
+  EXPECT_EQ(ParseByteSize("4M"), 4u * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize("2GiB"), 2ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize("1T"), 1ull << 40);
+  EXPECT_EQ(ParseByteSize("64g"), 64ull << 30);
+}
+
+TEST(ParseByteSize, FractionalValues) {
+  EXPECT_EQ(ParseByteSize("1.5K"), 1536u);
+  EXPECT_EQ(ParseByteSize("0.5GiB"), 512ull * 1024 * 1024);
+}
+
+TEST(ParseByteSize, PlainByteSuffix) {
+  EXPECT_EQ(ParseByteSize("512B"), 512u);
+}
+
+TEST(ParseByteSize, Errors) {
+  EXPECT_THROW(ParseByteSize(""), std::invalid_argument);
+  EXPECT_THROW(ParseByteSize("KiB"), std::invalid_argument);
+  EXPECT_THROW(ParseByteSize("12XB"), std::invalid_argument);
+  EXPECT_THROW(ParseByteSize("abc"), std::invalid_argument);
+}
+
+TEST(Trim, Basics) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+}
+
+TEST(ToLower, Basics) { EXPECT_EQ(ToLower("AbC"), "abc"); }
+
+TEST(ConfigMap, ParsesSectionsAndKeys) {
+  const auto cfg = ConfigMap::FromString(R"(
+# comment
+[device]
+page_size = 16KiB
+channels = 4
+; another comment
+[ftl]
+op_ratio = 0.15
+enabled = true
+name = ppb
+)");
+  EXPECT_TRUE(cfg.Has("device", "page_size"));
+  EXPECT_FALSE(cfg.Has("device", "missing"));
+  EXPECT_EQ(cfg.GetBytesOr("device", "page_size", 0), 16384u);
+  EXPECT_EQ(cfg.GetIntOr("device", "channels", 0), 4);
+  EXPECT_DOUBLE_EQ(cfg.GetDoubleOr("ftl", "op_ratio", 0.0), 0.15);
+  EXPECT_TRUE(cfg.GetBoolOr("ftl", "enabled", false));
+  EXPECT_EQ(cfg.GetStringOr("ftl", "name", ""), "ppb");
+}
+
+TEST(ConfigMap, FallbacksWhenMissing) {
+  const ConfigMap cfg;
+  EXPECT_EQ(cfg.GetIntOr("a", "b", 42), 42);
+  EXPECT_DOUBLE_EQ(cfg.GetDoubleOr("a", "b", 1.5), 1.5);
+  EXPECT_TRUE(cfg.GetBoolOr("a", "b", true));
+  EXPECT_EQ(cfg.GetBytesOr("a", "b", 7), 7u);
+  EXPECT_EQ(cfg.GetStringOr("a", "b", "x"), "x");
+  EXPECT_FALSE(cfg.GetString("a", "b").has_value());
+}
+
+TEST(ConfigMap, BoolVariants) {
+  auto cfg = ConfigMap::FromString(
+      "[s]\na=yes\nb=No\nc=ON\nd=off\ne=1\nf=0\n");
+  EXPECT_TRUE(cfg.GetBoolOr("s", "a", false));
+  EXPECT_FALSE(cfg.GetBoolOr("s", "b", true));
+  EXPECT_TRUE(cfg.GetBoolOr("s", "c", false));
+  EXPECT_FALSE(cfg.GetBoolOr("s", "d", true));
+  EXPECT_TRUE(cfg.GetBoolOr("s", "e", false));
+  EXPECT_FALSE(cfg.GetBoolOr("s", "f", true));
+}
+
+TEST(ConfigMap, BadBoolThrows) {
+  auto cfg = ConfigMap::FromString("[s]\na=maybe\n");
+  EXPECT_THROW(cfg.GetBoolOr("s", "a", false), std::invalid_argument);
+}
+
+TEST(ConfigMap, MalformedLinesThrow) {
+  EXPECT_THROW(ConfigMap::FromString("[unterminated\n"), std::invalid_argument);
+  EXPECT_THROW(ConfigMap::FromString("key_without_equals\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigMap, KeysBeforeAnySectionGoToEmptySection) {
+  auto cfg = ConfigMap::FromString("top = 1\n[s]\nk = 2\n");
+  EXPECT_EQ(cfg.GetIntOr("", "top", 0), 1);
+  EXPECT_EQ(cfg.GetIntOr("s", "k", 0), 2);
+}
+
+TEST(ConfigMap, SetAndRoundtrip) {
+  ConfigMap cfg;
+  cfg.Set("dev", "size", "64GiB");
+  cfg.Set("dev", "pages", "384");
+  const auto round = ConfigMap::FromString(cfg.ToString());
+  EXPECT_EQ(round.GetBytesOr("dev", "size", 0), 64ull << 30);
+  EXPECT_EQ(round.GetIntOr("dev", "pages", 0), 384);
+}
+
+TEST(ConfigMap, MissingFileThrows) {
+  EXPECT_THROW(ConfigMap::FromFile("/nonexistent/path/cfg.ini"),
+               std::runtime_error);
+}
+
+TEST(ConfigMap, InlineCommentsStripped) {
+  auto cfg = ConfigMap::FromString(
+      "[s]\nsize = 16KiB  # page size\nmode = fast ; note\n");
+  EXPECT_EQ(cfg.GetBytesOr("s", "size", 0), 16384u);
+  EXPECT_EQ(cfg.GetStringOr("s", "mode", ""), "fast");
+}
+
+TEST(ConfigMap, HexIntegers) {
+  auto cfg = ConfigMap::FromString("[s]\nmask = 0xff\n");
+  EXPECT_EQ(cfg.GetIntOr("s", "mask", 0), 255);
+}
+
+}  // namespace
+}  // namespace ctflash::util

@@ -1,0 +1,166 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::util {
+namespace {
+
+TEST(RunningMoments, EmptyIsZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMoments, BasicMoments) {
+  RunningMoments m;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(v);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_NEAR(m.variance(), 4.0, 1e-12);  // classic example set
+  EXPECT_NEAR(m.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.sum(), 40.0);
+}
+
+TEST(RunningMoments, SingleSampleVarianceZero) {
+  RunningMoments m;
+  m.Add(3.5);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(m.min(), 3.5);
+  EXPECT_DOUBLE_EQ(m.max(), 3.5);
+}
+
+TEST(RunningMoments, MergeMatchesSequential) {
+  RunningMoments all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37 - 3.0;
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningMoments, MergeWithEmptySides) {
+  RunningMoments a, b;
+  a.Add(1.0);
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningMoments, ResetClears) {
+  RunningMoments m;
+  m.Add(5.0);
+  m.Reset();
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+TEST(LogHistogram, CountsAndQuantiles) {
+  LogHistogram h;
+  for (std::uint64_t i = 0; i < 1000; ++i) h.Add(100);  // all in [64,128)
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+}
+
+TEST(LogHistogram, QuantileOrdering) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 4096; v *= 2) {
+    for (int i = 0; i < 10; ++i) h.Add(v);
+  }
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(1.0));
+}
+
+TEST(LogHistogram, ZeroGoesToFirstBucket) {
+  LogHistogram h;
+  h.Add(0);
+  h.Add(1);
+  EXPECT_EQ(h.buckets()[0], 2u);
+}
+
+TEST(LogHistogram, BadQuantileThrows) {
+  LogHistogram h;
+  h.Add(5);
+  EXPECT_THROW(h.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.Quantile(1.1), std::invalid_argument);
+}
+
+TEST(LogHistogram, EmptyQuantileIsZero) {
+  LogHistogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a, b;
+  a.Add(10);
+  b.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(LatencyStats, TotalsAndUnits) {
+  LatencyStats s;
+  s.Add(1'000'000);  // 1 second
+  s.Add(2'000'000);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.total_us(), 3e6);
+  EXPECT_DOUBLE_EQ(s.total_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_us(), 1.5e6);
+  EXPECT_DOUBLE_EQ(s.max_us(), 2e6);
+  EXPECT_DOUBLE_EQ(s.min_us(), 1e6);
+}
+
+TEST(LatencyStats, NegativeLatencyClampsHistogramOnly) {
+  LatencyStats s;
+  s.Add(-5);  // defensive: moments keep the value, histogram clamps at 0
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.total_us(), -5.0);
+}
+
+TEST(LatencyStats, SummaryMentionsLabelAndCount) {
+  LatencyStats s;
+  s.Add(42);
+  const std::string text = s.Summary("reads");
+  EXPECT_NE(text.find("reads"), std::string::npos);
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+}
+
+TEST(LatencyStats, MergeAndReset) {
+  LatencyStats a, b;
+  a.Add(10);
+  b.Add(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean_us(), 20.0);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(LatencyStats, PercentilesRoughlyOrdered) {
+  LatencyStats s;
+  for (Us v = 1; v <= 1000; ++v) s.Add(v);
+  EXPECT_LE(s.p50_us(), s.p95_us());
+  EXPECT_LE(s.p95_us(), s.p99_us());
+}
+
+}  // namespace
+}  // namespace ctflash::util

@@ -1,0 +1,50 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ctflash::util {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  const auto s = t.ToString();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha "), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinter, Validation) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatPercent(0.1856), "18.56%");
+  EXPECT_EQ(TablePrinter::FormatPercent(-0.0002, 2), "-0.02%");
+  EXPECT_EQ(TablePrinter::FormatScientific(3.0e6), "3.00E+06");
+  EXPECT_EQ(TablePrinter::FormatScientific(0.0), "0.00E+00");
+}
+
+TEST(TablePrinter, EmptyTableStillRendersHeader) {
+  TablePrinter t({"col"});
+  const auto s = t.ToString();
+  EXPECT_NE(s.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctflash::util
