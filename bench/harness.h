@@ -12,11 +12,14 @@
 //   --media-trace <csv>       replay a real MSR CSV instead of the media
 //   --web-trace <csv>         (resp. web) synthetic stand-in; offsets are
 //                             wrapped into the device's logical space
+//   --qd-list <a,b,c>         queue depths for QD-scaling benches
+//   --qd-requests <n>         requests per QD sweep point
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ssd/experiment.h"
 #include "trace/synthetic.h"
@@ -29,6 +32,8 @@ struct BenchOptions {
   std::uint64_t media_requests = 600'000;
   std::string media_trace_path;  ///< real MSR CSV overriding the stand-in
   std::string web_trace_path;
+  std::vector<std::uint32_t> qd_list = {1, 2, 4, 8, 16, 32, 64};
+  std::uint64_t qd_requests = 20'000;
 
   static BenchOptions FromArgs(int argc, char** argv);
 };
@@ -68,5 +73,19 @@ ComparisonResult RunComparison(
 /// Prints the standard bench header (device, workload sizes, paper pointer).
 void PrintHeader(const std::string& title, const std::string& paper_ref,
                  const BenchOptions& options);
+
+/// Device for queue-depth scaling studies: Table 1 block shape and timing
+/// scaled to options.device_bytes, with `channels` channels and queued
+/// (contention-exposing) timing.
+ssd::SsdConfig QdDeviceConfig(std::uint32_t channels,
+                              const BenchOptions& options);
+
+/// Runs a closed-loop QD sweep on `config` using the harness knobs.
+std::vector<ssd::QdSweepPoint> RunQdSweep(const ssd::SsdConfig& config,
+                                          const BenchOptions& options);
+
+/// Prints one sweep as a table: QD, IOPS, mean/p50/p95/p99/p99.9, util.
+void PrintQdSweep(const std::string& label,
+                  const std::vector<ssd::QdSweepPoint>& points);
 
 }  // namespace ctflash::bench

@@ -92,6 +92,8 @@ class PpbFtl : public ftl::FtlBase {
 
   std::string Name() const override { return "ppb-ftl"; }
 
+  Ppn ProbePpn(Lpn lpn) const override { return map_.Lookup(lpn); }
+
   const PpbConfig& ppb_config() const { return ppb_config_; }
   const PpbStats& ppb_stats() const { return ppb_stats_; }
   void ResetPpbStats() { ppb_stats_ = PpbStats{}; }

@@ -22,6 +22,8 @@ class ConventionalFtl : public FtlBase {
 
   std::string Name() const override { return "conventional-ftl"; }
 
+  Ppn ProbePpn(Lpn lpn) const override { return map_.Lookup(lpn); }
+
   const MappingTable& mapping() const { return map_; }
   const BlockManager& blocks() const { return blocks_; }
 

@@ -12,6 +12,7 @@ FlashTarget::FlashTarget(const nand::NandGeometry& geometry,
     : nand_(geometry, timing, endurance_pe_cycles),
       chips_(geometry.TotalChips()),
       channels_(geometry.channels),
+      dies_(geometry.TotalDies()),
       page_transfer_us_(
           nand_.latency_model().TransferUs(geometry.page_size_bytes)),
       mode_(mode) {}
@@ -39,12 +40,15 @@ Us FlashTarget::ReadPage(Ppn ppn, Us earliest, std::uint64_t transfer_bytes) {
   const BlockId block = geometry().BlockOf(ppn);
   auto& chip = chips_.At(geometry().ChipOfBlock(block));
   auto& channel = channels_.At(geometry().ChannelOfBlock(block));
+  auto& die = dies_.At(geometry().DieOfBlock(block));
   if (mode_ == TimingMode::kServiceTime) {
     chip.Reserve(chip.FreeAt(), cell_us);          // busy-time accounting only
+    die.Reserve(die.FreeAt(), cell_us);
     channel.Reserve(channel.FreeAt(), xfer_us);
     return earliest + cell_us + xfer_us;
   }
-  const sim::Interval cell = chip.Reserve(earliest, cell_us);
+  const sim::Interval cell = die.Reserve(earliest, cell_us);
+  chip.Reserve(chip.FreeAt(), cell_us);            // busy-time accounting only
   const sim::Interval xfer = channel.Reserve(cell.end, xfer_us);
   return xfer.end;
 }
@@ -60,13 +64,16 @@ Us FlashTarget::ProgramPage(Ppn ppn, Us earliest) {
   const BlockId block = geometry().BlockOf(ppn);
   auto& chip = chips_.At(geometry().ChipOfBlock(block));
   auto& channel = channels_.At(geometry().ChannelOfBlock(block));
+  auto& die = dies_.At(geometry().DieOfBlock(block));
   if (mode_ == TimingMode::kServiceTime) {
     channel.Reserve(channel.FreeAt(), page_transfer_us_);
     chip.Reserve(chip.FreeAt(), cell_us);
+    die.Reserve(die.FreeAt(), cell_us);
     return earliest + page_transfer_us_ + cell_us;
   }
   const sim::Interval xfer = channel.Reserve(earliest, page_transfer_us_);
-  const sim::Interval cell = chip.Reserve(xfer.end, cell_us);
+  const sim::Interval cell = die.Reserve(xfer.end, cell_us);
+  chip.Reserve(chip.FreeAt(), cell_us);            // busy-time accounting only
   return cell.end;
 }
 
@@ -86,11 +93,19 @@ Us FlashTarget::EraseBlock(BlockId block, Us earliest) {
     std::abort();
   }
   auto& chip = chips_.At(geometry().ChipOfBlock(block));
+  auto& die = dies_.At(geometry().DieOfBlock(block));
   if (mode_ == TimingMode::kServiceTime) {
     chip.Reserve(chip.FreeAt(), erase_us);
+    die.Reserve(die.FreeAt(), erase_us);
     return earliest + erase_us;
   }
-  return chip.Reserve(earliest, erase_us).end;
+  const sim::Interval cell = die.Reserve(earliest, erase_us);
+  chip.Reserve(chip.FreeAt(), erase_us);           // busy-time accounting only
+  return cell.end;
+}
+
+Us FlashTarget::DieFreeAt(BlockId block) const {
+  return dies_.At(geometry().DieOfBlock(block)).FreeAt();
 }
 
 Us FlashTarget::CopyPage(Ppn from, Ppn to, Us earliest) {

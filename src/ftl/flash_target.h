@@ -14,9 +14,12 @@
 //    (cell op + bus transfer) independent of other in-flight requests.  This
 //    matches the paper's additive trace-driven accounting, where cumulative
 //    latency is the sum of per-request device times.
-//  * kQueued: operations additionally queue on the chip and channel
-//    occupancy timelines, exposing contention (useful for queueing studies;
-//    the busy-time counters are maintained in both modes).
+//  * kQueued: operations additionally queue on the die and channel
+//    occupancy timelines, exposing contention (the host interface and
+//    queueing studies run in this mode).  The die is the unit of cell-op
+//    exclusivity — two dies on one chip interleave freely, which is what
+//    lets the host scheduler extract intra-chip parallelism; the chip
+//    timelines are kept as pure busy-time accounting in both modes.
 #pragma once
 
 #include <cstdint>
@@ -78,6 +81,10 @@ class FlashTarget {
 
   const sim::ResourcePool& chips() const { return chips_; }
   const sim::ResourcePool& channels() const { return channels_; }
+  const sim::ResourcePool& dies() const { return dies_; }
+  /// First time the die serving `block` can start a new cell operation.
+  /// The host scheduler uses this for conflict-aware dispatch ordering.
+  Us DieFreeAt(BlockId block) const;
   TimingMode mode() const { return mode_; }
 
   /// Arms the synthetic layer error model: every subsequent page read
@@ -94,6 +101,7 @@ class FlashTarget {
   nand::NandDevice nand_;
   sim::ResourcePool chips_;
   sim::ResourcePool channels_;
+  sim::ResourcePool dies_;
   Us page_transfer_us_;
   TimingMode mode_;
   std::unique_ptr<nand::LayerErrorModel> error_model_;

@@ -83,6 +83,11 @@ class FtlBase {
 
   virtual std::string Name() const = 0;
 
+  /// Scheduling hint for the host layer: the physical page currently
+  /// serving `lpn`, or kInvalidPpn when unmapped.  Read-only — it must not
+  /// touch hotness metadata (a probe is not an access).
+  virtual Ppn ProbePpn(Lpn lpn) const = 0;
+
   std::uint64_t LogicalPages() const { return logical_pages_; }
   std::uint64_t LogicalBytes() const {
     return logical_pages_ * PageSize();

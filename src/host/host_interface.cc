@@ -1,0 +1,163 @@
+#include "host/host_interface.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ctflash::host {
+
+void HostConfig::Validate() const {
+  if (num_queues == 0) {
+    throw std::invalid_argument("HostConfig: num_queues must be > 0");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument("HostConfig: queue_capacity must be > 0");
+  }
+  if (device_slots == 0) {
+    throw std::invalid_argument("HostConfig: device_slots must be > 0");
+  }
+}
+
+HostInterface::HostInterface(ssd::Ssd& ssd, const HostConfig& config)
+    : ssd_(ssd),
+      config_(config),
+      scheduler_(ssd, queue_, config.policy, config.device_slots),
+      queue_fill_(config.num_queues, 0) {
+  config_.Validate();
+  scheduler_.OnTxnComplete(
+      [this](const FlashTransaction& txn, const ftl::RequestResult& result) {
+        OnTxnComplete(txn, result);
+      });
+}
+
+std::uint64_t HostInterface::Submit(trace::OpType op,
+                                    std::uint64_t offset_bytes,
+                                    std::uint64_t size_bytes,
+                                    CompletionCallback cb) {
+  HostRequest request;
+  request.id = next_id_++;
+  request.op = op;
+  request.offset_bytes = offset_bytes;
+  request.size_bytes = size_bytes;
+  request.submit_us = queue_.Now();
+  stats_.submitted++;
+
+  // Round-robin queue placement; fall through to the first queue with a
+  // free slot so one hot queue does not block an idle device.
+  const std::uint32_t start = rr_next_queue_;
+  rr_next_queue_ = (rr_next_queue_ + 1) % config_.num_queues;
+  for (std::uint32_t probe = 0; probe < config_.num_queues; ++probe) {
+    const std::uint32_t qid = (start + probe) % config_.num_queues;
+    if (queue_fill_[qid] < config_.queue_capacity) {
+      Admit(request, qid, std::move(cb));
+      return request.id;
+    }
+  }
+  stats_.backlogged++;
+  backlog_.emplace_back(request, std::move(cb));
+  return request.id;
+}
+
+void HostInterface::SubmitAt(Us at, trace::OpType op,
+                             std::uint64_t offset_bytes,
+                             std::uint64_t size_bytes, CompletionCallback cb) {
+  queue_.ScheduleAt(at, [this, op, offset_bytes, size_bytes,
+                         cb = std::move(cb)](Us) mutable {
+    Submit(op, offset_bytes, size_bytes, std::move(cb));
+  });
+}
+
+void HostInterface::Admit(HostRequest request, std::uint32_t qid,
+                          CompletionCallback cb) {
+  queue_fill_[qid]++;
+  outstanding_++;
+
+  // Clip into the exported logical space (wrapped traces), mirroring the
+  // trace-replay harness.
+  const std::uint64_t logical = ssd_.LogicalBytes();
+  std::uint64_t offset = request.offset_bytes;
+  std::uint64_t size = request.size_bytes;
+  if (offset >= logical) offset %= logical;
+  if (offset + size > logical) size = logical - offset;
+
+  Pending pending;
+  pending.request = request;
+  pending.qid = qid;
+  pending.cb = std::move(cb);
+
+  if (size == 0) {
+    // Clipped away entirely: carries no flash work, completes instantly —
+    // still via the event queue so callback ordering stays deterministic.
+    pending.completion_us = queue_.Now();
+    pending_.emplace(request.id, std::move(pending));
+    queue_.ScheduleAt(queue_.Now(),
+                      [this, id = request.id](Us) { FinalizeRequest(id); });
+    return;
+  }
+
+  const std::uint32_t page = ssd_.config().geometry.page_size_bytes;
+  const Lpn first = offset / page;
+  const Lpn last = (offset + size - 1) / page;
+  pending.pages = static_cast<std::uint32_t>(last - first + 1);
+  pending.pages_left = pending.pages;
+  pending_.emplace(request.id, std::move(pending));
+
+  for (Lpn lpn = first; lpn <= last; ++lpn) {
+    const std::uint64_t page_start = lpn * page;
+    const std::uint64_t lo = std::max<std::uint64_t>(page_start, offset);
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(page_start + page, offset + size);
+    FlashTransaction txn;
+    txn.request_id = request.id;
+    txn.seq = next_txn_seq_++;
+    txn.op = request.op;
+    txn.offset_bytes = lo;
+    txn.size_bytes = hi - lo;
+    txn.lpn = lpn;
+    scheduler_.Enqueue(txn);
+  }
+}
+
+void HostInterface::OnTxnComplete(const FlashTransaction& txn,
+                                  const ftl::RequestResult& result) {
+  auto it = pending_.find(txn.request_id);
+  CTFLASH_CHECK(it != pending_.end());
+  Pending& pending = it->second;
+  stats_.transactions_completed++;
+  if (result.completion_us > pending.completion_us) {
+    pending.completion_us = result.completion_us;
+  }
+  CTFLASH_CHECK(pending.pages_left > 0);
+  if (--pending.pages_left == 0) FinalizeRequest(txn.request_id);
+}
+
+void HostInterface::FinalizeRequest(std::uint64_t id) {
+  auto it = pending_.find(id);
+  CTFLASH_CHECK(it != pending_.end());
+  // Move out before erasing: the callback and the backlog admission below
+  // may submit new requests and mutate pending_.
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  outstanding_--;
+  queue_fill_[pending.qid]--;
+  stats_.completed++;
+  HostCompletion completion;
+  completion.request = pending.request;
+  completion.completion_us = pending.completion_us;
+  completion.pages = pending.pages;
+  auto& latency = pending.request.op == trace::OpType::kRead
+                      ? stats_.read_latency
+                      : stats_.write_latency;
+  latency.Add(completion.LatencyUs());
+
+  if (!backlog_.empty()) {
+    auto [request, cb] = std::move(backlog_.front());
+    backlog_.pop_front();
+    Admit(std::move(request), pending.qid, std::move(cb));
+  }
+  if (pending.cb) pending.cb(completion);
+}
+
+}  // namespace ctflash::host

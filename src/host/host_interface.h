@@ -1,0 +1,121 @@
+// NVMe-flavored multi-queue host interface: the traffic-serving front end
+// of the simulated device.
+//
+// Byte-range requests enter one of `num_queues` bounded submission queues
+// (round-robin placement, as a multi-core driver would distribute them),
+// are split into page-level flash transactions, and dispatch out-of-order
+// across channels/chips/dies through the IoScheduler.  A request's queue
+// slot stays occupied until its last page completes (the completion-queue
+// entry), so num_queues * queue_capacity bounds outstanding requests;
+// submissions beyond that wait in a host-side backlog — a blocked
+// submitter, never dropped work.
+//
+// Offsets are clipped into the exported logical space the same way the
+// trace-replay harness clips them (wrapped traces), so any TraceRecord can
+// be submitted directly.
+//
+// All progress is driven by the owned sim::EventQueue: Submit() computes
+// flash timing through the resource timelines and completions fire as
+// events, which makes runs bit-for-bit deterministic.  Construct the Ssd
+// with TimingMode::kQueued — with pure service-time accounting there is no
+// contention and queue depth cannot matter.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "host/io_scheduler.h"
+#include "host/request.h"
+#include "sim/event_queue.h"
+#include "ssd/ssd.h"
+#include "util/types.h"
+
+namespace ctflash::host {
+
+struct HostConfig {
+  std::uint32_t num_queues = 4;      ///< submission/completion queue pairs
+  std::uint32_t queue_capacity = 64; ///< outstanding requests per queue
+  std::uint32_t device_slots = 32;   ///< in-flight page transactions
+  SchedPolicy policy = SchedPolicy::kOutOfOrder;
+
+  void Validate() const;
+};
+
+class HostInterface {
+ public:
+  using CompletionCallback = std::function<void(const HostCompletion&)>;
+
+  HostInterface(ssd::Ssd& ssd, const HostConfig& config);
+
+  HostInterface(const HostInterface&) = delete;
+  HostInterface& operator=(const HostInterface&) = delete;
+
+  /// Submits a request at the current simulated time; returns its id.
+  /// `cb` (optional) fires when the last page transaction completes.
+  std::uint64_t Submit(trace::OpType op, std::uint64_t offset_bytes,
+                       std::uint64_t size_bytes,
+                       CompletionCallback cb = nullptr);
+
+  /// Schedules a submission at absolute simulated time `at` (open-loop
+  /// arrivals from trace timestamps).
+  void SubmitAt(Us at, trace::OpType op, std::uint64_t offset_bytes,
+                std::uint64_t size_bytes, CompletionCallback cb = nullptr);
+
+  /// Runs the event queue until all submitted work has completed.
+  void Run() { queue_.RunToCompletion(); }
+
+  /// Advances simulated time without submitting (e.g. past the end of a
+  /// synchronous prefill, whose flash work already booked the timelines).
+  void AdvanceTo(Us at) { queue_.RunUntil(at); }
+
+  sim::EventQueue& queue() { return queue_; }
+  ssd::Ssd& ssd() { return ssd_; }
+  const HostConfig& config() const { return config_; }
+  const HostStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = HostStats{}; }
+
+  /// Admitted-but-incomplete requests across all queues.
+  std::uint32_t Outstanding() const { return outstanding_; }
+  std::size_t BacklogDepth() const { return backlog_.size(); }
+  std::uint64_t TxnsDispatched() const { return scheduler_.DispatchedCount(); }
+  std::uint32_t PeakDeviceInFlight() const {
+    return scheduler_.PeakInFlight();
+  }
+
+ private:
+  struct Pending {
+    HostRequest request;
+    std::uint32_t qid = 0;
+    std::uint32_t pages = 0;
+    std::uint32_t pages_left = 0;
+    Us completion_us = 0;
+    CompletionCallback cb;
+  };
+
+  /// Places the request in submission queue `qid` and hands its page
+  /// transactions to the scheduler.
+  void Admit(HostRequest request, std::uint32_t qid, CompletionCallback cb);
+  void OnTxnComplete(const FlashTransaction& txn,
+                     const ftl::RequestResult& result);
+  /// Retires a fully completed request: stats, queue slot, backlog pull,
+  /// completion callback.
+  void FinalizeRequest(std::uint64_t id);
+
+  ssd::Ssd& ssd_;
+  HostConfig config_;
+  sim::EventQueue queue_;
+  IoScheduler scheduler_;
+  HostStats stats_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<std::uint32_t> queue_fill_;  ///< occupancy per submission queue
+  std::deque<std::pair<HostRequest, CompletionCallback>> backlog_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_txn_seq_ = 0;
+  std::uint32_t rr_next_queue_ = 0;
+  std::uint32_t outstanding_ = 0;
+};
+
+}  // namespace ctflash::host

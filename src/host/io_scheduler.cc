@@ -1,0 +1,90 @@
+#include "host/io_scheduler.h"
+
+#include <stdexcept>
+
+namespace ctflash::host {
+
+const char* SchedPolicyName(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kFifo:
+      return "fifo";
+    case SchedPolicy::kOutOfOrder:
+      return "out-of-order";
+  }
+  return "?";
+}
+
+IoScheduler::IoScheduler(ssd::Ssd& ssd, sim::EventQueue& queue,
+                         SchedPolicy policy, std::uint32_t device_slots)
+    : ssd_(ssd), queue_(queue), policy_(policy), device_slots_(device_slots) {
+  if (device_slots == 0) {
+    throw std::invalid_argument("IoScheduler: device_slots must be > 0");
+  }
+}
+
+void IoScheduler::Enqueue(FlashTransaction txn) {
+  ready_.push_back(txn);
+  Pump();
+}
+
+IoScheduler::DispatchKey IoScheduler::KeyOf(
+    const FlashTransaction& txn) const {
+  // Writes and unmapped reads have no resolvable die until the FTL's
+  // allocator runs: they are startable now, plane 0.
+  if (txn.op != trace::OpType::kRead) return {0, 0};
+  const Ppn ppn = ssd_.ftl().ProbePpn(txn.lpn);
+  if (ppn == kInvalidPpn) return {0, 0};
+  const auto& geo = ssd_.target().geometry();
+  const BlockId block = geo.BlockOf(ppn);
+  return {ssd_.target().DieFreeAt(block), geo.PlaneOfBlock(block)};
+}
+
+std::size_t IoScheduler::PickNext() const {
+  // ready_ stays in submission order: seq is monotonic at push_back and
+  // vector erase preserves relative order, so FIFO is simply the front.
+  if (policy_ == SchedPolicy::kFifo) return 0;
+  // Out-of-order: earliest predicted die availability wins; ties stripe
+  // across planes, then fall back to submission order.  Anything startable
+  // now (idle die, write, unmapped read) shares the same first key.
+  const Us now = queue_.Now();
+  std::size_t best = 0;
+  DispatchKey best_key{};
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    DispatchKey key = KeyOf(ready_[i]);
+    key.start = std::max(key.start, now);
+    if (i == 0 || key.start < best_key.start ||
+        (key.start == best_key.start && key.plane < best_key.plane)) {
+      // Equal (start, plane) keeps the earlier index, which is the lower
+      // seq — submission order is the final tie-break.
+      best = i;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+void IoScheduler::Pump() {
+  while (in_flight_ < device_slots_ && !ready_.empty()) {
+    const std::size_t idx = PickNext();
+    const FlashTransaction txn = ready_[idx];
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(idx));
+    ++in_flight_;
+    if (in_flight_ > peak_in_flight_) peak_in_flight_ = in_flight_;
+    ++dispatched_;
+    // SubmitRead/SubmitWrite service the transaction on the resource
+    // timelines immediately and fire `done` as a completion event, so this
+    // loop never re-enters itself.
+    auto done = [this, txn](const ftl::RequestResult& r) {
+      --in_flight_;
+      if (on_complete_) on_complete_(txn, r);
+      Pump();
+    };
+    if (txn.op == trace::OpType::kRead) {
+      ssd_.SubmitRead(txn.offset_bytes, txn.size_bytes, queue_, done);
+    } else {
+      ssd_.SubmitWrite(txn.offset_bytes, txn.size_bytes, queue_, done);
+    }
+  }
+}
+
+}  // namespace ctflash::host

@@ -1,0 +1,97 @@
+// Page-level flash transaction scheduler: the dispatch stage between the
+// host submission queues and the device.
+//
+// Admitted host requests arrive already split into single-page
+// FlashTransactions.  The scheduler keeps a ready set and at most
+// `device_slots` transactions in flight (the device's internal command
+// queue); each completion event frees a slot and pulls the next winner, so
+// dispatch is driven entirely by the simulation event queue and is
+// deterministic.
+//
+// Dispatch order is the scheduler's whole point:
+//  * kFifo issues strictly in submission order — a read stuck behind a busy
+//    die blocks everything after it (head-of-line blocking);
+//  * kOutOfOrder picks the ready transaction whose target die frees
+//    earliest (die-level conflict detection via the FlashTarget occupancy
+//    timelines), tie-breaking on plane then submission order so same-die
+//    work stripes across planes deterministically.  Reads to idle dies
+//    overtake bursts queued on hot ones, which is where channel/chip/die
+//    parallelism — and QD scaling — comes from.
+//
+// Writes and unmapped reads have no resolvable die before the FTL's
+// allocator runs at dispatch time, so they dispatch in FIFO order among
+// themselves at the head of the ready set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "host/request.h"
+#include "sim/event_queue.h"
+#include "ssd/ssd.h"
+#include "util/types.h"
+
+namespace ctflash::host {
+
+/// Dispatch-order policy; see file header.
+enum class SchedPolicy { kFifo = 0, kOutOfOrder = 1 };
+
+const char* SchedPolicyName(SchedPolicy policy);
+
+/// One page-granular slice of a host request.
+struct FlashTransaction {
+  std::uint64_t request_id = 0;
+  std::uint64_t seq = 0;  ///< global submission order (FIFO key)
+  trace::OpType op = trace::OpType::kRead;
+  std::uint64_t offset_bytes = 0;  ///< absolute; spans at most one page
+  std::uint64_t size_bytes = 0;
+  Lpn lpn = 0;
+};
+
+class IoScheduler {
+ public:
+  using TxnCallback =
+      std::function<void(const FlashTransaction&, const ftl::RequestResult&)>;
+
+  IoScheduler(ssd::Ssd& ssd, sim::EventQueue& queue, SchedPolicy policy,
+              std::uint32_t device_slots);
+
+  /// Sink for completed transactions (set once by the host interface).
+  void OnTxnComplete(TxnCallback cb) { on_complete_ = std::move(cb); }
+
+  /// Adds a transaction to the ready set and dispatches while slots allow.
+  void Enqueue(FlashTransaction txn);
+
+  std::uint32_t InFlight() const { return in_flight_; }
+  std::size_t ReadyCount() const { return ready_.size(); }
+  std::uint64_t DispatchedCount() const { return dispatched_; }
+  /// Highest number of simultaneously in-flight transactions observed.
+  std::uint32_t PeakInFlight() const { return peak_in_flight_; }
+  SchedPolicy policy() const { return policy_; }
+
+ private:
+  /// Out-of-order sort key: earliest cell-op start on the target die plus
+  /// the plane stripe tie-break; {0, 0} when the target die is unknown
+  /// (writes, unmapped reads).  One mapping probe resolves both.
+  struct DispatchKey {
+    Us start = 0;
+    std::uint32_t plane = 0;
+  };
+
+  void Pump();
+  std::size_t PickNext() const;
+  DispatchKey KeyOf(const FlashTransaction& txn) const;
+
+  ssd::Ssd& ssd_;
+  sim::EventQueue& queue_;
+  SchedPolicy policy_;
+  std::uint32_t device_slots_;
+  std::uint32_t in_flight_ = 0;
+  std::uint32_t peak_in_flight_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::vector<FlashTransaction> ready_;
+  TxnCallback on_complete_;
+};
+
+}  // namespace ctflash::host

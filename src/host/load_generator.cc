@@ -1,0 +1,144 @@
+#include "host/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ctflash::host {
+
+UtilizationProbe::UtilizationProbe(const ftl::FlashTarget& target)
+    : target_(target),
+      die_busy_0_(target.dies().TotalBusyTime()),
+      channel_busy_0_(target.channels().TotalBusyTime()),
+      chip_busy_0_(target.chips().TotalBusyTime()) {}
+
+void UtilizationProbe::Finish(LoadStats& stats) const {
+  const Us makespan = stats.MakespanUs();
+  if (makespan <= 0) return;
+  const auto share = [makespan](Us busy, std::size_t members) {
+    return static_cast<double>(busy) /
+           (static_cast<double>(makespan) * static_cast<double>(members));
+  };
+  stats.die_utilization =
+      share(target_.dies().TotalBusyTime() - die_busy_0_,
+            target_.dies().Count());
+  stats.channel_utilization =
+      share(target_.channels().TotalBusyTime() - channel_busy_0_,
+            target_.channels().Count());
+  stats.chip_utilization =
+      share(target_.chips().TotalBusyTime() - chip_busy_0_,
+            target_.chips().Count());
+}
+
+void ClosedLoopGenerator::Config::Validate() const {
+  if (queue_depth == 0) {
+    throw std::invalid_argument("ClosedLoopGenerator: queue_depth must be > 0");
+  }
+  if (total_requests == 0) {
+    throw std::invalid_argument(
+        "ClosedLoopGenerator: total_requests must be > 0");
+  }
+  if (request_bytes == 0) {
+    throw std::invalid_argument(
+        "ClosedLoopGenerator: request_bytes must be > 0");
+  }
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    throw std::invalid_argument(
+        "ClosedLoopGenerator: read_fraction must be in [0, 1]");
+  }
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(HostInterface& host,
+                                         const Config& config)
+    : host_(host), config_(config), rng_(config.seed) {
+  config_.Validate();
+  if (config_.footprint_bytes == 0 ||
+      config_.footprint_bytes > host_.ssd().LogicalBytes()) {
+    config_.footprint_bytes = host_.ssd().LogicalBytes();
+  }
+  if (config_.footprint_bytes < config_.request_bytes) {
+    throw std::invalid_argument(
+        "ClosedLoopGenerator: footprint smaller than one request");
+  }
+}
+
+void ClosedLoopGenerator::SubmitNext() {
+  if (issued_count_ >= config_.total_requests) return;
+  issued_count_++;
+  const trace::OpType op = rng_.Bernoulli(config_.read_fraction)
+                               ? trace::OpType::kRead
+                               : trace::OpType::kWrite;
+  const std::uint64_t slots =
+      config_.footprint_bytes / config_.request_bytes;
+  const std::uint64_t offset =
+      rng_.UniformBelow(slots) * config_.request_bytes;
+  issued_.push_back(
+      {host_.queue().Now(), op, offset, config_.request_bytes});
+  host_.Submit(op, offset, config_.request_bytes,
+               [this](const HostCompletion&) { SubmitNext(); });
+}
+
+LoadStats ClosedLoopGenerator::Run() {
+  if (host_.Outstanding() != 0) {
+    throw std::logic_error("ClosedLoopGenerator: host interface not idle");
+  }
+  host_.ResetStats();
+  issued_count_ = 0;
+  issued_.clear();
+  LoadStats stats;
+  stats.start_us = host_.queue().Now();
+  UtilizationProbe probe(host_.ssd().target());
+
+  const std::uint64_t initial =
+      std::min<std::uint64_t>(config_.queue_depth, config_.total_requests);
+  for (std::uint64_t i = 0; i < initial; ++i) SubmitNext();
+  host_.Run();
+
+  stats.end_us = host_.queue().Now();
+  stats.requests = host_.stats().completed;
+  stats.read_latency = host_.stats().read_latency;
+  stats.write_latency = host_.stats().write_latency;
+  probe.Finish(stats);
+  return stats;
+}
+
+OpenLoopGenerator::OpenLoopGenerator(HostInterface& host,
+                                     std::vector<trace::TraceRecord> records,
+                                     double time_scale)
+    : host_(host), records_(std::move(records)), time_scale_(time_scale) {
+  if (time_scale_ <= 0.0) {
+    throw std::invalid_argument("OpenLoopGenerator: time_scale must be > 0");
+  }
+}
+
+LoadStats OpenLoopGenerator::Run() {
+  if (host_.Outstanding() != 0) {
+    throw std::logic_error("OpenLoopGenerator: host interface not idle");
+  }
+  host_.ResetStats();
+  LoadStats stats;
+  stats.start_us = host_.queue().Now();
+  UtilizationProbe probe(host_.ssd().target());
+
+  for (const auto& record : records_) {
+    // Clamp hand-built records with negative timestamps to "now" — the
+    // event queue (rightly) refuses to schedule in the past.
+    const Us at = std::max(
+        stats.start_us +
+            static_cast<Us>(std::llround(
+                static_cast<double>(record.timestamp_us) * time_scale_)),
+        host_.queue().Now());
+    host_.SubmitAt(at, record.op, record.offset_bytes, record.size_bytes);
+  }
+  host_.Run();
+
+  stats.end_us = host_.queue().Now();
+  stats.requests = host_.stats().completed;
+  stats.read_latency = host_.stats().read_latency;
+  stats.write_latency = host_.stats().write_latency;
+  probe.Finish(stats);
+  return stats;
+}
+
+}  // namespace ctflash::host

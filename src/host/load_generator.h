@@ -1,0 +1,124 @@
+// Load generators driving the host interface.
+//
+// ClosedLoopGenerator keeps a fixed number of requests in flight (the
+// classic fio/MQSim queue-depth-driven closed loop): every completion
+// immediately submits the next request, so measured IOPS tracks what the
+// device sustains at that concurrency.  OpenLoopGenerator replays
+// trace::TraceRecord arrivals at their timestamps regardless of
+// completions — offered load is fixed and latency reveals saturation; a
+// time_scale below 1.0 compresses inter-arrival gaps to raise the arrival
+// rate without editing the trace.
+//
+// Both generators expect an idle host interface, reset its stats, and
+// report per-run aggregates including per-resource utilization (busy-time
+// deltas over the run's makespan).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/host_interface.h"
+#include "trace/trace.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace ctflash::host {
+
+/// Aggregates for one generator run.
+struct LoadStats {
+  std::uint64_t requests = 0;
+  Us start_us = 0;
+  Us end_us = 0;
+  util::LatencyStats read_latency;
+  util::LatencyStats write_latency;
+  /// Busy-time share of the run's makespan, averaged over pool members.
+  double die_utilization = 0.0;
+  double channel_utilization = 0.0;
+  /// Cell-op duty summed over each chip's dies (the chip timelines are
+  /// busy-time accounting): with multiple dies per chip overlapping, this
+  /// exceeds 1.0 — it measures die-parallelism extracted per chip, not a
+  /// share of the makespan.
+  double chip_utilization = 0.0;
+
+  Us MakespanUs() const { return end_us - start_us; }
+  double Iops() const {
+    return MakespanUs() == 0
+               ? 0.0
+               : static_cast<double>(requests) * 1e6 /
+                     static_cast<double>(MakespanUs());
+  }
+  /// Read + write latencies merged (percentile reporting).
+  util::LatencyStats AllLatency() const {
+    util::LatencyStats all = read_latency;
+    all.Merge(write_latency);
+    return all;
+  }
+};
+
+class ClosedLoopGenerator {
+ public:
+  struct Config {
+    std::uint32_t queue_depth = 8;
+    std::uint64_t total_requests = 10'000;
+    double read_fraction = 1.0;
+    std::uint64_t request_bytes = 16 * kKiB;
+    /// Address span to draw uniform random request-aligned offsets from;
+    /// 0 = the device's whole logical space.
+    std::uint64_t footprint_bytes = 0;
+    std::uint64_t seed = 1;
+
+    void Validate() const;
+  };
+
+  ClosedLoopGenerator(HostInterface& host, const Config& config);
+
+  /// Submits `queue_depth` requests, then one per completion until
+  /// `total_requests` have been issued; drains and reports.
+  LoadStats Run();
+
+  /// The exact request stream issued (for determinism and sync-path
+  /// equivalence checks); timestamps are submission times.
+  const std::vector<trace::TraceRecord>& issued() const { return issued_; }
+
+ private:
+  void SubmitNext();
+
+  HostInterface& host_;
+  Config config_;
+  util::Xoshiro256StarStar rng_;
+  std::uint64_t issued_count_ = 0;
+  std::vector<trace::TraceRecord> issued_;
+};
+
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(HostInterface& host,
+                    std::vector<trace::TraceRecord> records,
+                    double time_scale = 1.0);
+
+  LoadStats Run();
+
+ private:
+  HostInterface& host_;
+  std::vector<trace::TraceRecord> records_;
+  double time_scale_;
+};
+
+/// Snapshot/delta helper shared by the generators: utilization of the
+/// device's resource pools between two points in simulated time.
+struct UtilizationProbe {
+  explicit UtilizationProbe(const ftl::FlashTarget& target);
+
+  /// Fills the utilization fields of `stats` for [stats.start_us,
+  /// stats.end_us] relative to the construction-time snapshot.
+  void Finish(LoadStats& stats) const;
+
+ private:
+  const ftl::FlashTarget& target_;
+  Us die_busy_0_;
+  Us channel_busy_0_;
+  Us chip_busy_0_;
+};
+
+}  // namespace ctflash::host

@@ -1,0 +1,49 @@
+// Host-level request and completion types for the multi-queue host
+// interface (src/host/host_interface.h).
+//
+// A HostRequest is a byte-range command as a host driver would post it to
+// an NVMe submission queue; the host interface splits it into page-level
+// flash transactions (io_scheduler.h) and reports a HostCompletion when the
+// last page finishes.  Latency is end-to-end: submission (including any
+// host-side blocking on full queues) to last-page completion.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace ctflash::host {
+
+/// One host byte-range I/O command.
+struct HostRequest {
+  std::uint64_t id = 0;
+  trace::OpType op = trace::OpType::kRead;
+  std::uint64_t offset_bytes = 0;
+  std::uint64_t size_bytes = 0;
+  Us submit_us = 0;
+};
+
+/// Completion record delivered to the submitter's callback.
+struct HostCompletion {
+  HostRequest request;
+  Us completion_us = 0;     ///< last page transaction finished
+  std::uint32_t pages = 0;  ///< flash transactions the request split into
+
+  Us LatencyUs() const { return completion_us - request.submit_us; }
+};
+
+/// Aggregates the host interface maintains over its lifetime (reset with
+/// HostInterface::ResetStats before a measured run).
+struct HostStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  /// Submissions that found their queue full and waited host-side.
+  std::uint64_t backlogged = 0;
+  std::uint64_t transactions_completed = 0;
+  util::LatencyStats read_latency;   ///< end-to-end, per request
+  util::LatencyStats write_latency;
+};
+
+}  // namespace ctflash::host

@@ -66,6 +66,20 @@ std::uint32_t NandGeometry::ChannelOfBlock(BlockId block) const {
   return static_cast<std::uint32_t>(ChipOfBlock(block) / chips_per_channel);
 }
 
+std::uint64_t NandGeometry::DieOfBlock(BlockId block) const {
+  if (block >= TotalBlocks()) {
+    throw std::out_of_range("DieOfBlock: block out of range");
+  }
+  return (block % TotalPlanes()) / planes_per_die;
+}
+
+std::uint32_t NandGeometry::PlaneOfBlock(BlockId block) const {
+  if (block >= TotalBlocks()) {
+    throw std::out_of_range("PlaneOfBlock: block out of range");
+  }
+  return static_cast<std::uint32_t>((block % TotalPlanes()) % planes_per_die);
+}
+
 std::string NandGeometry::ToString() const {
   std::ostringstream os;
   os << channels << "ch x " << chips_per_channel << "chip x " << dies_per_chip

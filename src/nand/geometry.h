@@ -56,6 +56,7 @@ struct NandGeometry {
   std::uint64_t TotalChips() const {
     return static_cast<std::uint64_t>(channels) * chips_per_channel;
   }
+  std::uint64_t TotalDies() const { return TotalChips() * dies_per_chip; }
 
   // --- Flat index conversions -------------------------------------------
   // Blocks are numbered plane-major: block b lives on plane (b %
@@ -83,6 +84,13 @@ struct NandGeometry {
   std::uint64_t ChipOfBlock(BlockId block) const;
   /// Channel index serving a block.
   std::uint32_t ChannelOfBlock(BlockId block) const;
+  /// Global die index serving a block — the unit of NAND operation
+  /// exclusivity (one in-flight cell op per die); the host scheduler keys
+  /// its conflict detection on this.
+  std::uint64_t DieOfBlock(BlockId block) const;
+  /// Plane index within the die serving a block (plane-major block
+  /// numbering stripes consecutive blocks across planes, then dies).
+  std::uint32_t PlaneOfBlock(BlockId block) const;
 
   std::string ToString() const;
 

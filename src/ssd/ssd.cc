@@ -33,8 +33,16 @@ SsdConfig Table1Config(FtlKind kind) {
 
 SsdConfig ScaledConfig(FtlKind kind, std::uint64_t device_bytes,
                        std::uint32_t page_size_bytes, double speed_ratio) {
+  return ScaledConfig(kind, device_bytes, page_size_bytes, speed_ratio,
+                      nand::NandGeometry{});
+}
+
+SsdConfig ScaledConfig(FtlKind kind, std::uint64_t device_bytes,
+                       std::uint32_t page_size_bytes, double speed_ratio,
+                       const nand::NandGeometry& base_shape) {
   SsdConfig cfg;
   cfg.kind = kind;
+  cfg.geometry = base_shape;
   cfg.geometry.page_size_bytes = page_size_bytes;
   cfg.geometry = nand::ScaledGeometry(cfg.geometry, device_bytes);
   cfg.timing.speed_ratio = speed_ratio;
@@ -79,6 +87,20 @@ ftl::RequestResult Ssd::Read(std::uint64_t offset_bytes,
 ftl::RequestResult Ssd::Write(std::uint64_t offset_bytes,
                               std::uint64_t size_bytes, Us arrival_us) {
   return ftl_->Write(offset_bytes, size_bytes, arrival_us);
+}
+
+void Ssd::SubmitRead(std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                     sim::EventQueue& queue, CompletionCallback cb) {
+  const auto r = ftl_->Read(offset_bytes, size_bytes, queue.Now());
+  queue.ScheduleAt(r.completion_us,
+                   [cb = std::move(cb), r](Us) { cb(r); });
+}
+
+void Ssd::SubmitWrite(std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                      sim::EventQueue& queue, CompletionCallback cb) {
+  const auto r = ftl_->Write(offset_bytes, size_bytes, queue.Now());
+  queue.ScheduleAt(r.completion_us,
+                   [cb = std::move(cb), r](Us) { cb(r); });
 }
 
 }  // namespace ctflash::ssd

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -17,6 +18,7 @@
 #include "ftl/ftl_base.h"
 #include "nand/geometry.h"
 #include "nand/latency_model.h"
+#include "sim/event_queue.h"
 #include "util/types.h"
 
 namespace ctflash::ssd {
@@ -50,6 +52,13 @@ SsdConfig Table1Config(FtlKind kind = FtlKind::kConventional);
 SsdConfig ScaledConfig(FtlKind kind, std::uint64_t device_bytes,
                        std::uint32_t page_size_bytes, double speed_ratio);
 
+/// Same, but scaling down from `base_shape` instead of the Table 1 geometry
+/// — lets parallelism studies vary channel/chip/die counts while keeping
+/// the block shape and capacity comparable.
+SsdConfig ScaledConfig(FtlKind kind, std::uint64_t device_bytes,
+                       std::uint32_t page_size_bytes, double speed_ratio,
+                       const nand::NandGeometry& base_shape);
+
 class Ssd {
  public:
   explicit Ssd(const SsdConfig& config);
@@ -62,6 +71,18 @@ class Ssd {
                           Us arrival_us);
   ftl::RequestResult Write(std::uint64_t offset_bytes, std::uint64_t size_bytes,
                            Us arrival_us);
+
+  /// Asynchronous submit/completion path used by the host interface
+  /// (src/host/).  The request is serviced through the FTL at `queue.Now()`
+  /// — resource timelines supply queueing delay in TimingMode::kQueued —
+  /// and `cb` fires as an event at the resulting completion time, so many
+  /// submissions can be in flight across channels/chips/dies at once.  The
+  /// synchronous Read/Write above remain the QD=1 special case.
+  using CompletionCallback = std::function<void(const ftl::RequestResult&)>;
+  void SubmitRead(std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                  sim::EventQueue& queue, CompletionCallback cb);
+  void SubmitWrite(std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                   sim::EventQueue& queue, CompletionCallback cb);
 
   std::uint64_t LogicalBytes() const { return ftl_->LogicalBytes(); }
   std::string FtlName() const { return ftl_->Name(); }

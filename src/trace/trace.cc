@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -42,6 +43,29 @@ std::vector<std::string> SplitCsv(const std::string& line) {
   out.push_back(cur);
   return out;
 }
+
+/// Strict non-negative integer field parser.  std::stoull silently accepts
+/// a leading '-' (wrapping to a huge value), which would turn a corrupt
+/// trace line into a petabyte-range request; reject anything but digits
+/// and catch overflow explicitly.
+std::uint64_t ParseUnsigned(const std::string& raw, const char* what) {
+  const std::string field = util::Trim(raw);
+  if (field.empty()) {
+    throw std::invalid_argument(std::string("empty ") + what);
+  }
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument(std::string("non-numeric ") + what + " '" +
+                                  field + "'");
+    }
+  }
+  try {
+    return std::stoull(field);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument(std::string("overflowing ") + what + " '" +
+                                field + "'");
+  }
+}
 }  // namespace
 
 std::vector<TraceRecord> ParseMsrCsv(std::istream& in) {
@@ -61,6 +85,7 @@ std::vector<TraceRecord> ParseMsrCsv(std::istream& in) {
     try {
       TraceRecord r;
       const std::int64_t filetime = std::stoll(fields[0]);
+      if (filetime < 0) throw std::invalid_argument("negative timestamp");
       if (base_filetime < 0) base_filetime = filetime;
       // FILETIME is in 100 ns ticks; 10 ticks per microsecond.
       r.timestamp_us = (filetime - base_filetime) / 10;
@@ -73,12 +98,20 @@ std::vector<TraceRecord> ParseMsrCsv(std::istream& in) {
       } else {
         throw std::invalid_argument("bad op '" + fields[3] + "'");
       }
-      r.offset_bytes = std::stoull(fields[4]);
-      r.size_bytes = std::stoull(fields[5]);
+      r.offset_bytes = ParseUnsigned(fields[4], "offset");
+      r.size_bytes = ParseUnsigned(fields[5], "size");
+      if (r.size_bytes >
+          std::numeric_limits<std::uint64_t>::max() - r.offset_bytes) {
+        throw std::invalid_argument("offset+size overflows");
+      }
       if (r.size_bytes == 0) continue;  // zero-length ops carry no work
       records.push_back(r);
-    } catch (const std::invalid_argument&) {
+    } catch (const std::invalid_argument& e) {
       throw std::invalid_argument("ParseMsrCsv: malformed line " +
+                                  std::to_string(lineno) + " (" + e.what() +
+                                  "): " + trimmed);
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("ParseMsrCsv: overflowing field at line " +
                                   std::to_string(lineno) + ": " + trimmed);
     }
   }

@@ -54,8 +54,11 @@ TraceStats ComputeStats(const std::vector<TraceRecord>& records);
 /// Parses MSR-Cambridge SNIA CSV lines:
 ///   Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
 /// Timestamp is a Windows FILETIME (100 ns ticks); it is rebased so the
-/// first record starts at t=0.  Lines that do not parse raise
-/// std::invalid_argument with the line number.
+/// first record starts at t=0.  Malformed input — too few fields, unknown
+/// op, negative or non-numeric or uint64-overflowing offset/size/timestamp,
+/// offset+size wrapping past 2^64 — raises std::invalid_argument naming the
+/// line number; corrupt traces fail loudly instead of replaying as
+/// petabyte-range requests.
 std::vector<TraceRecord> ParseMsrCsv(std::istream& in);
 std::vector<TraceRecord> ParseMsrCsvFile(const std::string& path);
 

@@ -59,7 +59,42 @@ class LogHistogram {
   std::uint64_t count_ = 0;
 };
 
-/// Composite latency aggregate: moments + histogram, in microseconds.
+/// Streaming quantile estimator over non-negative integer samples: a
+/// fixed-size log-scaled histogram where every power-of-two octave is split
+/// into kSubBins linear sub-bins (HdrHistogram-style), bounding the
+/// relative quantile error at 1/kSubBins (~6 %) regardless of sample count
+/// or range.  O(1) insert, O(bins) quantile, mergeable — built for
+/// tail-latency extraction (p99.9 of millions of requests) where the plain
+/// power-of-two LogHistogram above is too coarse.
+class QuantileEstimator {
+ public:
+  static constexpr int kSubBits = 4;             ///< log2(sub-bins per octave)
+  static constexpr int kSubBins = 1 << kSubBits; // 16
+  /// Bins 0..15 hold values 0..15 exactly; octaves [2^o, 2^(o+1)) for
+  /// o in [kSubBits, 63] each contribute kSubBins bins.
+  static constexpr int kBins = kSubBins + (64 - kSubBits) * kSubBins;
+
+  void Add(std::uint64_t value);
+  void Merge(const QuantileEstimator& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  /// Estimated value at quantile q in [0,1]; linear interpolation inside
+  /// the matched bin.  Throws std::invalid_argument for q outside [0,1].
+  double Quantile(double q) const;
+
+  /// Inclusive lower / exclusive upper value bound of bin `index`.
+  static std::uint64_t BinLow(int index);
+  static std::uint64_t BinHigh(int index);
+  static int BinOf(std::uint64_t value);
+
+ private:
+  std::vector<std::uint64_t> bins_ = std::vector<std::uint64_t>(kBins, 0);
+  std::uint64_t count_ = 0;
+};
+
+/// Composite latency aggregate: moments + streaming quantiles, in
+/// microseconds.
 class LatencyStats {
  public:
   void Add(Us latency_us);
@@ -76,13 +111,14 @@ class LatencyStats {
   double p50_us() const { return hist_.Quantile(0.50); }
   double p95_us() const { return hist_.Quantile(0.95); }
   double p99_us() const { return hist_.Quantile(0.99); }
+  double p999_us() const { return hist_.Quantile(0.999); }
 
   /// One-line human-readable summary.
   std::string Summary(const std::string& label) const;
 
  private:
   RunningMoments moments_;
-  LogHistogram hist_;
+  QuantileEstimator hist_;
 };
 
 }  // namespace ctflash::util

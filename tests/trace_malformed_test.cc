@@ -1,0 +1,133 @@
+// Hostile-input coverage for the MSR CSV parser: corrupt enterprise traces
+// must fail loudly with a line number, never wrap into bogus requests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace.h"
+#include "util/random.h"
+
+namespace ctflash::trace {
+namespace {
+
+std::string ParseError(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    ParseMsrCsv(in);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(MsrCsvMalformed, NegativeOffsetRejectedWithLineNumber) {
+  // std::stoull would silently wrap "-4096" to ~2^64; the parser must not.
+  const std::string err = ParseError(
+      "100,h,0,Read,0,512,0\n"
+      "200,h,0,Read,-4096,512,0\n");
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("offset"), std::string::npos) << err;
+}
+
+TEST(MsrCsvMalformed, NegativeSizeRejectedWithLineNumber) {
+  const std::string err = ParseError("100,h,0,Write,0,-1,0\n");
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("size"), std::string::npos) << err;
+}
+
+TEST(MsrCsvMalformed, OverflowingFieldsRejected) {
+  // > 2^64: out_of_range from stoull must surface as a line-numbered
+  // invalid_argument, not escape as a different exception type.
+  EXPECT_NE(ParseError("100,h,0,Read,99999999999999999999999,512,0\n")
+                .find("line 1"),
+            std::string::npos);
+  EXPECT_NE(ParseError("100,h,0,Read,0,18446744073709551617,0\n")
+                .find("line 1"),
+            std::string::npos);
+  // Timestamp overflow (int64) as well.
+  EXPECT_NE(ParseError("999999999999999999999999,h,0,Read,0,512,0\n")
+                .find("line 1"),
+            std::string::npos);
+}
+
+TEST(MsrCsvMalformed, OffsetPlusSizeWrapRejected) {
+  // Each field fits in uint64 but their sum wraps past 2^64 — downstream
+  // clipping arithmetic would silently misbehave.
+  const std::string err =
+      ParseError("100,h,0,Read,18446744073709551615,2,0\n");
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("overflow"), std::string::npos) << err;
+}
+
+TEST(MsrCsvMalformed, NegativeTimestampRejected) {
+  EXPECT_NE(ParseError("-100,h,0,Read,0,512,0\n").find("line 1"),
+            std::string::npos);
+}
+
+TEST(MsrCsvMalformed, GarbageNumericFieldsRejected) {
+  EXPECT_FALSE(ParseError("100,h,0,Read,12abc,512,0\n").empty());
+  EXPECT_FALSE(ParseError("100,h,0,Read,0x1000,512,0\n").empty());
+  EXPECT_FALSE(ParseError("100,h,0,Read,,512,0\n").empty());
+  EXPECT_FALSE(ParseError("100,h,0,Read,4096,5 12,0\n").empty());
+  EXPECT_FALSE(ParseError("100,h,0,Read,4096,+512,0\n").empty());
+}
+
+TEST(MsrCsvMalformed, WellFormedLinesStillParseAfterHardening) {
+  std::istringstream in(
+      "  100 ,h,0, Read , 4096 , 512 ,0\n"  // whitespace tolerated
+      "200,h,0,w,8192,1024,0\n");
+  const auto recs = ParseMsrCsv(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].offset_bytes, 4096u);
+  EXPECT_EQ(recs[0].size_bytes, 512u);
+  EXPECT_EQ(recs[1].op, OpType::kWrite);
+}
+
+TEST(MsrCsvMalformed, FuzzedMutationsNeverCrashOrWrap) {
+  // Deterministic fuzz: mutate a valid line with random byte edits; every
+  // outcome must be either a clean parse with sane fields or an
+  // invalid_argument naming a line — nothing else escapes.
+  const std::string valid = "128166372003061629,web,0,Read,8192,4096,151";
+  util::Xoshiro256StarStar rng(0xF00D);
+  const std::string charset = "0123456789,-+abcRW .x";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line = valid;
+    const int edits = 1 + static_cast<int>(rng.UniformBelow(4));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = rng.UniformBelow(line.size());
+      switch (rng.UniformBelow(3)) {
+        case 0:  // replace
+          line[pos] = charset[rng.UniformBelow(charset.size())];
+          break;
+        case 1:  // insert
+          line.insert(pos, 1, charset[rng.UniformBelow(charset.size())]);
+          break;
+        default:  // delete
+          line.erase(pos, 1);
+          break;
+      }
+    }
+    std::istringstream in(line + "\n");
+    try {
+      const auto recs = ParseMsrCsv(in);
+      for (const auto& r : recs) {
+        // No wrapped negatives: offset+size must not overflow.
+        EXPECT_LE(r.size_bytes,
+                  std::numeric_limits<std::uint64_t>::max() - r.offset_bytes)
+            << "wrapping record from: " << line;
+        EXPECT_GE(r.timestamp_us, 0) << line;
+      }
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << "unlabelled error for: " << line;
+    }
+    // Any other exception type propagates and fails the test.
+  }
+}
+
+}  // namespace
+}  // namespace ctflash::trace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 namespace ctflash::util {
@@ -160,6 +161,81 @@ TEST(LatencyStats, PercentilesRoughlyOrdered) {
   for (Us v = 1; v <= 1000; ++v) s.Add(v);
   EXPECT_LE(s.p50_us(), s.p95_us());
   EXPECT_LE(s.p95_us(), s.p99_us());
+  EXPECT_LE(s.p99_us(), s.p999_us());
+}
+
+TEST(QuantileEstimator, BinMappingRoundTrips) {
+  // Every bin boundary maps back into its own bin, bins tile the value
+  // space without gaps, and values land inside their bin's bounds.
+  for (int b = 0; b < QuantileEstimator::kBins - 1; ++b) {
+    EXPECT_EQ(QuantileEstimator::BinHigh(b), QuantileEstimator::BinLow(b + 1))
+        << "gap after bin " << b;
+    EXPECT_EQ(QuantileEstimator::BinOf(QuantileEstimator::BinLow(b)), b);
+  }
+  for (std::uint64_t v : {0ull, 1ull, 15ull, 16ull, 17ull, 1000ull,
+                          123456789ull, 1ull << 40, ~0ull}) {
+    const int b = QuantileEstimator::BinOf(v);
+    EXPECT_GE(v, QuantileEstimator::BinLow(b));
+    if (b < QuantileEstimator::kBins - 1) {
+      EXPECT_LT(v, QuantileEstimator::BinHigh(b));
+    }
+  }
+}
+
+TEST(QuantileEstimator, SmallValuesAreExact) {
+  QuantileEstimator e;
+  for (std::uint64_t v = 0; v < 16; ++v) e.Add(v);
+  // Values below kSubBins get one bin each: quantiles are exact to the bin.
+  EXPECT_NEAR(e.Quantile(0.5), 8.0, 1.0);
+  EXPECT_NEAR(e.Quantile(1.0), 16.0, 1.0);
+}
+
+TEST(QuantileEstimator, BoundedRelativeError) {
+  // Uniform 1..100000: every percentile estimate must land within the
+  // 1/kSubBins (~6.25 %) design bound of the true value.
+  QuantileEstimator e;
+  for (std::uint64_t v = 1; v <= 100'000; ++v) e.Add(v);
+  for (double q : {0.50, 0.90, 0.95, 0.99, 0.999, 0.9999}) {
+    const double truth = q * 100'000.0;
+    EXPECT_NEAR(e.Quantile(q), truth, truth / QuantileEstimator::kSubBins + 1)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileEstimator, ResolvesTailTheCoarseHistogramCannot) {
+  // 9990 fast + 10 slow samples inside one power-of-two octave
+  // [1024, 2048): the log2 LogHistogram sees a single bucket, while the
+  // sub-binned estimator separates p50 from p99.9.
+  QuantileEstimator fine;
+  LogHistogram coarse;
+  for (int i = 0; i < 9990; ++i) {
+    fine.Add(1100);
+    coarse.Add(1100);
+  }
+  for (int i = 0; i < 10; ++i) {
+    fine.Add(2000);
+    coarse.Add(2000);
+  }
+  EXPECT_NEAR(fine.Quantile(0.5), 1100.0, 1100.0 / 16 + 1);
+  EXPECT_NEAR(fine.Quantile(0.9995), 2000.0, 2000.0 / 16 + 1);
+  // The coarse histogram can only interpolate across the whole octave, so
+  // its median estimate misses the true 1100 by far more than the fine
+  // estimator's design bound.
+  EXPECT_GT(std::abs(coarse.Quantile(0.5) - 1100.0), 1100.0 / 16);
+}
+
+TEST(QuantileEstimator, MergeResetAndEdgeCases) {
+  QuantileEstimator a, b;
+  a.Add(100);
+  b.Add(100);
+  b.Add(10'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_THROW(a.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(a.Quantile(1.0001), std::invalid_argument);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 0.0);
 }
 
 }  // namespace
