@@ -54,6 +54,13 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       }
     } else if (arg == "--qd-requests") {
       o.qd_requests = std::stoull(next());
+    } else if (arg == "--frontiers") {
+      o.write_frontiers = static_cast<std::uint32_t>(std::stoul(next()));
+      if (o.write_frontiers == 0) {
+        throw std::invalid_argument("--frontiers must be >= 1");
+      }
+    } else if (arg == "--json") {
+      o.json_path = next();
     } else {
       throw std::invalid_argument("unknown bench option: " + arg);
     }
@@ -110,6 +117,22 @@ ssd::SsdConfig QdDeviceConfig(std::uint32_t channels,
                                options.device_bytes, 16 * 1024,
                                /*speed_ratio=*/2.0, shape);
   cfg.timing_mode = ftl::TimingMode::kQueued;
+  return cfg;
+}
+
+ssd::SsdConfig WriteDeviceConfig(std::uint32_t channels,
+                                 std::uint32_t write_frontiers,
+                                 const BenchOptions& options) {
+  auto cfg = QdDeviceConfig(channels, options);
+  cfg.ftl.write_frontiers = write_frontiers;
+  // FtlBase requires spares for gc_threshold_high + one frontier set per
+  // stream; keep a few extra so GC has reclaimable victims under churn.
+  const double min_spare =
+      static_cast<double>(cfg.ftl.gc_threshold_high) + 2.0 * write_frontiers +
+      8.0;
+  const double min_op =
+      min_spare / static_cast<double>(cfg.geometry.TotalBlocks());
+  if (min_op > cfg.ftl.op_ratio) cfg.ftl.op_ratio = min_op;
   return cfg;
 }
 

@@ -14,6 +14,8 @@
 //                             wrapped into the device's logical space
 //   --qd-list <a,b,c>         queue depths for QD-scaling benches
 //   --qd-requests <n>         requests per QD sweep point
+//   --frontiers <n>           write frontiers for the striped series
+//   --json <path>             machine-readable results (benches that emit it)
 #pragma once
 
 #include <cstdint>
@@ -34,6 +36,8 @@ struct BenchOptions {
   std::string web_trace_path;
   std::vector<std::uint32_t> qd_list = {1, 2, 4, 8, 16, 32, 64};
   std::uint64_t qd_requests = 20'000;
+  std::uint32_t write_frontiers = 8;  ///< striped series of bench_write_scaling
+  std::string json_path;              ///< "" = the bench's default file name
 
   static BenchOptions FromArgs(int argc, char** argv);
 };
@@ -79,6 +83,14 @@ void PrintHeader(const std::string& title, const std::string& paper_ref,
 /// (contention-exposing) timing.
 ssd::SsdConfig QdDeviceConfig(std::uint32_t channels,
                               const BenchOptions& options);
+
+/// QdDeviceConfig plus the die-striped write-path knobs, with the
+/// over-provisioned spare pool resized for the larger open-block population
+/// (2 streams x `write_frontiers` open blocks) so small smoke devices keep
+/// valid GC thresholds.
+ssd::SsdConfig WriteDeviceConfig(std::uint32_t channels,
+                                 std::uint32_t write_frontiers,
+                                 const BenchOptions& options);
 
 /// Runs a closed-loop QD sweep on `config` using the harness knobs.
 std::vector<ssd::QdSweepPoint> RunQdSweep(const ssd::SsdConfig& config,

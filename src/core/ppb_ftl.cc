@@ -23,6 +23,22 @@ std::uint64_t AutoSize(std::uint64_t configured, std::uint64_t logical_pages,
       static_cast<double>(logical_pages) * fraction);
   return v == 0 ? 1 : v;
 }
+
+/// Livelock guard for striped list growth (VbStripingConfig::max_open_blocks):
+/// open blocks must never absorb the whole spare pool, or FULL blocks end up
+/// 100 % valid and GC cannot reclaim anything.  Cap the population at
+/// spare - gc_threshold_low - 2 (1, i.e. effectively no growth, on devices
+/// too small to afford it).
+std::uint64_t OpenBlockCap(std::uint64_t total_blocks,
+                           std::uint64_t logical_pages,
+                           std::uint32_t pages_per_block,
+                           const ftl::FtlConfig& cfg) {
+  const std::uint64_t logical_blocks =
+      (logical_pages + pages_per_block - 1) / pages_per_block;
+  const std::uint64_t spare = total_blocks - logical_blocks;
+  const std::uint64_t floor = cfg.gc_threshold_low + 2;
+  return spare > floor + 1 ? spare - floor : 1;
+}
 }  // namespace
 
 PpbFtl::PpbFtl(ftl::FlashTarget& target, const ftl::FtlConfig& ftl_config,
@@ -33,7 +49,17 @@ PpbFtl::PpbFtl(ftl::FlashTarget& target, const ftl::FtlConfig& ftl_config,
       blocks_(target.geometry().TotalBlocks(),
               target.geometry().pages_per_block),
       vbm_(blocks_, target.geometry().pages_per_block, ppb_config.vb_split,
-           ppb_config.max_open_fast_vbs),
+           ppb_config.max_open_fast_vbs,
+           VbStripingConfig{
+               ftl::WriteAllocatorConfig{ftl_config.write_frontiers,
+                                         ftl_config.stripe_policy},
+               [this](BlockId b) { return target_.geometry().DieOfBlock(b); },
+               [this](BlockId b) { return target_.DieFreeAt(b); },
+               target.geometry().TotalDies(),
+               ftl_config.gc_threshold_low,
+               /*gc_claim_reserve_blocks=*/2,
+               OpenBlockCap(target.geometry().TotalBlocks(), logical_pages_,
+                            target.geometry().pages_per_block, ftl_config)}),
       lru_(AutoSize(ppb_config.hot_lru_capacity, logical_pages_, 0.08),
            AutoSize(ppb_config.iron_lru_capacity, logical_pages_, 0.04)),
       freq_(ppb_config.cold_promote_threshold,

@@ -94,6 +94,10 @@ class PpbFtl : public ftl::FtlBase {
 
   Ppn ProbePpn(Lpn lpn) const override { return map_.Lookup(lpn); }
 
+  std::optional<Us> ProbeWriteFreeAt() const override {
+    return vbm_.EarliestHostFrontierFreeAt();
+  }
+
   const PpbConfig& ppb_config() const { return ppb_config_; }
   const PpbStats& ppb_stats() const { return ppb_stats_; }
   void ResetPpbStats() { ppb_stats_ = PpbStats{}; }

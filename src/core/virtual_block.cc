@@ -10,12 +10,14 @@ namespace ctflash::core {
 VirtualBlockManager::VirtualBlockManager(ftl::BlockManager& blocks,
                                          std::uint32_t pages_per_block,
                                          std::uint32_t split_count,
-                                         std::uint32_t max_open_fast_vbs)
+                                         std::uint32_t max_open_fast_vbs,
+                                         VbStripingConfig striping)
     : blocks_(blocks),
       pages_per_block_(pages_per_block),
       split_count_(split_count),
       pages_per_slice_(split_count == 0 ? 0 : pages_per_block / split_count),
       max_open_fast_vbs_(max_open_fast_vbs),
+      striping_(std::move(striping)),
       area_of_block_(blocks.total_blocks(), Area::kNone),
       fill_(blocks.total_blocks(), 0),
       slow_home_(blocks.total_blocks(), 0) {
@@ -30,6 +32,17 @@ VirtualBlockManager::VirtualBlockManager(ftl::BlockManager& blocks,
   if (pages_per_block != blocks.pages_per_block()) {
     throw std::invalid_argument(
         "VirtualBlockManager: geometry disagrees with BlockManager");
+  }
+  striping_.alloc.Validate();
+  if (Striping()) {
+    if (!striping_.die_of || !striping_.die_free_at) {
+      throw std::invalid_argument(
+          "VirtualBlockManager: striping requires die_of and die_free_at");
+    }
+    for (std::size_t i = 0; i < kStriperCount; ++i) {
+      stripers_.emplace_back(striping_.die_of, striping_.die_free_at,
+                             striping_.alloc.stripe_policy);
+    }
   }
 }
 
@@ -48,7 +61,7 @@ std::size_t VirtualBlockManager::AreaIndex(Area area) {
 }
 
 std::optional<BlockId> VirtualBlockManager::ClaimNewBlock(
-    Area area, std::size_t slow_list) {
+    Area area, std::size_t slow_list, bool uncovered_die_only) {
   // Dual-pool wear leveling (active only when the FTL installed a wear
   // provider): the hot area takes young blocks, the cold area parks its
   // stable data on worn ones.
@@ -56,7 +69,15 @@ std::optional<BlockId> VirtualBlockManager::ClaimNewBlock(
       !blocks_.HasWearProvider() ? ftl::AllocPolicy::kById
       : area == Area::kHot       ? ftl::AllocPolicy::kLeastWorn
                                  : ftl::AllocPolicy::kMostWorn;
-  const auto fresh = blocks_.AllocateBlock(policy);
+  std::function<bool(BlockId)> accept;
+  if (uncovered_die_only) {
+    // Frontier growth lands on a die the list does not cover yet (the
+    // one-open-block-per-die-per-stream rule); when every free block sits
+    // on a covered die the list simply doesn't grow.
+    accept =
+        ftl::UncoveredDieFilter(striping_.die_of, slow_lists_[slow_list]);
+  }
+  const auto fresh = blocks_.AllocateBlock(policy, accept);
   if (!fresh) return std::nullopt;
   CTFLASH_CHECK(area_of_block_[*fresh] == Area::kNone);
   CTFLASH_CHECK(fill_[*fresh] == 0);
@@ -70,9 +91,16 @@ void VirtualBlockManager::AdvanceFill(BlockId block,
                                       std::deque<BlockId>& current_list) {
   fill_[block]++;
   if (fill_[block] % pages_per_slice_ != 0) return;
-  // Slice boundary: the block leaves its current list.
-  CTFLASH_CHECK(!current_list.empty() && current_list.front() == block);
-  current_list.pop_front();
+  // Slice boundary: the block leaves its current list.  With striping the
+  // block can sit anywhere in the list; without it, it is the front.
+  const auto it =
+      std::find(current_list.begin(), current_list.end(), block);
+  CTFLASH_CHECK(it != current_list.end());
+  current_list.erase(it);
+  // The block's home slow list just changed membership (leaving for the
+  // fast list, rejoining, or filling up), so its covered-die set — and a
+  // memoized growth failure — may be stale.
+  growth_fail_gen_[slow_home_[block]] = kNoGrowthFailure;
   if (fill_[block] == pages_per_block_) {
     blocks_.MarkFull(block);
     return;
@@ -97,9 +125,11 @@ std::optional<VbAllocation> VirtualBlockManager::AllocatePage(
 
   VbAllocation out;
   std::deque<BlockId>* chosen = nullptr;
+  std::size_t striper = slow_idx;
   if (want_fast) {
     if (!fast.empty()) {
       chosen = &fast;  // the area's iron-hot / cold VB list has space
+      striper = kSlowListCount + AreaIndex(area);
     } else if (!slow.empty()) {
       // Rule II: fast list out of space -> demote the write to a slow VB.
       chosen = &slow;
@@ -125,6 +155,7 @@ std::optional<VbAllocation> VirtualBlockManager::AllocatePage(
       } else if (!fast.empty()) {
         // Rule I: slow list out of space -> promote the write to a fast VB.
         chosen = &fast;
+        striper = kSlowListCount + AreaIndex(area);
         out.diverted = true;
       } else {
         if (!ClaimNewBlock(area, slow_idx)) return std::nullopt;
@@ -134,14 +165,71 @@ std::optional<VbAllocation> VirtualBlockManager::AllocatePage(
     }
   }
 
-  const BlockId block = chosen->front();
+  // Die-striped frontier growth: a slow list writes in parallel across up
+  // to min(write_frontiers, total_dies) dies, growing opportunistically
+  // while the free pool stays above the stream's reserve and the open
+  // population under the livelock cap (see VbStripingConfig).
+  const std::uint64_t reserve = gc_stream ? striping_.gc_claim_reserve_blocks
+                                          : striping_.claim_reserve_blocks;
+  if (Striping() && chosen == &slow && slow.size() < EffectiveFrontiers() &&
+      blocks_.FreeCount() > reserve &&
+      (striping_.max_open_blocks == 0 ||
+       OpenBlockCount(Area::kHot) + OpenBlockCount(Area::kCold) <
+           striping_.max_open_blocks) &&
+      !(growth_fail_gen_[slow_idx] == blocks_.FreeListGeneration() &&
+        growth_fail_size_[slow_idx] == slow.size())) {
+    if (ClaimNewBlock(area, slow_idx, /*uncovered_die_only=*/true)) {
+      out.new_block = true;
+      growth_fail_gen_[slow_idx] = kNoGrowthFailure;
+    } else {
+      growth_fail_gen_[slow_idx] = blocks_.FreeListGeneration();
+      growth_fail_size_[slow_idx] = slow.size();
+    }
+  }
+
+  const BlockId block = (*chosen)[PickIndex(striper, *chosen)];
   const std::uint32_t page = fill_[block];
   CTFLASH_CHECK(page < pages_per_block_);
   out.ppn = static_cast<Ppn>(block) * pages_per_block_ + page;
   out.slice = SliceOfPage(page);
   out.fast_class = IsFastClassSlice(out.slice);
+  if (gc_stream && striping_.die_of) {
+    gc_dies_.insert(striping_.die_of(block));
+  }
   AdvanceFill(block, *chosen);
   return out;
+}
+
+std::size_t VirtualBlockManager::PickIndex(std::size_t striper,
+                                           const std::deque<BlockId>& list) {
+  if (!Striping() || list.size() == 1) return 0;
+  return stripers_[striper].Pick(list);
+}
+
+std::optional<Us> VirtualBlockManager::EarliestHostFrontierFreeAt() const {
+  if (!striping_.die_free_at) return std::nullopt;
+  // While the free pool has claim headroom, report "startable now": the
+  // write's area/class is unknown before dispatch, and most list states can
+  // absorb it immediately (empty lists first-claim via rule III).  This is
+  // optimistic when every host list sits at its frontier cap on busy dies,
+  // but never worse than the pre-frontier scheduler, which keyed all writes
+  // startable unconditionally.  Only a depleted pool gates the write behind
+  // the open frontier dies.
+  if (blocks_.FreeCount() > striping_.claim_reserve_blocks) {
+    return std::nullopt;
+  }
+  std::optional<Us> earliest;
+  auto fold = [&](const std::deque<BlockId>& list) {
+    for (const BlockId b : list) {
+      const Us free = striping_.die_free_at(b);
+      if (!earliest || free < *earliest) earliest = free;
+    }
+  };
+  fold(slow_lists_[SlowListIndex(Area::kHot, /*gc_stream=*/false)]);
+  fold(slow_lists_[SlowListIndex(Area::kCold, /*gc_stream=*/false)]);
+  fold(fast_lists_[AreaIndex(Area::kHot)]);
+  fold(fast_lists_[AreaIndex(Area::kCold)]);
+  return earliest;
 }
 
 void VirtualBlockManager::OnBlockErased(BlockId block) {

@@ -29,22 +29,67 @@
 // separation from its dual-stream design).  A block opened by either stream
 // still belongs to one area only, so the pairing invariant is untouched.
 //
+// Die striping (VbStripingConfig): each (area, class, stream) list is a
+// write-frontier set in the ftl::WriteAllocator sense — up to
+// `write_frontiers` open blocks, slow-list growth restricted to dies the
+// list does not cover yet, and the next page taken from the list member the
+// shared DieStriper policy picks.  Hotness-directed placement is untouched
+// (the list a write goes to is decided exactly as before); only WHICH open
+// block of that list programs next changes, so consecutive pages of one
+// stream overlap their program times across dies.  `write_frontiers = 1`
+// (the default) reproduces the seed front-of-list behavior bit-for-bit.
+//
 // The manager owns no NAND state; it hands out PPNs in program order and the
 // caller (PpbFtl) programs them immediately.  BlockManager supplies the free
 // physical block list ("arranged according to their original physical block
 // number") and receives MarkFull notifications for GC.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/hotness.h"
 #include "ftl/block_manager.h"
+#include "ftl/write_allocator.h"
 #include "util/types.h"
 
 namespace ctflash::core {
+
+/// Die-striping knobs for the virtual-block lists.  The callbacks are
+/// required when write_frontiers > 1 (they come from NandGeometry::DieOfBlock
+/// and FlashTarget::DieFreeAt); the defaults disable striping.
+struct VbStripingConfig {
+  ftl::WriteAllocatorConfig alloc;
+  std::function<std::uint64_t(BlockId)> die_of;
+  std::function<Us(BlockId)> die_free_at;
+  /// Device die count; caps list growth (beyond it every die is covered
+  /// and growth attempts would only rescan the free list).
+  std::uint64_t total_dies = 0;
+  /// Free blocks kept in reserve by HOST-list growth: lists grow beyond
+  /// their first open block only while the free pool exceeds this.  The
+  /// FTL passes gc_threshold_low — the GC trigger — so growth never brings
+  /// GC forward yet still works in GC steady state (GC stops reclaiming as
+  /// soon as the pool climbs past the trigger, so any reserve above it
+  /// would shut striping off for good after the first pool drain).
+  std::uint64_t claim_reserve_blocks = 0;
+  /// Reserve for the GC-relocation lists: they allocate only while GC is
+  /// draining the pool to its minimum, so they need a smaller cushion
+  /// (their claims are repaid by the victim erase).
+  std::uint64_t gc_claim_reserve_blocks = 2;
+  /// Hard cap on the total open-block population (all lists, both areas)
+  /// for GROWTH claims; 0 = no cap.  PPB parks many open blocks (4 slow
+  /// lists x frontiers + the fast lists), and on a small over-provisioned
+  /// pool an unchecked population can absorb the entire spare space: every
+  /// FULL block is then 100 % valid and GC livelocks relocating data in
+  /// circles.  The FTL passes spare_blocks - gc_threshold_low - 2 so FULL
+  /// blocks always hold invalid pages for GC to harvest.
+  std::uint64_t max_open_blocks = 0;
+};
 
 struct VbAllocation {
   Ppn ppn = kInvalidPpn;
@@ -68,7 +113,8 @@ class VirtualBlockManager {
   /// ablation.
   VirtualBlockManager(ftl::BlockManager& blocks, std::uint32_t pages_per_block,
                       std::uint32_t split_count,
-                      std::uint32_t max_open_fast_vbs = 4);
+                      std::uint32_t max_open_fast_vbs = 4,
+                      VbStripingConfig striping = {});
 
   /// Hands out the next programmable page for `area` with the class
   /// preference of `level` (WantsFastPages), applying divert rules.
@@ -103,6 +149,21 @@ class VirtualBlockManager {
   /// of an area (host + GC slow lists + the shared fast list).
   std::size_t OpenBlockCount(Area area) const;
 
+  /// Earliest die availability across the HOST-stream frontier blocks (both
+  /// areas' slow lists plus the shared fast lists) — the write dispatch
+  /// hint behind PpbFtl::ProbeWriteFreeAt.  std::nullopt when no host
+  /// frontier is open or striping callbacks were not configured.
+  std::optional<Us> EarliestHostFrontierFreeAt() const;
+
+  /// Distinct dies the GC-relocation stream has ever programmed.
+  std::size_t GcDiesTouched() const { return gc_dies_.size(); }
+
+  /// Open blocks currently in one slow list (striping probes: a striped
+  /// stream should hold several concurrently, not one at a time).
+  std::size_t SlowListSize(Area area, bool gc_stream) const {
+    return slow_lists_[SlowListIndex(area, gc_stream)].size();
+  }
+
   /// Structural invariants: list members are open blocks of the right area
   /// whose current fill slice matches the list's class; fill pointers are
   /// consistent.  O(blocks).
@@ -111,11 +172,31 @@ class VirtualBlockManager {
  private:
   /// Slow-list index: {hot-host, cold-host, hot-gc, cold-gc}.
   static constexpr std::size_t kSlowListCount = 4;
+  /// Striper index space: slow lists 0..3, then the two fast lists.
+  static constexpr std::size_t kStriperCount = kSlowListCount + 2;
   static std::size_t SlowListIndex(Area area, bool gc_stream);
   static std::size_t AreaIndex(Area area);
 
+  bool Striping() const { return striping_.alloc.write_frontiers > 1; }
+
+  /// Per-list growth cap: min(write_frontiers, total_dies).
+  std::size_t EffectiveFrontiers() const {
+    const std::uint64_t dies =
+        striping_.total_dies == 0 ? 1 : striping_.total_dies;
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(striping_.alloc.write_frontiers, dies));
+  }
+
   /// Claims a fresh block for (area, stream); returns nullopt if none free.
-  std::optional<BlockId> ClaimNewBlock(Area area, std::size_t slow_list);
+  /// `uncovered_die_only` restricts the claim to dies the target slow list
+  /// does not cover yet (frontier growth; never set on the must-claim
+  /// rule III path).
+  std::optional<BlockId> ClaimNewBlock(Area area, std::size_t slow_list,
+                                       bool uncovered_die_only = false);
+
+  /// Which member of `list` programs next: front() without striping, the
+  /// DieStriper's pick with it.
+  std::size_t PickIndex(std::size_t striper, const std::deque<BlockId>& list);
 
   /// Post-write bookkeeping: advances the fill pointer, moves the block
   /// between lists at slice boundaries, marks it full at the end.
@@ -126,6 +207,16 @@ class VirtualBlockManager {
   std::uint32_t split_count_;
   std::uint32_t pages_per_slice_;
   std::uint32_t max_open_fast_vbs_;
+  VbStripingConfig striping_;
+  std::vector<ftl::DieStriper> stripers_;  ///< kStriperCount when striping
+  std::set<std::uint64_t> gc_dies_;        ///< dies the GC stream programmed
+  /// Growth-failure memo per slow list: a failed uncovered-die scan would
+  /// fail identically until the free list or the list changes — skip the
+  /// rescan (keyed on BlockManager::FreeListGeneration, exact).
+  static constexpr std::uint64_t kNoGrowthFailure = ~0ull;
+  std::uint64_t growth_fail_gen_[kSlowListCount] = {
+      kNoGrowthFailure, kNoGrowthFailure, kNoGrowthFailure, kNoGrowthFailure};
+  std::size_t growth_fail_size_[kSlowListCount] = {0, 0, 0, 0};
   std::vector<Area> area_of_block_;
   std::vector<std::uint32_t> fill_;       ///< next page index per block
   std::vector<std::uint8_t> slow_home_;   ///< slow-list index a block returns to

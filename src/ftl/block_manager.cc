@@ -20,20 +20,28 @@ void BlockManager::CheckId(BlockId block) const {
   }
 }
 
-std::optional<BlockId> BlockManager::AllocateBlock(AllocPolicy policy) {
-  if (free_list_.empty()) return std::nullopt;
-  auto chosen = free_list_.begin();
-  if (policy != AllocPolicy::kById && wear_provider_) {
-    for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
-      const std::uint32_t wear = wear_provider_(*it);
-      const std::uint32_t best = wear_provider_(*chosen);
-      if (policy == AllocPolicy::kLeastWorn ? wear < best : wear > best) {
-        chosen = it;
-      }
+std::optional<BlockId> BlockManager::AllocateBlock(
+    AllocPolicy policy, const std::function<bool(BlockId)>& accept) {
+  auto chosen = free_list_.end();
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (accept && !accept(*it)) continue;
+    if (chosen == free_list_.end()) {
+      chosen = it;
+      // kById (or no wear provider): first accepted id wins — the list is
+      // id-ordered, so this matches the seed's pop-lowest behavior.
+      if (policy == AllocPolicy::kById || !wear_provider_) break;
+      continue;
+    }
+    const std::uint32_t wear = wear_provider_(*it);
+    const std::uint32_t best = wear_provider_(*chosen);
+    if (policy == AllocPolicy::kLeastWorn ? wear < best : wear > best) {
+      chosen = it;
     }
   }
+  if (chosen == free_list_.end()) return std::nullopt;
   const BlockId b = *chosen;
   free_list_.erase(chosen);
+  generation_++;
   info_[b].use = BlockUse::kOpen;
   return b;
 }
@@ -59,6 +67,7 @@ void BlockManager::Release(BlockId block) {
   // and matches "arranged according to their original physical block number".
   const auto pos = std::lower_bound(free_list_.begin(), free_list_.end(), block);
   free_list_.insert(pos, block);
+  generation_++;
 }
 
 void BlockManager::AddValid(BlockId block) {

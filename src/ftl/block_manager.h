@@ -40,9 +40,18 @@ class BlockManager {
 
   std::uint64_t FreeCount() const { return free_list_.size(); }
 
-  /// Pops a free block per `policy` and marks it kOpen.
-  /// Returns std::nullopt when no free block remains.
-  std::optional<BlockId> AllocateBlock(AllocPolicy policy = AllocPolicy::kById);
+  /// Bumped on every free-list mutation (allocation or release).  Lets the
+  /// write-frontier allocators memoize a failed free-list scan exactly: the
+  /// same scan cannot succeed until the generation changes.
+  std::uint64_t FreeListGeneration() const { return generation_; }
+
+  /// Pops a free block per `policy` and marks it kOpen.  `accept` (optional)
+  /// restricts the choice to blocks it approves — the write-frontier
+  /// allocator uses it to claim blocks on dies a stream does not cover yet.
+  /// Returns std::nullopt when no free block remains (or none is accepted).
+  std::optional<BlockId> AllocateBlock(
+      AllocPolicy policy = AllocPolicy::kById,
+      const std::function<bool(BlockId)>& accept = {});
 
   /// Installs the per-block wear accessor (P/E cycles) used by the
   /// wear-aware allocation policies.
@@ -85,6 +94,7 @@ class BlockManager {
   std::vector<Info> info_;
   std::deque<BlockId> free_list_;
   std::uint32_t pages_per_block_;
+  std::uint64_t generation_ = 0;
   std::function<std::uint32_t(BlockId)> wear_provider_;
 };
 

@@ -10,7 +10,23 @@ ConventionalFtl::ConventionalFtl(FlashTarget& target, const FtlConfig& config)
     : FtlBase(target, config),
       map_(logical_pages_, target.geometry().TotalPages()),
       blocks_(target.geometry().TotalBlocks(),
-              target.geometry().pages_per_block) {
+              target.geometry().pages_per_block),
+      walloc_(blocks_, target.geometry().pages_per_block,
+              [this](BlockId b) { return target_.geometry().DieOfBlock(b); },
+              [this](BlockId b) { return target_.DieFreeAt(b); },
+              target.geometry().TotalDies(),
+              WriteAllocatorConfig{config.write_frontiers,
+                                   config.stripe_policy},
+              // Host reserve at the GC trigger: growth never brings GC
+              // forward, and a reserve at gc_threshold_high (which the pool
+              // never revisits in GC steady state) would permanently
+              // disable striping after the first pool drain.
+              /*num_streams=*/2, /*claim_reserve=*/config.gc_threshold_low) {
+  // The GC stream allocates only while GC drains the pool to its minimum,
+  // so it needs a smaller cushion or it could never stripe; its claims are
+  // repaid by the victim erase, and the FtlBase spare sizing keeps invalid
+  // pages in FULL blocks, so GC always nets free space.
+  walloc_.SetStreamReserve(kGcStream, 2);
   if (config_.wear.Enabled()) {
     blocks_.SetWearProvider(
         [this](BlockId b) { return target_.nand().PeCycles(b); });
@@ -33,24 +49,15 @@ Us ConventionalFtl::DoRead(Lpn lpn_first, std::uint32_t pages,
 }
 
 Ppn ConventionalFtl::AllocatePage(bool for_gc) {
-  const auto& geo = target_.geometry();
-  std::optional<BlockId>& active = for_gc ? gc_active_block_ : active_block_;
-  if (active &&
-      target_.nand().NextProgramPage(*active) >= geo.pages_per_block) {
-    blocks_.MarkFull(*active);
-    active.reset();
-  }
-  if (!active) {
-    // Dual-pool wear leveling: hot host writes take young blocks, GC
-    // survivors (cold) park on worn ones.
-    const AllocPolicy policy = !blocks_.HasWearProvider() ? AllocPolicy::kById
-                               : for_gc ? AllocPolicy::kMostWorn
-                                        : AllocPolicy::kLeastWorn;
-    const auto b = blocks_.AllocateBlock(policy);
-    CTFLASH_CHECK(b.has_value());  // GC thresholds guarantee spare blocks
-    active = *b;
-  }
-  return geo.PpnOf(*active, target_.nand().NextProgramPage(*active));
+  // Dual-pool wear leveling: hot host writes take young blocks, GC
+  // survivors (cold) park on worn ones.
+  const AllocPolicy policy = !blocks_.HasWearProvider() ? AllocPolicy::kById
+                             : for_gc ? AllocPolicy::kMostWorn
+                                      : AllocPolicy::kLeastWorn;
+  const auto a =
+      walloc_.AllocatePage(for_gc ? kGcStream : kHostStream, policy);
+  CTFLASH_CHECK(a.has_value());  // GC thresholds guarantee spare blocks
+  return a->ppn;
 }
 
 Us ConventionalFtl::WriteOnePage(Lpn lpn, Us earliest) {

@@ -1,10 +1,13 @@
 // The conventional page-mapping FTL baseline (the paper's comparator).
 //
-// One globally active block is filled page-by-page in sequential order
-// regardless of data hotness — pages of different layer speeds are handed
-// out blindly, which is exactly the behaviour the paper's Section 2.2
-// motivates against.  Greedy GC relocates valid pages into the same active
-// stream.
+// Active blocks are filled page-by-page in sequential order regardless of
+// data hotness — pages of different layer speeds are handed out blindly,
+// which is exactly the behaviour the paper's Section 2.2 motivates against.
+// Host writes and GC relocations run as two independent write streams
+// through the die-striped WriteAllocator: with `write_frontiers = 1` each
+// stream fills one globally active block (the seed behavior, bit-for-bit);
+// with more frontiers consecutive pages stripe across dies and overlap
+// their program times under TimingMode::kQueued.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include "ftl/block_manager.h"
 #include "ftl/ftl_base.h"
 #include "ftl/mapping_table.h"
+#include "ftl/write_allocator.h"
 
 namespace ctflash::ftl {
 
@@ -24,8 +28,22 @@ class ConventionalFtl : public FtlBase {
 
   Ppn ProbePpn(Lpn lpn) const override { return map_.Lookup(lpn); }
 
+  std::optional<Us> ProbeWriteFreeAt() const override {
+    // A growable stream can open a frontier on a fresh die, so the write is
+    // startable now (nullopt); only a maxed-out stream is gated by its
+    // frontier dies.  Keeps reads from starving queued writes when the
+    // allocator could serve them immediately.
+    if (walloc_.CanGrow(kHostStream)) return std::nullopt;
+    return walloc_.EarliestFrontierFreeAt(kHostStream);
+  }
+
+  /// WriteAllocator stream ids of the two write contexts.
+  static constexpr std::uint32_t kHostStream = 0;
+  static constexpr std::uint32_t kGcStream = 1;
+
   const MappingTable& mapping() const { return map_; }
   const BlockManager& blocks() const { return blocks_; }
+  const WriteAllocator& write_allocator() const { return walloc_; }
 
   /// Invariant probe for property tests: every mapped lpn points at a
   /// programmed page, valid counters match the mapping, free counts agree.
@@ -38,9 +56,9 @@ class ConventionalFtl : public FtlBase {
              Us earliest) override;
 
  private:
-  /// Next programmable ppn on the host or GC write stream, opening a new
-  /// block when needed.  Never runs GC.  Host and GC traffic use separate
-  /// active blocks (standard dual-stream design); this also prevents the
+  /// Next programmable ppn on the host or GC write stream, opening new
+  /// frontier blocks when needed.  Never runs GC.  Host and GC traffic use
+  /// separate streams (standard dual-stream design); this also prevents the
   /// GC-burst/host-write phasing from accidentally sorting cold data into
   /// top-layer pages.
   Ppn AllocatePage(bool for_gc);
@@ -54,8 +72,7 @@ class ConventionalFtl : public FtlBase {
 
   MappingTable map_;
   BlockManager blocks_;
-  std::optional<BlockId> active_block_;     ///< host write stream
-  std::optional<BlockId> gc_active_block_;  ///< GC relocation stream
+  WriteAllocator walloc_;  ///< streams: {kHostStream, kGcStream}
   bool in_gc_ = false;
 };
 

@@ -17,6 +17,9 @@ void FtlConfig::Validate() const {
     throw std::invalid_argument(
         "FtlConfig: gc_threshold_high must exceed gc_threshold_low");
   }
+  if (write_frontiers == 0) {
+    throw std::invalid_argument("FtlConfig: write_frontiers must be >= 1");
+  }
 }
 
 FtlBase::FtlBase(FlashTarget& target, const FtlConfig& config)
@@ -29,8 +32,10 @@ FtlBase::FtlBase(FlashTarget& target, const FtlConfig& config)
   if (logical_pages_ == 0) {
     throw std::invalid_argument("FtlBase: device too small for op_ratio");
   }
+  // Room for the open write frontiers during GC: up to `write_frontiers`
+  // per stream (host + GC relocation), 2 total in the seed configuration.
   const std::uint64_t min_spare =
-      config_.gc_threshold_high + 2;  // room for open blocks during GC
+      config_.gc_threshold_high + 2ull * config_.write_frontiers;
   if (target.geometry().TotalBlocks() <
       min_spare + logical_pages_ / target.geometry().pages_per_block) {
     throw std::invalid_argument(

@@ -16,6 +16,7 @@
 
 #include "ftl/flash_target.h"
 #include "ftl/wear_leveler.h"
+#include "ftl/write_allocator.h"
 #include "util/types.h"
 
 namespace ctflash::ftl {
@@ -35,6 +36,11 @@ struct FtlConfig {
   bool charge_gc_to_write = false;
   /// Static wear leveling (disabled by default, as in the paper).
   WearLevelerConfig wear;
+  /// Write-path parallelism: open blocks per write stream, striped across
+  /// dies (see ftl/write_allocator.h).  1 reproduces the seed
+  /// single-active-block path bit-for-bit (the paper-figure setting).
+  std::uint32_t write_frontiers = 1;
+  StripePolicy stripe_policy = StripePolicy::kRoundRobin;
 
   void Validate() const;
 };
@@ -87,6 +93,12 @@ class FtlBase {
   /// serving `lpn`, or kInvalidPpn when unmapped.  Read-only — it must not
   /// touch hotness metadata (a probe is not an access).
   virtual Ppn ProbePpn(Lpn lpn) const = 0;
+
+  /// Scheduling hint for the host layer: earliest die availability across
+  /// the host write stream's open frontiers — when the next write could
+  /// start its cell program.  std::nullopt when unknown (no open frontier
+  /// yet); read-only like ProbePpn.
+  virtual std::optional<Us> ProbeWriteFreeAt() const { return std::nullopt; }
 
   std::uint64_t LogicalPages() const { return logical_pages_; }
   std::uint64_t LogicalBytes() const {

@@ -1,0 +1,252 @@
+#include "ftl/write_allocator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace ctflash::ftl {
+
+const char* StripePolicyName(StripePolicy policy) {
+  switch (policy) {
+    case StripePolicy::kRoundRobin:
+      return "round-robin";
+    case StripePolicy::kLeastBusy:
+      return "least-busy";
+  }
+  return "?";
+}
+
+void WriteAllocatorConfig::Validate() const {
+  if (write_frontiers == 0) {
+    throw std::invalid_argument(
+        "WriteAllocatorConfig: write_frontiers must be >= 1");
+  }
+}
+
+DieStriper::DieStriper(std::function<std::uint64_t(BlockId)> die_of,
+                       std::function<Us(BlockId)> die_free_at,
+                       StripePolicy policy)
+    : die_of_(std::move(die_of)),
+      die_free_at_(std::move(die_free_at)),
+      policy_(policy) {}
+
+std::size_t DieStriper::Pick(const std::deque<BlockId>& candidates) {
+  CTFLASH_CHECK(!candidates.empty());
+  // Rotation key: dies strictly after the anchor come first (in ascending
+  // die order), then wrap-around — i.e. the next die in a fixed cyclic
+  // order.  kRoundRobin ranks by (rotation, free-at, index); kLeastBusy by
+  // (free-at, rotation, index).  Index last keeps ties deterministic.
+  constexpr std::uint64_t kWrap = 1ull << 32;
+  std::size_t best = 0;
+  std::uint64_t best_rot = 0;
+  Us best_free = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::uint64_t die = die_of_(candidates[i]);
+    const std::uint64_t rot = die > last_die_ ? die : die + kWrap;
+    const Us free = die_free_at_(candidates[i]);
+    bool better;
+    if (policy_ == StripePolicy::kRoundRobin) {
+      better = rot < best_rot || (rot == best_rot && free < best_free);
+    } else {
+      better = free < best_free || (free == best_free && rot < best_rot);
+    }
+    if (i == 0 || better) {
+      best = i;
+      best_rot = rot;
+      best_free = free;
+    }
+  }
+  last_die_ = die_of_(candidates[best]);
+  return best;
+}
+
+WriteAllocator::WriteAllocator(BlockManager& blocks,
+                               std::uint32_t pages_per_block,
+                               std::function<std::uint64_t(BlockId)> die_of,
+                               std::function<Us(BlockId)> die_free_at,
+                               std::uint64_t total_dies,
+                               const WriteAllocatorConfig& config,
+                               std::uint32_t num_streams,
+                               std::uint64_t claim_reserve_blocks)
+    : blocks_(blocks),
+      pages_per_block_(pages_per_block),
+      die_of_(std::move(die_of)),
+      die_free_at_(std::move(die_free_at)),
+      config_(config),
+      effective_frontiers_(static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(config.write_frontiers,
+                                  total_dies == 0 ? 1 : total_dies))),
+      fill_(blocks.total_blocks(), 0) {
+  config_.Validate();
+  if (num_streams == 0) {
+    throw std::invalid_argument("WriteAllocator: num_streams must be >= 1");
+  }
+  if (pages_per_block != blocks.pages_per_block()) {
+    throw std::invalid_argument(
+        "WriteAllocator: geometry disagrees with BlockManager");
+  }
+  streams_.reserve(num_streams);
+  for (std::uint32_t s = 0; s < num_streams; ++s) {
+    streams_.push_back(Stream{{},
+                              DieStriper(die_of_, die_free_at_,
+                                         config_.stripe_policy),
+                              {},
+                              claim_reserve_blocks});
+  }
+}
+
+void WriteAllocator::SetStreamReserve(std::uint32_t stream,
+                                      std::uint64_t blocks) {
+  if (stream >= streams_.size()) {
+    throw std::out_of_range("WriteAllocator: stream out of range");
+  }
+  streams_[stream].reserve = blocks;
+}
+
+void WriteAllocator::SweepFull(Stream& s) {
+  // Lazy MarkFull, exactly like the seed's active-block check at the head
+  // of AllocatePage: an exhausted block stays kOpen (GC-invisible) until
+  // the stream next asks for a page.
+  for (auto it = s.frontiers.begin(); it != s.frontiers.end();) {
+    if (fill_[*it] >= pages_per_block_) {
+      blocks_.MarkFull(*it);
+      it = s.frontiers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::function<bool(BlockId)> UncoveredDieFilter(
+    const std::function<std::uint64_t(BlockId)>& die_of,
+    const std::deque<BlockId>& open) {
+  return [&die_of, &open](BlockId b) {
+    const std::uint64_t die = die_of(b);
+    for (const BlockId frontier : open) {
+      if (die_of(frontier) == die) return false;
+    }
+    return true;
+  };
+}
+
+bool WriteAllocator::TryClaim(Stream& s, AllocPolicy policy, bool first) {
+  std::optional<BlockId> fresh;
+  if (first) {
+    // Seed semantics: the stream's first block may always claim (the GC
+    // thresholds guarantee a spare) and takes the policy's top pick.
+    fresh = blocks_.AllocateBlock(policy);
+  } else {
+    if (blocks_.FreeCount() <= s.reserve) return false;
+    if (blocks_.FreeListGeneration() == s.growth_fail_generation &&
+        s.frontiers.size() == s.growth_fail_frontiers) {
+      return false;  // nothing changed since the last failed scan
+    }
+    // Growth beyond the first frontier must land on a die the stream does
+    // not already cover (the one-open-block-per-die-per-stream invariant);
+    // when every free block sits on a covered die, simply don't grow.
+    fresh = blocks_.AllocateBlock(policy,
+                                  UncoveredDieFilter(die_of_, s.frontiers));
+    if (!fresh) {
+      s.growth_fail_generation = blocks_.FreeListGeneration();
+      s.growth_fail_frontiers = s.frontiers.size();
+      return false;
+    }
+  }
+  if (!fresh) return false;
+  s.growth_fail_generation = kNoGrowthFailure;
+  fill_[*fresh] = 0;  // blocks come off the free list erased
+  s.frontiers.push_back(*fresh);
+  return true;
+}
+
+std::optional<PageAllocation> WriteAllocator::AllocatePage(std::uint32_t stream,
+                                                           AllocPolicy policy) {
+  if (stream >= streams_.size()) {
+    throw std::out_of_range("WriteAllocator: stream out of range");
+  }
+  Stream& s = streams_[stream];
+  SweepFull(s);
+
+  PageAllocation out;
+  if (s.frontiers.empty()) {
+    if (!TryClaim(s, policy, /*first=*/true)) return std::nullopt;
+    out.new_block = true;
+  } else if (s.frontiers.size() < effective_frontiers_) {
+    out.new_block = TryClaim(s, policy, /*first=*/false);
+  }
+
+  const std::size_t idx = s.striper.Pick(s.frontiers);
+  const BlockId block = s.frontiers[idx];
+  const std::uint32_t page = fill_[block]++;
+  CTFLASH_CHECK(page < pages_per_block_);
+  out.block = block;
+  out.die = die_of_(block);
+  out.ppn = static_cast<Ppn>(block) * pages_per_block_ + page;
+  s.dies_touched.insert(out.die);
+  return out;
+}
+
+const std::deque<BlockId>& WriteAllocator::Frontiers(
+    std::uint32_t stream) const {
+  if (stream >= streams_.size()) {
+    throw std::out_of_range("WriteAllocator: stream out of range");
+  }
+  return streams_[stream].frontiers;
+}
+
+std::optional<Us> WriteAllocator::EarliestFrontierFreeAt(
+    std::uint32_t stream) const {
+  if (stream >= streams_.size()) {
+    throw std::out_of_range("WriteAllocator: stream out of range");
+  }
+  std::optional<Us> earliest;
+  for (const BlockId b : streams_[stream].frontiers) {
+    if (fill_[b] >= pages_per_block_) continue;  // exhausted, sweeps next call
+    const Us free = die_free_at_(b);
+    if (!earliest || free < *earliest) earliest = free;
+  }
+  return earliest;
+}
+
+bool WriteAllocator::CanGrow(std::uint32_t stream) const {
+  if (stream >= streams_.size()) {
+    throw std::out_of_range("WriteAllocator: stream out of range");
+  }
+  const Stream& s = streams_[stream];
+  if (s.frontiers.empty()) return true;  // first claim is always allowed
+  return s.frontiers.size() < effective_frontiers_ &&
+         blocks_.FreeCount() > s.reserve;
+}
+
+std::size_t WriteAllocator::DiesTouched(std::uint32_t stream) const {
+  if (stream >= streams_.size()) {
+    throw std::out_of_range("WriteAllocator: stream out of range");
+  }
+  return streams_[stream].dies_touched.size();
+}
+
+std::uint32_t WriteAllocator::FillOf(BlockId block) const {
+  if (block >= fill_.size()) {
+    throw std::out_of_range("WriteAllocator: block out of range");
+  }
+  return fill_[block];
+}
+
+bool WriteAllocator::CheckInvariants() const {
+  for (const Stream& s : streams_) {
+    if (s.frontiers.size() > config_.write_frontiers) return false;
+    std::set<std::uint64_t> dies;
+    for (const BlockId b : s.frontiers) {
+      if (b >= fill_.size()) return false;
+      if (blocks_.UseOf(b) != BlockUse::kOpen) return false;
+      if (fill_[b] > pages_per_block_) return false;
+      // At most one open block per (die, stream).  Exhausted-but-unswept
+      // frontiers keep their die slot until the next allocation.
+      if (!dies.insert(die_of_(b)).second) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ctflash::ftl

@@ -27,11 +27,16 @@ void IoScheduler::Enqueue(FlashTransaction txn) {
   Pump();
 }
 
-IoScheduler::DispatchKey IoScheduler::KeyOf(
-    const FlashTransaction& txn) const {
-  // Writes and unmapped reads have no resolvable die until the FTL's
-  // allocator runs: they are startable now, plane 0.
-  if (txn.op != trace::OpType::kRead) return {0, 0};
+IoScheduler::DispatchKey IoScheduler::KeyOf(const FlashTransaction& txn,
+                                            Us write_free_at) const {
+  // A write's die is decided by the FTL's write-frontier allocator at
+  // dispatch time; the allocator's earliest frontier die (probed once per
+  // PickNext — it is transaction-independent) is the best prediction of
+  // when the program could start.  With striped frontiers that minimum is
+  // over several dies, so writes stay dispatchable almost always; with a
+  // single busy frontier, reads on idle dies overtake.  Unmapped reads
+  // carry no flash work: startable now, plane 0.
+  if (txn.op != trace::OpType::kRead) return {write_free_at, 0};
   const Ppn ppn = ssd_.ftl().ProbePpn(txn.lpn);
   if (ppn == kInvalidPpn) return {0, 0};
   const auto& geo = ssd_.target().geometry();
@@ -47,10 +52,11 @@ std::size_t IoScheduler::PickNext() const {
   // across planes, then fall back to submission order.  Anything startable
   // now (idle die, write, unmapped read) shares the same first key.
   const Us now = queue_.Now();
+  const Us write_free_at = ssd_.ftl().ProbeWriteFreeAt().value_or(0);
   std::size_t best = 0;
   DispatchKey best_key{};
   for (std::size_t i = 0; i < ready_.size(); ++i) {
-    DispatchKey key = KeyOf(ready_[i]);
+    DispatchKey key = KeyOf(ready_[i], write_free_at);
     key.start = std::max(key.start, now);
     if (i == 0 || key.start < best_key.start ||
         (key.start == best_key.start && key.plane < best_key.plane)) {

@@ -72,8 +72,9 @@ class IoScheduler {
 
  private:
   /// Out-of-order sort key: earliest cell-op start on the target die plus
-  /// the plane stripe tie-break; {0, 0} when the target die is unknown
-  /// (writes, unmapped reads).  One mapping probe resolves both.
+  /// the plane stripe tie-break; writes use the FTL's write-frontier
+  /// availability probe (`write_free_at`, computed once per pick), unmapped
+  /// reads are startable now ({0, 0}).
   struct DispatchKey {
     Us start = 0;
     std::uint32_t plane = 0;
@@ -81,7 +82,7 @@ class IoScheduler {
 
   void Pump();
   std::size_t PickNext() const;
-  DispatchKey KeyOf(const FlashTransaction& txn) const;
+  DispatchKey KeyOf(const FlashTransaction& txn, Us write_free_at) const;
 
   ssd::Ssd& ssd_;
   sim::EventQueue& queue_;

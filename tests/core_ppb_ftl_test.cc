@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <stdexcept>
 
 #include "util/random.h"
@@ -235,6 +236,84 @@ TEST(PpbFtlSplit4, WorksEndToEnd) {
     if (offset + size > ftl.LogicalBytes()) continue;
     now = ftl.Write(offset, size, now).completion_us;
   }
+  EXPECT_GT(ftl.stats().gc_erases, 0u);
+  EXPECT_TRUE(ftl.CheckInvariants());
+}
+
+TEST(PpbFtlStriping, LargeColdWriteAlternatesDies) {
+  // Hotness-directed placement is preserved (a large write still routes to
+  // the cold area) but its consecutive pages now stripe across both dies.
+  ftl::FlashTarget target(Geo(), nand::NandTiming{});
+  auto ftl_cfg = FtlCfg();
+  ftl_cfg.write_frontiers = 2;
+  PpbFtl ftl(target, ftl_cfg, PpbConfig{});
+  const auto& geo = target.geometry();
+  ftl.Write(0, 8 * 4096, 0);  // page-aligned large write -> cold area
+  EXPECT_EQ(ftl.ppb_stats().cold_area_writes, 8u);
+  std::set<std::uint64_t> dies;
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    const Ppn ppn = ftl.ProbePpn(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    dies.insert(geo.DieOfBlock(geo.BlockOf(ppn)));
+  }
+  EXPECT_EQ(dies.size(), 2u) << "cold-area pages serialized on one die";
+  EXPECT_TRUE(ftl.CheckInvariants());
+}
+
+TEST(PpbFtlStriping, GcRelocationsTouchMultipleDies) {
+  ftl::FlashTarget target(Geo(), nand::NandTiming{});
+  auto ftl_cfg = FtlCfg();
+  ftl_cfg.write_frontiers = 2;
+  PpbFtl ftl(target, ftl_cfg, PpbConfig{});
+  util::Xoshiro256StarStar rng(17);
+  Us now = 0;
+  std::size_t max_gc_list = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const Lpn lpn = rng.UniformBelow(ftl.LogicalPages());
+    const std::uint64_t size = rng.Bernoulli(0.5) ? 2048 : 16 * 1024;
+    const std::uint64_t offset = lpn * 4096;
+    if (offset + size > ftl.LogicalBytes()) continue;
+    now = ftl.Write(offset, size, now).completion_us;
+    max_gc_list = std::max(
+        max_gc_list,
+        std::max(ftl.vbm().SlowListSize(Area::kHot, /*gc_stream=*/true),
+                 ftl.vbm().SlowListSize(Area::kCold, /*gc_stream=*/true)));
+  }
+  ASSERT_GT(ftl.stats().gc_page_copies, 0u);
+  EXPECT_GE(ftl.vbm().GcDiesTouched(), 2u);
+  // Concurrency, not succession: some GC slow list held two open blocks
+  // (two dies) at once.
+  EXPECT_GE(max_gc_list, 2u)
+      << "PPB GC relocation lists never striped two dies concurrently";
+  EXPECT_TRUE(ftl.CheckInvariants());
+}
+
+TEST(PpbFtlStriping, HotColdSeparationSurvivesStriping) {
+  // Mixed sub-page (hot) and full-page (cold) traffic with striping on:
+  // placement classes keep flowing to their areas and all structural
+  // invariants hold under GC.
+  ftl::FlashTarget target(Geo(), nand::NandTiming{});
+  auto ftl_cfg = FtlCfg();
+  ftl_cfg.write_frontiers = 2;
+  ftl_cfg.stripe_policy = ftl::StripePolicy::kLeastBusy;
+  PpbFtl ftl(target, ftl_cfg, PpbConfig{});
+  util::Xoshiro256StarStar rng(23);
+  Us now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Lpn lpn = rng.UniformBelow(ftl.LogicalPages());
+    const std::uint64_t size = rng.Bernoulli(0.4) ? 2048 : 16 * 1024;
+    const std::uint64_t offset = lpn * 4096;
+    if (offset + size > ftl.LogicalBytes()) continue;
+    if (rng.Bernoulli(0.3)) {
+      now = ftl.Read(offset, std::min<std::uint64_t>(size, 4096), now)
+                .completion_us;
+    } else {
+      now = ftl.Write(offset, size, now).completion_us;
+    }
+    if (i % 500 == 0) ASSERT_TRUE(ftl.CheckInvariants()) << "iteration " << i;
+  }
+  EXPECT_GT(ftl.ppb_stats().hot_area_writes, 0u);
+  EXPECT_GT(ftl.ppb_stats().cold_area_writes, 0u);
   EXPECT_GT(ftl.stats().gc_erases, 0u);
   EXPECT_TRUE(ftl.CheckInvariants());
 }

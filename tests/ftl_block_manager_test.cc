@@ -99,6 +99,35 @@ TEST(BlockManager, VictimTieBreaksByWearThenId) {
   EXPECT_EQ(bm.PickGcVictim().value(), 0u);
 }
 
+TEST(BlockManager, FilteredAllocationSkipsRejectedBlocks) {
+  BlockManager bm(4, 8);
+  // Lowest id passing the filter wins (id order preserved under filtering).
+  const auto odd = bm.AllocateBlock(AllocPolicy::kById,
+                                    [](BlockId b) { return b % 2 == 1; });
+  EXPECT_EQ(odd.value(), 1u);
+  const auto any = bm.AllocateBlock(AllocPolicy::kById);
+  EXPECT_EQ(any.value(), 0u);
+  // Nothing acceptable -> nullopt even though free blocks remain.
+  EXPECT_EQ(bm.FreeCount(), 2u);
+  EXPECT_FALSE(
+      bm.AllocateBlock(AllocPolicy::kById, [](BlockId) { return false; })
+          .has_value());
+  EXPECT_EQ(bm.FreeCount(), 2u);
+}
+
+TEST(BlockManager, FilteredAllocationRespectsWearPolicy) {
+  BlockManager bm(4, 8);
+  const std::vector<std::uint32_t> wear = {5, 1, 7, 3};
+  bm.SetWearProvider([&](BlockId b) { return wear[b]; });
+  // Least-worn among the accepted blocks {0, 2, 3} is block 3 (wear 3) —
+  // block 1 (wear 1) is filtered out.
+  const auto b = bm.AllocateBlock(AllocPolicy::kLeastWorn,
+                                  [](BlockId b) { return b != 1; });
+  EXPECT_EQ(b.value(), 3u);
+  const auto most = bm.AllocateBlock(AllocPolicy::kMostWorn);
+  EXPECT_EQ(most.value(), 2u);  // wear 7
+}
+
 TEST(BlockManager, TotalValidSumsAllBlocks) {
   BlockManager bm(3, 8);
   bm.AllocateBlock();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <stdexcept>
 
 #include "util/random.h"
@@ -177,6 +178,78 @@ TEST_F(ConventionalFtlTest, RandomWorkloadPreservesInvariants) {
   EXPECT_TRUE(ftl_.CheckInvariants());
   // Mapping count equals distinct pages ever written.
   EXPECT_EQ(ftl_.mapping().mapped_count(), ftl_.blocks().TotalValid());
+}
+
+TEST(ConventionalFtlStriping, SequentialWritesAlternateDies) {
+  // Geo() has two dies; with two write frontiers the pages of one large
+  // write must not pile up on a single die.
+  FlashTarget target(Geo(), nand::NandTiming{});
+  auto cfg = Config();
+  cfg.write_frontiers = 2;
+  ConventionalFtl ftl(target, cfg);
+  const auto& geo = target.geometry();
+  ftl.Write(0, 8 * 4096, 0);  // 8 pages
+  std::set<std::uint64_t> dies;
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    const Ppn ppn = ftl.ProbePpn(lpn);
+    ASSERT_NE(ppn, kInvalidPpn);
+    dies.insert(geo.DieOfBlock(geo.BlockOf(ppn)));
+  }
+  EXPECT_EQ(dies.size(), 2u) << "pages of one write serialized on one die";
+  EXPECT_TRUE(ftl.CheckInvariants());
+}
+
+TEST(ConventionalFtlStriping, GcRelocationStreamStripesAcrossDies) {
+  // The seed serialized all GC programs behind one gc_active_block_; the
+  // GC stream now books relocations on multiple dies.
+  FlashTarget target(Geo(), nand::NandTiming{});
+  auto cfg = Config();
+  cfg.write_frontiers = 2;
+  ConventionalFtl ftl(target, cfg);
+  util::Xoshiro256StarStar rng(11);
+  Us now = 0;
+  std::size_t max_gc_frontiers = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t p = rng.UniformBelow(500);
+    now = ftl.Write(p * 4096, 4096, now).completion_us;
+    max_gc_frontiers = std::max(
+        max_gc_frontiers,
+        ftl.write_allocator().Frontiers(ConventionalFtl::kGcStream).size());
+  }
+  ASSERT_GT(ftl.stats().gc_erases, 0u);
+  ASSERT_GT(ftl.stats().gc_page_copies, 0u);
+  EXPECT_GE(ftl.write_allocator().DiesTouched(ConventionalFtl::kGcStream), 2u)
+      << "GC-heavy workload must book programs on >= 2 distinct dies";
+  // Striping must be CONCURRENT, not successive single frontiers: the GC
+  // stream held two open blocks (two dies) at once at some point.
+  EXPECT_GE(max_gc_frontiers, 2u)
+      << "GC relocation stream never held two frontiers concurrently";
+  EXPECT_TRUE(ftl.CheckInvariants());
+}
+
+TEST(ConventionalFtlStriping, RandomWorkloadPreservesInvariants) {
+  FlashTarget target(Geo(), nand::NandTiming{});
+  auto cfg = Config();
+  cfg.write_frontiers = 2;
+  cfg.stripe_policy = StripePolicy::kLeastBusy;
+  ConventionalFtl ftl(target, cfg);
+  util::Xoshiro256StarStar rng(321);
+  Us now = 0;
+  const std::uint64_t logical = ftl.LogicalBytes();
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t page = rng.UniformBelow(logical / 4096);
+    const std::uint64_t pages = 1 + rng.UniformBelow(4);
+    const std::uint64_t size = std::min(pages * 4096, logical - page * 4096);
+    if (rng.Bernoulli(0.5)) {
+      now = ftl.Write(page * 4096, size, now).completion_us;
+    } else {
+      now = ftl.Read(page * 4096, size, now).completion_us;
+    }
+    if (i % 500 == 0) ASSERT_TRUE(ftl.CheckInvariants()) << "iteration " << i;
+  }
+  EXPECT_TRUE(ftl.CheckInvariants());
+  EXPECT_TRUE(ftl.write_allocator().CheckInvariants());
+  EXPECT_EQ(ftl.mapping().mapped_count(), ftl.blocks().TotalValid());
 }
 
 TEST(ConventionalFtlConfig, ValidationErrors) {

@@ -1,0 +1,124 @@
+// Seed-parity lock-in for the write-frontier refactor.
+//
+// `write_frontiers = 1` must reproduce the pre-refactor single-active-block
+// write path bit-for-bit: identical FtlStats/PpbStats, identical mapping
+// state and identical replay timing on the synthetic trace mix.  The golden
+// fingerprints below were captured from the seed allocator before
+// ftl::WriteAllocator existed; if this test fails, the refactor silently
+// changed the paper-figure benches.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "ssd/experiment.h"
+#include "ssd/ssd.h"
+#include "trace/synthetic.h"
+
+namespace ctflash {
+namespace {
+
+std::uint64_t Fold(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;  // FNV-1a
+  }
+  return h;
+}
+
+std::uint64_t Fold(std::uint64_t h, Us v) {
+  return Fold(h, static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t Fold(std::uint64_t h, double v) {
+  return Fold(h, std::bit_cast<std::uint64_t>(v));
+}
+
+struct Fingerprint {
+  std::uint64_t mapping = 0;
+  std::uint64_t stats = 0;
+};
+
+/// Prefill + web/media synthetic mix; folds the final mapping table and all
+/// replay-visible counters/timings into two hashes.
+Fingerprint RunScenario(ssd::FtlKind kind) {
+  auto cfg = ssd::ScaledConfig(kind, 256ull << 20, 16 * 1024, 2.0);
+  cfg.ftl.write_frontiers = 1;  // the compatibility setting under test
+  ssd::Ssd ssd(cfg);
+  ssd::ExperimentRunner runner(ssd);
+  runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+
+  const std::uint64_t footprint = ssd.LogicalBytes() / 100 * 85;
+  const auto web =
+      trace::SyntheticTraceGenerator(trace::WebServerWorkload(footprint, 30'000, 7))
+          .Generate();
+  const auto media =
+      trace::SyntheticTraceGenerator(trace::MediaServerWorkload(footprint, 10'000, 9))
+          .Generate();
+  const auto web_result = runner.Replay(web, "web");
+  const auto media_result = runner.Replay(media, "media");
+
+  Fingerprint fp;
+  const std::uint64_t logical_pages =
+      ssd.LogicalBytes() / cfg.geometry.page_size_bytes;
+  for (Lpn lpn = 0; lpn < logical_pages; ++lpn) {
+    const Ppn ppn = ssd.ftl().ProbePpn(lpn);
+    if (ppn == kInvalidPpn) continue;
+    fp.mapping = Fold(fp.mapping, lpn);
+    fp.mapping = Fold(fp.mapping, ppn);
+  }
+
+  const auto& s = ssd.ftl().stats();
+  std::uint64_t h = 0;
+  h = Fold(h, s.host_read_pages);
+  h = Fold(h, s.host_write_pages);
+  h = Fold(h, s.gc_page_copies);
+  h = Fold(h, s.gc_erases);
+  h = Fold(h, s.gc_time_us);
+  for (const auto& r : {web_result, media_result}) {
+    h = Fold(h, r.read_latency.total_us());
+    h = Fold(h, r.write_latency.total_us());
+    h = Fold(h, r.erase_count);
+    h = Fold(h, r.sim_end_us);
+  }
+  if (const auto* ppb = ssd.ppb()) {
+    const auto& p = ppb->ppb_stats();
+    h = Fold(h, p.hot_area_writes);
+    h = Fold(h, p.cold_area_writes);
+    h = Fold(h, p.iron_promotions);
+    h = Fold(h, p.cold_demotions);
+    h = Fold(h, p.diverted_writes);
+    h = Fold(h, p.fast_class_writes);
+    h = Fold(h, p.slow_class_writes);
+    h = Fold(h, p.gc_migrations);
+    h = Fold(h, p.fast_reads);
+    h = Fold(h, p.slow_reads);
+  }
+  fp.stats = h;
+  return fp;
+}
+
+// Golden fingerprints captured from the seed (pre-WriteAllocator) write path.
+constexpr std::uint64_t kConventionalMapping = 0x9118797829d2bed6ull;
+constexpr std::uint64_t kConventionalStats = 0xdf2899795dc0840full;
+constexpr std::uint64_t kPpbMapping = 0x360e946e7e6b6116ull;
+constexpr std::uint64_t kPpbStats = 0xbf2a5b27e65f57feull;
+
+TEST(WriteFrontierParity, ConventionalMatchesSeed) {
+  const auto fp = RunScenario(ssd::FtlKind::kConventional);
+  EXPECT_EQ(fp.mapping, kConventionalMapping)
+      << "mapping fingerprint: 0x" << std::hex << fp.mapping;
+  EXPECT_EQ(fp.stats, kConventionalStats)
+      << "stats fingerprint: 0x" << std::hex << fp.stats;
+}
+
+TEST(WriteFrontierParity, PpbMatchesSeed) {
+  const auto fp = RunScenario(ssd::FtlKind::kPpb);
+  EXPECT_EQ(fp.mapping, kPpbMapping)
+      << "mapping fingerprint: 0x" << std::hex << fp.mapping;
+  EXPECT_EQ(fp.stats, kPpbStats)
+      << "stats fingerprint: 0x" << std::hex << fp.stats;
+}
+
+}  // namespace
+}  // namespace ctflash
