@@ -1,0 +1,218 @@
+// GC/host QoS — the priority-transaction routing bench.
+//
+// Read tail latency during a GC-heavy mixed burst (closed-loop QD 16,
+// 50 % reads, 16 KiB requests over a 60 % footprint after an 85 % prefill),
+// comparing the two GC routings on the identical request stream:
+//   * gc_routing = kInline     (seed behavior: relocations book the die
+//     timelines inside the FTL, invisible to the scheduler — a read that
+//     lands behind a victim relocation waits out the whole burst);
+//   * gc_routing = kScheduled  (relocation copies and erases flow through
+//     the IoScheduler as low-priority transactions: ready host reads
+//     overtake queued GC on the die, aging + admission control keep GC
+//     live and the pool above the trigger).
+//
+// Asserted shape (std::runtime_error on violation, the bench error idiom),
+// for BOTH FTL variants:
+//   * scheduled-mode read p99 is STRICTLY lower than inline-mode read p99;
+//   * mean read latency does not regress;
+//   * the routings do equal GC work: erase counts within 15 %, WAF within
+//     10 % (scheduled mode may skip copies the host already rewrote).
+//
+// Results are also written as JSON (default BENCH_gc_qos.json, override
+// with --json) so the numbers are diffable across PRs.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "host/host_interface.h"
+#include "host/load_generator.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace ctflash;
+
+struct RoutingResult {
+  std::string ftl;
+  std::string routing;
+  double read_p50_us = 0.0;
+  double read_p95_us = 0.0;
+  double read_p99_us = 0.0;
+  double read_mean_us = 0.0;
+  double write_p99_us = 0.0;
+  double waf = 1.0;
+  std::uint64_t gc_erases = 0;
+  std::uint64_t gc_page_copies = 0;
+  std::uint64_t gc_stale_copies = 0;
+  std::uint64_t read_preemptions = 0;
+};
+
+RoutingResult RunOne(ssd::FtlKind kind, ftl::GcRouting routing,
+                     std::uint64_t device_bytes, std::uint64_t requests) {
+  auto cfg = ssd::ScaledConfig(kind, device_bytes, 16 * 1024, 2.0);
+  cfg.timing_mode = ftl::TimingMode::kQueued;
+  cfg.ftl.gc_routing = routing;
+  ssd::Ssd ssd(cfg);
+
+  // Synchronous prefill before the host interface exists: the GC sink is
+  // not attached yet, so inline GC keeps the pool healthy in both modes.
+  ssd::ExperimentRunner runner(ssd);
+  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 85);
+  ssd.ftl().ResetStats();
+
+  host::HostInterface host(ssd, host::HostConfig{});
+  host.AdvanceTo(prefill_end);
+
+  host::ClosedLoopGenerator::Config gen;
+  gen.queue_depth = 16;
+  gen.total_requests = requests;
+  gen.read_fraction = 0.5;
+  gen.footprint_bytes = ssd.LogicalBytes() / 100 * 60;
+  gen.seed = 99;
+  const host::LoadStats load = host::ClosedLoopGenerator(host, gen).Run();
+
+  RoutingResult r;
+  r.ftl = ssd::FtlKindName(kind);
+  r.routing = ftl::GcRoutingName(routing);
+  r.read_p50_us = load.read_latency.p50_us();
+  r.read_p95_us = load.read_latency.p95_us();
+  r.read_p99_us = load.read_latency.p99_us();
+  r.read_mean_us = load.read_latency.mean_us();
+  r.write_p99_us = load.write_latency.p99_us();
+  r.waf = ssd.ftl().stats().Waf();
+  r.gc_erases = ssd.ftl().stats().gc_erases;
+  r.gc_page_copies = ssd.ftl().stats().gc_page_copies;
+  r.gc_stale_copies = ssd.ftl().stats().gc_stale_copies;
+  r.read_preemptions = host.scheduler().ReadPreemptionsOfGc();
+  return r;
+}
+
+void CheckPair(const RoutingResult& inline_r, const RoutingResult& sched_r) {
+  std::ostringstream os;
+  if (inline_r.gc_erases == 0) {
+    os << inline_r.ftl << ": burst was expected to be GC-heavy";
+    throw std::runtime_error(os.str());
+  }
+  if (!(sched_r.read_p99_us < inline_r.read_p99_us)) {
+    os << sched_r.ftl << ": scheduled read p99 (" << sched_r.read_p99_us
+       << " us) not strictly below inline (" << inline_r.read_p99_us << " us)";
+    throw std::runtime_error(os.str());
+  }
+  if (sched_r.read_mean_us > inline_r.read_mean_us) {
+    os << sched_r.ftl << ": scheduled mean read latency regressed ("
+       << sched_r.read_mean_us << " > " << inline_r.read_mean_us << " us)";
+    throw std::runtime_error(os.str());
+  }
+  const double erase_ratio = static_cast<double>(sched_r.gc_erases) /
+                             static_cast<double>(inline_r.gc_erases);
+  if (erase_ratio < 0.85 || erase_ratio > 1.15) {
+    os << sched_r.ftl << ": erase counts diverged (scheduled "
+       << sched_r.gc_erases << " vs inline " << inline_r.gc_erases << ")";
+    throw std::runtime_error(os.str());
+  }
+  const double waf_ratio = sched_r.waf / inline_r.waf;
+  if (waf_ratio < 0.90 || waf_ratio > 1.10) {
+    os << sched_r.ftl << ": WAF diverged (scheduled " << sched_r.waf
+       << " vs inline " << inline_r.waf << ")";
+    throw std::runtime_error(os.str());
+  }
+}
+
+void WriteJson(const std::string& path, std::uint64_t device_bytes,
+               std::uint64_t requests,
+               const std::vector<RoutingResult>& results) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "{\n"
+      << "  \"bench\": \"gc_qos\",\n"
+      << "  \"workload\": \"closed-loop QD16, 50% reads, 16KiB, 60% "
+         "footprint, 85% prefill\",\n"
+      << "  \"device_bytes\": " << device_bytes << ",\n"
+      << "  \"requests\": " << requests << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"ftl\": \"" << r.ftl << "\", \"gc_routing\": \"" << r.routing
+        << "\", \"read_p50_us\": " << r.read_p50_us
+        << ", \"read_p95_us\": " << r.read_p95_us
+        << ", \"read_p99_us\": " << r.read_p99_us
+        << ", \"read_mean_us\": " << r.read_mean_us
+        << ", \"write_p99_us\": " << r.write_p99_us << ", \"waf\": " << r.waf
+        << ", \"gc_erases\": " << r.gc_erases
+        << ", \"gc_page_copies\": " << r.gc_page_copies
+        << ", \"gc_stale_copies\": " << r.gc_stale_copies
+        << ", \"read_preemptions\": " << r.read_preemptions << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ctflash::bench::BenchOptions;
+  auto options = BenchOptions::FromArgs(argc, argv);
+  // This bench's own scale defaults (a small array GC cycles quickly),
+  // applied only when the user did not pass the flag — the harness default
+  // values are valid user choices, so detect presence, not value.
+  bool user_device = false;
+  bool user_requests = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--device") user_device = true;
+    if (arg == "--qd-requests") user_requests = true;
+  }
+  if (!user_device) options.device_bytes = 512ull << 20;
+  const std::uint64_t requests = user_requests ? options.qd_requests : 120'000;
+  const std::string json_path =
+      options.json_path.empty() ? "BENCH_gc_qos.json" : options.json_path;
+
+  std::cout << "=== GC/host QoS: inline vs scheduled GC routing ===\n"
+            << "Reads during a GC-heavy mixed burst (QD16, 50% reads); GC as\n"
+            << "preemptible scheduler-visible transactions vs inline booking.\n"
+            << "Device: " << (options.device_bytes >> 20)
+            << " MiB scaled array; " << requests << " requests\n\n";
+
+  std::vector<RoutingResult> results;
+  for (const auto kind :
+       {ctflash::ssd::FtlKind::kConventional, ctflash::ssd::FtlKind::kPpb}) {
+    const auto inline_r = RunOne(kind, ctflash::ftl::GcRouting::kInline,
+                                 options.device_bytes, requests);
+    const auto sched_r = RunOne(kind, ctflash::ftl::GcRouting::kScheduled,
+                                options.device_bytes, requests);
+    CheckPair(inline_r, sched_r);
+    results.push_back(inline_r);
+    results.push_back(sched_r);
+  }
+
+  ctflash::util::TablePrinter table(
+      {"FTL", "GC routing", "read p50", "read p95", "read p99", "read mean",
+       "WAF", "erases", "stale copies", "preemptions"});
+  for (const auto& r : results) {
+    table.AddRow({r.ftl, r.routing, ctflash::util::TablePrinter::FormatDouble(r.read_p50_us),
+                  ctflash::util::TablePrinter::FormatDouble(r.read_p95_us), ctflash::util::TablePrinter::FormatDouble(r.read_p99_us),
+                  ctflash::util::TablePrinter::FormatDouble(r.read_mean_us), ctflash::util::TablePrinter::FormatDouble(r.waf),
+                  std::to_string(r.gc_erases), std::to_string(r.gc_stale_copies),
+                  std::to_string(r.read_preemptions)});
+  }
+  table.Print();
+
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const auto& in = results[i];
+    const auto& sc = results[i + 1];
+    std::cout << "\n" << in.ftl << ": scheduled read p99 "
+              << sc.read_p99_us << " us vs inline " << in.read_p99_us
+              << " us (" << (1.0 - sc.read_p99_us / in.read_p99_us) * 100.0
+              << "% lower) at erase parity " << sc.gc_erases << "/"
+              << in.gc_erases;
+  }
+  std::cout << "\n\nAll assertions passed; JSON written to " << json_path
+            << "\n";
+  WriteJson(json_path, options.device_bytes, requests, results);
+  return 0;
+}

@@ -45,9 +45,6 @@ PpbFtl::PpbFtl(ftl::FlashTarget& target, const ftl::FtlConfig& ftl_config,
                const PpbConfig& ppb_config,
                std::unique_ptr<FirstStageClassifier> classifier)
     : FtlBase(target, ftl_config),
-      map_(logical_pages_, target.geometry().TotalPages()),
-      blocks_(target.geometry().TotalBlocks(),
-              target.geometry().pages_per_block),
       vbm_(blocks_, target.geometry().pages_per_block, ppb_config.vb_split,
            ppb_config.max_open_fast_vbs,
            VbStripingConfig{
@@ -155,69 +152,43 @@ Us PpbFtl::PlacePage(Lpn lpn, HotnessLevel level, Us earliest) {
   return target_.ProgramPage(ppn, earliest);
 }
 
-Us PpbFtl::MaybeRunGc(Us earliest) {
-  if (in_gc_) return earliest;
-  Us completion = earliest;
-  while (blocks_.FreeCount() <= config_.gc_threshold_low) {
-    const auto victim = PickVictim(blocks_);
-    if (!victim) break;
-    in_gc_ = true;
-    const auto& geo = target_.geometry();
-    {
-      const auto area_idx = static_cast<std::size_t>(vbm_.AreaOfBlock(*victim));
-      ppb_stats_.gc_victims_by_area[area_idx]++;
-      ppb_stats_.gc_victim_valid_by_area[area_idx] += blocks_.ValidCount(*victim);
-    }
-    for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
-      const Ppn src = geo.PpnOf(*victim, p);
-      const Lpn lpn = map_.LpnOf(src);
-      if (lpn == kInvalidLpn) continue;
-      // Progressive migration: relocate to the survivor's demoted hotness
-      // level (or, with the ablation knob off, keep the source area/class).
-      HotnessLevel level;
-      if (ppb_config_.migrate_on_gc) {
-        level = RelocationLevel(lpn, vbm_.AreaOfBlock(*victim));
-      } else {
-        const Area src_area = vbm_.AreaOfBlock(*victim);
-        const bool src_fast = vbm_.IsFastClassPage(p);
-        level = src_area == Area::kHot
-                    ? (src_fast ? HotnessLevel::kIronHot : HotnessLevel::kHot)
-                    : (src_fast ? HotnessLevel::kCold : HotnessLevel::kIcyCold);
-      }
-      auto alloc = vbm_.AllocatePage(AreaOf(level), level, /*gc_stream=*/true);
-      CTFLASH_CHECK(alloc.has_value());
-      const bool class_changed = alloc->fast_class != vbm_.IsFastClassPage(p) ||
-                                 AreaOf(level) != vbm_.AreaOfBlock(*victim);
-      if (class_changed) ppb_stats_.gc_migrations++;
-      if (alloc->fast_class) {
-        ppb_stats_.fast_class_writes++;
-      } else {
-        ppb_stats_.slow_class_writes++;
-      }
-      // Perform the copy through the flash fabric.
-      Us read_done = target_.ReadPage(src, completion);
-      const Ppn dst = alloc->ppn;
-      const Us done = [&] {
-        // Program must follow the read of the source page.
-        return target_.ProgramPage(dst, read_done);
-      }();
-      if (done > completion) completion = done;
-      map_.ReleasePpn(src);
-      map_.Update(lpn, dst);
-      blocks_.RemoveValid(*victim);
-      blocks_.AddValid(geo.BlockOf(dst));
-      stats_.gc_page_copies++;
-    }
-    completion = target_.EraseBlock(*victim, completion);
-    blocks_.Release(*victim);
-    vbm_.OnBlockErased(*victim);
-    stats_.gc_erases++;
-    wear_leveler_.OnErase();
-    in_gc_ = false;
-    if (blocks_.FreeCount() >= config_.gc_threshold_high) break;
+void PpbFtl::OnGcVictimChosen(BlockId victim) {
+  const auto area_idx = static_cast<std::size_t>(vbm_.AreaOfBlock(victim));
+  ppb_stats_.gc_victims_by_area[area_idx]++;
+  ppb_stats_.gc_victim_valid_by_area[area_idx] += blocks_.ValidCount(victim);
+}
+
+Us PpbFtl::RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim, Us earliest) {
+  const auto& geo = target_.geometry();
+  const std::uint32_t p = geo.PageOf(src);
+  HotnessLevel level;
+  if (ppb_config_.migrate_on_gc) {
+    level = RelocationLevel(lpn, vbm_.AreaOfBlock(victim));
+  } else {
+    const Area src_area = vbm_.AreaOfBlock(victim);
+    const bool src_fast = vbm_.IsFastClassPage(p);
+    level = src_area == Area::kHot
+                ? (src_fast ? HotnessLevel::kIronHot : HotnessLevel::kHot)
+                : (src_fast ? HotnessLevel::kCold : HotnessLevel::kIcyCold);
   }
-  stats_.gc_time_us += completion - earliest;
-  return completion;
+  auto alloc = vbm_.AllocatePage(AreaOf(level), level, /*gc_stream=*/true);
+  CTFLASH_CHECK(alloc.has_value());
+  const bool class_changed = alloc->fast_class != vbm_.IsFastClassPage(p) ||
+                             AreaOf(level) != vbm_.AreaOfBlock(victim);
+  if (class_changed) ppb_stats_.gc_migrations++;
+  if (alloc->fast_class) {
+    ppb_stats_.fast_class_writes++;
+  } else {
+    ppb_stats_.slow_class_writes++;
+  }
+  const Us read_done = target_.ReadPage(src, earliest);
+  const Us done = target_.ProgramPage(alloc->ppn, read_done);
+  map_.ReleasePpn(src);
+  map_.Update(lpn, alloc->ppn);
+  blocks_.RemoveValid(victim);
+  blocks_.AddValid(geo.BlockOf(alloc->ppn));
+  stats_.gc_page_copies++;
+  return done;
 }
 
 Us PpbFtl::DoWrite(Lpn lpn_first, std::uint32_t pages,

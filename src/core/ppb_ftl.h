@@ -92,8 +92,6 @@ class PpbFtl : public ftl::FtlBase {
 
   std::string Name() const override { return "ppb-ftl"; }
 
-  Ppn ProbePpn(Lpn lpn) const override { return map_.Lookup(lpn); }
-
   std::optional<Us> ProbeWriteFreeAt() const override {
     return vbm_.EarliestHostFrontierFreeAt();
   }
@@ -102,8 +100,6 @@ class PpbFtl : public ftl::FtlBase {
   const PpbStats& ppb_stats() const { return ppb_stats_; }
   void ResetPpbStats() { ppb_stats_ = PpbStats{}; }
 
-  const ftl::MappingTable& mapping() const { return map_; }
-  const ftl::BlockManager& blocks() const { return blocks_; }
   const VirtualBlockManager& vbm() const { return vbm_; }
   const TwoLevelLru& hot_area() const { return lru_; }
   const AccessFrequencyTable& cold_area() const { return freq_; }
@@ -111,6 +107,16 @@ class PpbFtl : public ftl::FtlBase {
 
   /// Current metadata hotness of an lpn (what GC relocation would use).
   HotnessLevel LevelOf(Lpn lpn) const;
+
+  /// Scheduled-GC write-admission lead: one victim's relocations fan out
+  /// across up to four lists (hot/cold area x fast/GC-slow class), each of
+  /// which may have to claim up to `write_frontiers` fresh blocks
+  /// mid-relocation, plus one fill-up claim of slack — wider than the
+  /// conventional single-stream lead, so the pool still bottoms out at the
+  /// GC trigger.
+  std::uint64_t GcScheduleLead() const override {
+    return 4ull * config().write_frontiers + 1;
+  }
 
   /// Deep structural check across mapping, block accounting and VB lists.
   bool CheckInvariants() const;
@@ -121,13 +127,17 @@ class PpbFtl : public ftl::FtlBase {
   Us DoWrite(Lpn lpn_first, std::uint32_t pages, std::uint64_t request_bytes,
              Us earliest) override;
 
+  /// One GC relocation (dual-use: each iteration of the base inline loop,
+  /// and each scheduled kGcCopy transaction): hotness re-ranking +
+  /// placement with progressive migration preserved.
+  Us RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim, Us earliest) override;
+  void OnGcVictimChosen(BlockId victim) override;
+  void OnGcBlockErased(BlockId victim) override { vbm_.OnBlockErased(victim); }
+
  private:
   /// Places one logical page at `level`, running GC first when the free
   /// pool is exhausted.  Returns program completion time.
   Us PlacePage(Lpn lpn, HotnessLevel level, Us earliest);
-
-  /// GC loop (greedy victim, hotness-aware relocation).
-  Us MaybeRunGc(Us earliest);
 
   /// Metadata updates for a host write; returns the placement level.
   HotnessLevel ClassifyWrite(Lpn lpn, std::uint64_t request_bytes);
@@ -140,15 +150,12 @@ class PpbFtl : public ftl::FtlBase {
   /// the frequency table (the GC-time icy-cold -> cold promotion).
   HotnessLevel RelocationLevel(Lpn lpn, Area src_area);
 
-  ftl::MappingTable map_;
-  ftl::BlockManager blocks_;
   VirtualBlockManager vbm_;
   TwoLevelLru lru_;
   AccessFrequencyTable freq_;
   std::unique_ptr<FirstStageClassifier> classifier_;
   PpbConfig ppb_config_;
   PpbStats ppb_stats_;
-  bool in_gc_ = false;
 };
 
 }  // namespace ctflash::core

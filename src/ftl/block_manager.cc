@@ -12,6 +12,7 @@ BlockManager::BlockManager(std::uint64_t total_blocks,
     throw std::invalid_argument("BlockManager: zero-sized device");
   }
   for (BlockId b = 0; b < total_blocks; ++b) free_list_.push_back(b);
+  min_free_ = free_list_.size();
 }
 
 void BlockManager::CheckId(BlockId block) const {
@@ -42,6 +43,7 @@ std::optional<BlockId> BlockManager::AllocateBlock(
   const BlockId b = *chosen;
   free_list_.erase(chosen);
   generation_++;
+  if (free_list_.size() < min_free_) min_free_ = free_list_.size();
   info_[b].use = BlockUse::kOpen;
   return b;
 }

@@ -40,6 +40,13 @@ class BlockManager {
 
   std::uint64_t FreeCount() const { return free_list_.size(); }
 
+  /// Lowest FreeCount() observed since the last ResetFreeWatermark() —
+  /// captures transient dips between allocation and release that samplers
+  /// driven by the event queue cannot see.  The GC/QoS property tests use
+  /// it to assert the no-starvation floor.
+  std::uint64_t MinFreeWatermark() const { return min_free_; }
+  void ResetFreeWatermark() { min_free_ = free_list_.size(); }
+
   /// Bumped on every free-list mutation (allocation or release).  Lets the
   /// write-frontier allocators memoize a failed free-list scan exactly: the
   /// same scan cannot succeed until the generation changes.
@@ -95,6 +102,7 @@ class BlockManager {
   std::deque<BlockId> free_list_;
   std::uint32_t pages_per_block_;
   std::uint64_t generation_ = 0;
+  std::uint64_t min_free_ = 0;  ///< see MinFreeWatermark (set in ctor)
   std::function<std::uint32_t(BlockId)> wear_provider_;
 };
 

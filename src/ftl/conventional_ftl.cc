@@ -8,9 +8,6 @@ namespace ctflash::ftl {
 
 ConventionalFtl::ConventionalFtl(FlashTarget& target, const FtlConfig& config)
     : FtlBase(target, config),
-      map_(logical_pages_, target.geometry().TotalPages()),
-      blocks_(target.geometry().TotalBlocks(),
-              target.geometry().pages_per_block),
       walloc_(blocks_, target.geometry().pages_per_block,
               [this](BlockId b) { return target_.geometry().DieOfBlock(b); },
               [this](BlockId b) { return target_.DieFreeAt(b); },
@@ -68,37 +65,16 @@ Us ConventionalFtl::WriteOnePage(Lpn lpn, Us earliest) {
   return target_.ProgramPage(ppn, earliest);
 }
 
-Us ConventionalFtl::MaybeRunGc(Us earliest) {
-  if (in_gc_) return earliest;
-  Us completion = earliest;
-  while (blocks_.FreeCount() <= config_.gc_threshold_low) {
-    const auto victim = PickVictim(blocks_);
-    if (!victim) break;  // nothing reclaimable
-    in_gc_ = true;
-    const auto& geo = target_.geometry();
-    // Relocate every valid page of the victim.
-    for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
-      const Ppn src = geo.PpnOf(*victim, p);
-      const Lpn lpn = map_.LpnOf(src);
-      if (lpn == kInvalidLpn) continue;
-      const Ppn dst = AllocatePage(/*for_gc=*/true);
-      const Us done = target_.CopyPage(src, dst, completion);
-      if (done > completion) completion = done;
-      map_.ReleasePpn(src);
-      map_.Update(lpn, dst);
-      blocks_.RemoveValid(*victim);
-      blocks_.AddValid(geo.BlockOf(dst));
-      stats_.gc_page_copies++;
-    }
-    completion = target_.EraseBlock(*victim, completion);
-    blocks_.Release(*victim);
-    stats_.gc_erases++;
-    wear_leveler_.OnErase();
-    in_gc_ = false;
-    if (blocks_.FreeCount() >= config_.gc_threshold_high) break;
-  }
-  stats_.gc_time_us += completion - earliest;
-  return completion;
+Us ConventionalFtl::RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim,
+                                      Us earliest) {
+  const Ppn dst = AllocatePage(/*for_gc=*/true);
+  const Us done = target_.CopyPage(src, dst, earliest);
+  map_.ReleasePpn(src);
+  map_.Update(lpn, dst);
+  blocks_.RemoveValid(victim);
+  blocks_.AddValid(target_.geometry().BlockOf(dst));
+  stats_.gc_page_copies++;
+  return done;
 }
 
 Us ConventionalFtl::DoWrite(Lpn lpn_first, std::uint32_t pages,

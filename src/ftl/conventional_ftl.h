@@ -26,8 +26,6 @@ class ConventionalFtl : public FtlBase {
 
   std::string Name() const override { return "conventional-ftl"; }
 
-  Ppn ProbePpn(Lpn lpn) const override { return map_.Lookup(lpn); }
-
   std::optional<Us> ProbeWriteFreeAt() const override {
     // A growable stream can open a frontier on a fresh die, so the write is
     // startable now (nullopt); only a maxed-out stream is gated by its
@@ -41,8 +39,6 @@ class ConventionalFtl : public FtlBase {
   static constexpr std::uint32_t kHostStream = 0;
   static constexpr std::uint32_t kGcStream = 1;
 
-  const MappingTable& mapping() const { return map_; }
-  const BlockManager& blocks() const { return blocks_; }
   const WriteAllocator& write_allocator() const { return walloc_; }
 
   /// Invariant probe for property tests: every mapped lpn points at a
@@ -55,6 +51,11 @@ class ConventionalFtl : public FtlBase {
   Us DoWrite(Lpn lpn_first, std::uint32_t pages, std::uint64_t request_bytes,
              Us earliest) override;
 
+  /// One GC relocation (dual-use: each iteration of the base inline loop,
+  /// and each scheduled kGcCopy transaction): GC-stream allocation, mapping
+  /// update, CopyPage timing.
+  Us RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim, Us earliest) override;
+
  private:
   /// Next programmable ppn on the host or GC write stream, opening new
   /// frontier blocks when needed.  Never runs GC.  Host and GC traffic use
@@ -63,17 +64,10 @@ class ConventionalFtl : public FtlBase {
   /// top-layer pages.
   Ppn AllocatePage(bool for_gc);
 
-  /// Runs GC until free blocks reach gc_threshold_high; returns completion
-  /// time of all GC work (>= earliest).
-  Us MaybeRunGc(Us earliest);
-
   /// Writes one logical page (mapping update + program).
   Us WriteOnePage(Lpn lpn, Us earliest);
 
-  MappingTable map_;
-  BlockManager blocks_;
   WriteAllocator walloc_;  ///< streams: {kHostStream, kGcStream}
-  bool in_gc_ = false;
 };
 
 }  // namespace ctflash::ftl

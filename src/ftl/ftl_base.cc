@@ -4,7 +4,19 @@
 
 #include <stdexcept>
 
+#include "util/logging.h"
+
 namespace ctflash::ftl {
+
+const char* GcRoutingName(GcRouting routing) {
+  switch (routing) {
+    case GcRouting::kInline:
+      return "inline";
+    case GcRouting::kScheduled:
+      return "scheduled";
+  }
+  return "?";
+}
 
 void FtlConfig::Validate() const {
   if (op_ratio <= 0.0 || op_ratio >= 0.9) {
@@ -20,28 +32,43 @@ void FtlConfig::Validate() const {
   if (write_frontiers == 0) {
     throw std::invalid_argument("FtlConfig: write_frontiers must be >= 1");
   }
+  if (charge_gc_to_write && gc_routing == GcRouting::kScheduled) {
+    throw std::invalid_argument(
+        "FtlConfig: charge_gc_to_write models foreground (inline) GC and is "
+        "meaningless with gc_routing = kScheduled");
+  }
 }
 
-FtlBase::FtlBase(FlashTarget& target, const FtlConfig& config)
-    : target_(target), config_(config), wear_leveler_(config.wear) {
-  config_.Validate();
+std::uint64_t FtlBase::ComputeLogicalPages(const FlashTarget& target,
+                                           const FtlConfig& config) {
+  config.Validate();
   const std::uint64_t physical = target.geometry().TotalPages();
-  logical_pages_ =
+  const auto logical_pages =
       static_cast<std::uint64_t>(static_cast<double>(physical) *
-                                 (1.0 - config_.op_ratio));
-  if (logical_pages_ == 0) {
+                                 (1.0 - config.op_ratio));
+  if (logical_pages == 0) {
     throw std::invalid_argument("FtlBase: device too small for op_ratio");
   }
   // Room for the open write frontiers during GC: up to `write_frontiers`
   // per stream (host + GC relocation), 2 total in the seed configuration.
   const std::uint64_t min_spare =
-      config_.gc_threshold_high + 2ull * config_.write_frontiers;
+      config.gc_threshold_high + 2ull * config.write_frontiers;
   if (target.geometry().TotalBlocks() <
-      min_spare + logical_pages_ / target.geometry().pages_per_block) {
+      min_spare + logical_pages / target.geometry().pages_per_block) {
     throw std::invalid_argument(
         "FtlBase: over-provisioning too small for the GC thresholds");
   }
+  return logical_pages;
 }
+
+FtlBase::FtlBase(FlashTarget& target, const FtlConfig& config)
+    : target_(target),
+      config_(config),
+      logical_pages_(ComputeLogicalPages(target, config)),
+      map_(logical_pages_, target.geometry().TotalPages()),
+      blocks_(target.geometry().TotalBlocks(),
+              target.geometry().pages_per_block),
+      wear_leveler_(config.wear) {}
 
 void FtlBase::CheckRange(std::uint64_t offset_bytes,
                          std::uint64_t size_bytes) const {
@@ -97,6 +124,128 @@ RequestResult FtlBase::Write(std::uint64_t offset_bytes,
   if (r.completion_us < arrival_us) r.completion_us = arrival_us;
   stats_.host_write_pages += pages;
   return r;
+}
+
+Us FtlBase::MaybeRunGc(Us earliest) {
+  // Scheduled routing: GC is planned/dispatched by the host scheduler
+  // through the transaction API below; nothing to do inline.
+  if (ScheduledGcActive()) return earliest;
+  if (in_gc_) return earliest;
+  Us completion = earliest;
+  while (blocks_.FreeCount() <= config_.gc_threshold_low) {
+    const auto victim = PickVictim(blocks_);
+    if (!victim) break;  // nothing reclaimable
+    in_gc_ = true;
+    OnGcVictimChosen(*victim);
+    const auto& geo = target_.geometry();
+    // Relocate every valid page of the victim.
+    for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+      const Ppn src = geo.PpnOf(*victim, p);
+      const Lpn lpn = map_.LpnOf(src);
+      if (lpn == kInvalidLpn) continue;
+      const Us done = RelocatePageForGc(lpn, src, *victim, completion);
+      if (done > completion) completion = done;
+    }
+    completion = EraseGcVictim(*victim, completion);
+    in_gc_ = false;
+    if (blocks_.FreeCount() >= config_.gc_threshold_high) break;
+  }
+  stats_.gc_time_us += completion - earliest;
+  return completion;
+}
+
+Us FtlBase::EraseGcVictim(BlockId victim, Us earliest) {
+  const Us done = target_.EraseBlock(victim, earliest);
+  blocks_.Release(victim);
+  OnGcBlockErased(victim);
+  stats_.gc_erases++;
+  wear_leveler_.OnErase();
+  return done;
+}
+
+void FtlBase::PlanGcVictim(std::vector<sched::FlashTransaction>& out) {
+  const auto victim = PickVictim(blocks_);
+  if (!victim) {
+    // Nothing reclaimable (all spare space sits in open blocks); stand down
+    // until the pool state changes.
+    gc_active_ = false;
+    return;
+  }
+  OnGcVictimChosen(*victim);
+  const auto& geo = target_.geometry();
+  const std::uint64_t job = next_gc_job_++;
+  for (std::uint32_t p = 0; p < geo.pages_per_block; ++p) {
+    const Ppn src = geo.PpnOf(*victim, p);
+    const Lpn lpn = map_.LpnOf(src);
+    if (lpn == kInvalidLpn) continue;  // already invalid at planning time
+    sched::FlashTransaction txn;
+    txn.request_id = job;
+    txn.source = sched::TxnSource::kGcCopy;
+    txn.lpn = lpn;  // informational; execution re-resolves via the reverse map
+    txn.gc_src = src;
+    txn.gc_block = *victim;
+    out.push_back(txn);
+  }
+  sched::FlashTransaction erase;
+  erase.request_id = job;
+  erase.source = sched::TxnSource::kGcErase;
+  erase.gc_block = *victim;
+  out.push_back(erase);
+}
+
+void FtlBase::DrainGcTransactions(std::vector<sched::FlashTransaction>& out) {
+  if (!ScheduledGcActive()) return;
+  // One victim in flight at a time: plan the next only once the previous
+  // job's transactions all executed (the erase replenishes the pool, so the
+  // trigger check below sees the true state).
+  if (gc_outstanding_ != 0) return;
+  if (!gc_active_ && GcWritePressure()) gc_active_ = true;
+  if (!gc_active_) return;
+  if (blocks_.FreeCount() >= config_.gc_threshold_high) {
+    gc_active_ = false;
+    return;
+  }
+  const std::size_t before = out.size();
+  PlanGcVictim(out);
+  gc_outstanding_ += out.size() - before;
+  gc_txns_emitted_ += out.size() - before;
+}
+
+void FtlBase::AccumulateGcTime(Us start, Us done) {
+  // Scheduled GC transactions overlap on the die timelines, so summing
+  // per-transaction (done - start) would over-count queueing many times
+  // over.  Count the union of the busy intervals instead (dispatch times
+  // are nondecreasing in simulated time), which keeps gc_time_us
+  // comparable with the inline mode's per-burst span accounting.
+  const Us from = std::max(start, gc_busy_until_);
+  if (done > from) stats_.gc_time_us += done - from;
+  if (done > gc_busy_until_) gc_busy_until_ = done;
+}
+
+Us FtlBase::ExecuteGcTransaction(const sched::FlashTransaction& txn,
+                                 Us earliest) {
+  CTFLASH_CHECK(gc_outstanding_ > 0);
+  gc_outstanding_--;
+  gc_txns_executed_++;
+  if (txn.source == sched::TxnSource::kGcCopy) {
+    const Lpn lpn = map_.LpnOf(txn.gc_src);
+    if (lpn == kInvalidLpn) {
+      // The host rewrote this page between planning and dispatch: the copy
+      // is moot and carries no flash work.
+      stats_.gc_stale_copies++;
+      return earliest;
+    }
+    const Us done = RelocatePageForGc(lpn, txn.gc_src, txn.gc_block, earliest);
+    AccumulateGcTime(earliest, done);
+    return done;
+  }
+  CTFLASH_CHECK(txn.source == sched::TxnSource::kGcErase);
+  // Every copy of this job executed before the erase (scheduler-enforced),
+  // so the victim holds no live data.
+  CTFLASH_CHECK(blocks_.ValidCount(txn.gc_block) == 0);
+  const Us done = EraseGcVictim(txn.gc_block, earliest);
+  AccumulateGcTime(earliest, done);
+  return done;
 }
 
 }  // namespace ctflash::ftl

@@ -5,21 +5,51 @@
 // per-request hooks.  Per-request latency is the completion of the slowest
 // page operation minus arrival (the channel/chip timelines supply queueing).
 //
-// GC runs in the background by default (its cost is visible through erase
-// counts, matching the paper's accounting); `charge_gc_to_write` switches to
-// a foreground-GC device that stalls the triggering write.
+// The base class owns the structures every variant shares — the page-level
+// mapping table and the per-block accounting — plus the GC machinery that
+// operates on them.  GC work can be routed two ways (FtlConfig::gc_routing):
+//
+//  * kInline (default): the variant's GC loop books die timelines inline
+//    with the triggering write, invisible to the host scheduler.  This is
+//    the paper's accounting (GC cost shows up through erase counts) and is
+//    bit-for-bit the seed behavior.
+//  * kScheduled: the FTL never times GC itself.  When the free pool drops
+//    to the trigger, the base-class planner picks a victim and EMITS its
+//    relocation copies and the final erase as sched::FlashTransactions
+//    (DrainGcTransactions); the host IoScheduler dispatches them alongside
+//    host traffic by priority — host reads preempt queued GC on the same
+//    die, an aging bound keeps GC from starving, and host writes are held
+//    while the pool sits at the trigger so it can never be written empty.
+//    Transactions execute (mapping update + timeline booking) at dispatch
+//    time via ExecuteGcTransaction; a copy whose source page was
+//    invalidated between planning and dispatch completes instantly (the
+//    host already rewrote the data — skipping the copy is free WAF).
+//    Requires all post-attach writes to flow through the host interface.
+//
+// `charge_gc_to_write` (kInline only) switches to a foreground-GC device
+// that stalls the triggering write.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "ftl/block_manager.h"
 #include "ftl/flash_target.h"
+#include "ftl/mapping_table.h"
 #include "ftl/wear_leveler.h"
 #include "ftl/write_allocator.h"
+#include "sched/transaction.h"
 #include "util/types.h"
 
 namespace ctflash::ftl {
+
+/// How GC relocation work reaches the flash fabric; see file header.
+enum class GcRouting : std::uint8_t { kInline = 0, kScheduled = 1 };
+
+const char* GcRoutingName(GcRouting routing);
 
 struct FtlConfig {
   /// Fraction of physical capacity hidden from the host (over-provisioning).
@@ -41,6 +71,10 @@ struct FtlConfig {
   /// single-active-block path bit-for-bit (the paper-figure setting).
   std::uint32_t write_frontiers = 1;
   StripePolicy stripe_policy = StripePolicy::kRoundRobin;
+  /// GC work routing (see file header).  kInline is seed-bit-identical;
+  /// kScheduled emits GC as priority transactions through the host
+  /// IoScheduler and needs TimingMode::kQueued plus the host interface.
+  GcRouting gc_routing = GcRouting::kInline;
 
   void Validate() const;
 };
@@ -52,6 +86,9 @@ struct FtlStats {
   std::uint64_t gc_page_copies = 0;
   std::uint64_t gc_erases = 0;
   Us gc_time_us = 0;
+  /// Scheduled-GC only: planned copies skipped because the host rewrote the
+  /// source page between planning and dispatch (avoided relocation work).
+  std::uint64_t gc_stale_copies = 0;
 
   /// Write amplification factor: (host + GC writes) / host writes.
   double Waf() const {
@@ -92,7 +129,7 @@ class FtlBase {
   /// Scheduling hint for the host layer: the physical page currently
   /// serving `lpn`, or kInvalidPpn when unmapped.  Read-only — it must not
   /// touch hotness metadata (a probe is not an access).
-  virtual Ppn ProbePpn(Lpn lpn) const = 0;
+  virtual Ppn ProbePpn(Lpn lpn) const { return map_.Lookup(lpn); }
 
   /// Scheduling hint for the host layer: earliest die availability across
   /// the host write stream's open frontiers — when the next write could
@@ -114,8 +151,104 @@ class FtlBase {
   FlashTarget& target() { return target_; }
   const FtlConfig& config() const { return config_; }
   const WearLeveler& wear_leveler() const { return wear_leveler_; }
+  const MappingTable& mapping() const { return map_; }
+  const BlockManager& blocks() const { return blocks_; }
+
+  // --- scheduled-GC transaction API (gc_routing = kScheduled) --------------
+  //
+  // The host IoScheduler is the only intended caller.  Flow per victim:
+  // DrainGcTransactions plans a victim when the pool is at the trigger and
+  // hands out its copy + erase transactions; the scheduler dispatches each
+  // through ExecuteGcTransaction (which performs the mapping/accounting
+  // mutation and books the timelines); the next victim is planned only
+  // after the previous erase executed, so at most one victim is in flight.
+
+  /// Registers the scheduler as the GC sink.  From this call on, inline GC
+  /// is disabled when gc_routing == kScheduled (until then the variant's
+  /// inline loop still runs, so synchronous prefill stays safe).  At most
+  /// one sink may be attached at a time: a second attach would let one
+  /// scheduler's destructor wipe plan state another still depends on.
+  void AttachGcScheduler() {
+    if (gc_scheduler_attached_) {
+      throw std::logic_error("FtlBase: a GC scheduler is already attached");
+    }
+    gc_scheduler_attached_ = true;
+  }
+
+  /// Unregisters the GC sink (the IoScheduler detaches on destruction):
+  /// inline GC takes over again and the plan state resets — transactions
+  /// the dying scheduler still held are abandoned; their victim is simply
+  /// re-planned by whoever collects next (it stays FULL until erased).
+  void DetachGcScheduler() {
+    gc_scheduler_attached_ = false;
+    gc_active_ = false;
+    gc_outstanding_ = 0;
+  }
+
+  /// True when GC work is routed through the scheduler (kScheduled routing
+  /// and a scheduler attached).
+  bool ScheduledGcActive() const {
+    return gc_scheduler_attached_ && config_.gc_routing == GcRouting::kScheduled;
+  }
+
+  std::uint64_t FreeBlockCount() const { return blocks_.FreeCount(); }
+
+  /// Free pool at/below the GC trigger: the scheduler boosts pending GC
+  /// transactions above host writes while this holds.
+  bool GcUrgent() const {
+    return blocks_.FreeCount() <= config_.gc_threshold_low;
+  }
+
+  /// Free pool at/below the host-write admission floor (trigger + lead):
+  /// while GC transactions are pending, the scheduler holds host writes so
+  /// sustained writes can never starve the pool below the trigger.
+  bool GcWritePressure() const {
+    return blocks_.FreeCount() <= config_.gc_threshold_low + GcScheduleLead();
+  }
+
+  /// Host-write admission lead above gc_threshold_low (see
+  /// GcWritePressure): must cover the spare blocks ONE victim's relocation
+  /// can claim before its erase repays the pool, so the pool bottoms out
+  /// at the trigger instead of below it.  The base default covers a
+  /// single-stream GC relocation — up to `write_frontiers` open blocks on
+  /// the GC stream plus one fill-up claim of slack; variants with wider GC
+  /// fan-out override it.
+  virtual std::uint64_t GcScheduleLead() const {
+    return config_.write_frontiers + 1;
+  }
+
+  /// Plans victims as needed and appends their pending transactions to
+  /// `out` (no-op unless ScheduledGcActive()).  Planning keeps the inline
+  /// loop's hysteresis: it engages when the pool reaches the admission
+  /// floor and victims keep coming until the pool recovers to
+  /// gc_threshold_high (or nothing is reclaimable).
+  void DrainGcTransactions(std::vector<sched::FlashTransaction>& out);
+
+  /// Executes one drained GC transaction at `earliest`: performs the
+  /// mapping/accounting mutation, books the flash timelines, and returns
+  /// the completion time.  A kGcErase must only be submitted after all of
+  /// its job's copies executed (the scheduler enforces this).
+  Us ExecuteGcTransaction(const sched::FlashTransaction& txn, Us earliest);
+
+  /// Drained-but-not-executed GC transactions (conservation probes).
+  std::uint64_t GcTransactionsOutstanding() const { return gc_outstanding_; }
+  std::uint64_t GcTransactionsEmitted() const { return gc_txns_emitted_; }
+  std::uint64_t GcTransactionsExecuted() const { return gc_txns_executed_; }
+
+  /// Restarts the free-pool low-watermark (BlockManager::MinFreeWatermark)
+  /// from the current pool size — call at the start of a measured phase so
+  /// prefill-era dips don't contaminate a no-starvation assertion.
+  void ResetFreePoolWatermark() { blocks_.ResetFreeWatermark(); }
 
  protected:
+  /// Inline-routed GC (called by the variant's write path before it claims
+  /// pages): collects victims through the same variant hooks the scheduled
+  /// planner uses — OnGcVictimChosen, RelocatePageForGc per valid page,
+  /// OnGcBlockErased after the erase — until free blocks reach
+  /// gc_threshold_high.  Returns completion of all GC work (>= earliest).
+  /// No-op when ScheduledGcActive() (the scheduler owns GC then).
+  Us MaybeRunGc(Us earliest);
+
   /// Per-request hooks: `lpn_first..lpn_first+pages` is the page span; the
   /// request byte extent is passed through for classifiers (PPB size check)
   /// and sub-page transfer accounting.  Return the completion (>= earliest).
@@ -124,6 +257,18 @@ class FtlBase {
                     Us earliest) = 0;
   virtual Us DoWrite(Lpn lpn_first, std::uint32_t pages,
                      std::uint64_t request_bytes, Us earliest) = 0;
+
+  // --- scheduled-GC variant hooks ------------------------------------------
+
+  /// Relocates one still-valid page for GC: allocate a destination on the
+  /// variant's GC stream, book the copy on the timelines, update mapping
+  /// and valid counters (and variant stats).  Returns program completion.
+  virtual Us RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim,
+                               Us earliest) = 0;
+  /// Victim chosen by the scheduled planner (variant stats hook).
+  virtual void OnGcVictimChosen(BlockId /*victim*/) {}
+  /// Victim erased by a scheduled kGcErase (e.g. PPB resets its VB state).
+  virtual void OnGcBlockErased(BlockId /*victim*/) {}
 
   /// Bytes of page `lpn` covered by the request [offset, offset+size): the
   /// data-out transfer for a host read of that page.
@@ -138,11 +283,36 @@ class FtlBase {
   FlashTarget& target_;
   FtlConfig config_;
   std::uint64_t logical_pages_;
+  MappingTable map_;
+  BlockManager blocks_;
   FtlStats stats_;
   WearLeveler wear_leveler_;
 
  private:
+  static std::uint64_t ComputeLogicalPages(const FlashTarget& target,
+                                           const FtlConfig& config);
   void CheckRange(std::uint64_t offset_bytes, std::uint64_t size_bytes) const;
+  /// Appends the next victim's copy + erase transactions to `out`.
+  /// Clears gc_active_ when nothing is reclaimable.
+  void PlanGcVictim(std::vector<sched::FlashTransaction>& out);
+
+  /// Erase + release a fully-relocated victim (shared tail of the inline
+  /// loop and the scheduled kGcErase): books the erase, frees the block,
+  /// fires OnGcBlockErased, bumps counters.  Returns erase completion.
+  Us EraseGcVictim(BlockId victim, Us earliest);
+
+  /// Adds the [start, done] busy interval to stats_.gc_time_us, merged
+  /// against previously counted scheduled-GC intervals (see .cc comment).
+  void AccumulateGcTime(Us start, Us done);
+
+  bool in_gc_ = false;  ///< inline-loop reentry guard
+  Us gc_busy_until_ = 0;  ///< end of the counted scheduled-GC busy span
+  bool gc_scheduler_attached_ = false;
+  bool gc_active_ = false;  ///< planner hysteresis (trigger..threshold_high)
+  std::uint64_t gc_outstanding_ = 0;  ///< drained, not yet executed
+  std::uint64_t gc_txns_emitted_ = 0;
+  std::uint64_t gc_txns_executed_ = 0;
+  std::uint64_t next_gc_job_ = 1;
 };
 
 }  // namespace ctflash::ftl

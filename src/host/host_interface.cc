@@ -17,12 +17,16 @@ void HostConfig::Validate() const {
   if (device_slots == 0) {
     throw std::invalid_argument("HostConfig: device_slots must be > 0");
   }
+  if (gc_aging_limit == 0) {
+    throw std::invalid_argument("HostConfig: gc_aging_limit must be > 0");
+  }
 }
 
 HostInterface::HostInterface(ssd::Ssd& ssd, const HostConfig& config)
     : ssd_(ssd),
       config_(config),
-      scheduler_(ssd, queue_, config.policy, config.device_slots),
+      scheduler_(ssd, queue_, config.policy, config.device_slots,
+                 config.gc_aging_limit),
       queue_fill_(config.num_queues, 0) {
   config_.Validate();
   scheduler_.OnTxnComplete(
@@ -110,12 +114,13 @@ void HostInterface::Admit(HostRequest request, std::uint32_t qid,
         std::min<std::uint64_t>(page_start + page, offset + size);
     FlashTransaction txn;
     txn.request_id = request.id;
-    txn.seq = next_txn_seq_++;
-    txn.op = request.op;
+    txn.source = request.op == trace::OpType::kRead
+                     ? sched::TxnSource::kHostRead
+                     : sched::TxnSource::kHostWrite;
     txn.offset_bytes = lo;
     txn.size_bytes = hi - lo;
     txn.lpn = lpn;
-    scheduler_.Enqueue(txn);
+    scheduler_.Enqueue(txn);  // the scheduler stamps the intake seq
   }
 }
 

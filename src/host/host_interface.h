@@ -40,6 +40,9 @@ struct HostConfig {
   std::uint32_t queue_capacity = 64; ///< outstanding requests per queue
   std::uint32_t device_slots = 32;   ///< in-flight page transactions
   SchedPolicy policy = SchedPolicy::kOutOfOrder;
+  /// Scheduled-GC aging bound: a waiting GC transaction overtaken by this
+  /// many host dispatches is boosted above host writes (see io_scheduler.h).
+  std::uint32_t gc_aging_limit = 64;
 
   void Validate() const;
 };
@@ -85,6 +88,10 @@ class HostInterface {
     return scheduler_.PeakInFlight();
   }
 
+  /// Direct scheduler access (GC-routing counters, test dispatch hooks).
+  IoScheduler& scheduler() { return scheduler_; }
+  const IoScheduler& scheduler() const { return scheduler_; }
+
  private:
   struct Pending {
     HostRequest request;
@@ -113,7 +120,6 @@ class HostInterface {
   std::vector<std::uint32_t> queue_fill_;  ///< occupancy per submission queue
   std::deque<std::pair<HostRequest, CompletionCallback>> backlog_;
   std::uint64_t next_id_ = 1;
-  std::uint64_t next_txn_seq_ = 0;
   std::uint32_t rr_next_queue_ = 0;
   std::uint32_t outstanding_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ftl/ftl_base.h"
+
 namespace ctflash::host {
 
 const char* SchedPolicyName(SchedPolicy policy) {
@@ -15,81 +17,223 @@ const char* SchedPolicyName(SchedPolicy policy) {
 }
 
 IoScheduler::IoScheduler(ssd::Ssd& ssd, sim::EventQueue& queue,
-                         SchedPolicy policy, std::uint32_t device_slots)
-    : ssd_(ssd), queue_(queue), policy_(policy), device_slots_(device_slots) {
+                         SchedPolicy policy, std::uint32_t device_slots,
+                         std::uint32_t gc_aging_limit)
+    : ssd_(ssd),
+      queue_(queue),
+      policy_(policy),
+      device_slots_(device_slots),
+      gc_aging_limit_(gc_aging_limit) {
   if (device_slots == 0) {
     throw std::invalid_argument("IoScheduler: device_slots must be > 0");
   }
+  if (gc_aging_limit == 0) {
+    throw std::invalid_argument("IoScheduler: gc_aging_limit must be > 0");
+  }
+  if (ssd_.ftl().config().gc_routing == ftl::GcRouting::kScheduled) {
+    ssd_.ftl().AttachGcScheduler();
+    attached_gc_ = true;
+  }
+}
+
+IoScheduler::~IoScheduler() {
+  if (attached_gc_) ssd_.ftl().DetachGcScheduler();
 }
 
 void IoScheduler::Enqueue(FlashTransaction txn) {
-  ready_.push_back(txn);
+  txn.seq = next_seq_++;
+  ready_.push_back(ReadyTxn{txn, 0});
   Pump();
+}
+
+void IoScheduler::PullGcWork() {
+  auto& ftl = ssd_.ftl();
+  if (!ftl.ScheduledGcActive()) return;
+  gc_intake_.clear();
+  ftl.DrainGcTransactions(gc_intake_);
+  for (auto& txn : gc_intake_) {
+    txn.seq = next_seq_++;
+    if (txn.source == sched::TxnSource::kGcCopy) {
+      gc_copies_undispatched_[txn.gc_block]++;
+    }
+    ready_.push_back(ReadyTxn{txn, 0});
+    ++gc_ready_;
+  }
+}
+
+bool IoScheduler::Eligible(const ReadyTxn& rt, bool write_pressure) const {
+  switch (rt.txn.source) {
+    case sched::TxnSource::kHostWrite:
+      // Admission guard: while GC work is ready and the pool sits at the
+      // write floor, writes wait so GC can replenish first.
+      return !(write_pressure && gc_ready_ > 0);
+    case sched::TxnSource::kGcErase: {
+      // The victim must be fully relocated before it is erased.
+      const auto it = gc_copies_undispatched_.find(rt.txn.gc_block);
+      return it == gc_copies_undispatched_.end() || it->second == 0;
+    }
+    default:
+      return true;
+  }
+}
+
+int IoScheduler::RankOf(const ReadyTxn& rt, bool urgent) const {
+  // Ranks derive from the sched::PriorityOf class ordering (host-read >
+  // host-write > gc-copy > gc-erase), with one slot between reads and
+  // writes reserved for GC that is urgent (pool at the GC trigger) or
+  // aged out — boosted GC overtakes host writes, never host reads.
+  constexpr int kBoostedGcRank = 1;
+  if (sched::IsGc(rt.txn.source) &&
+      (urgent || rt.gc_age >= gc_aging_limit_)) {
+    return kBoostedGcRank;
+  }
+  const int priority = sched::PriorityOf(rt.txn.source);
+  return priority == 0 ? 0 : priority + 1;
 }
 
 IoScheduler::DispatchKey IoScheduler::KeyOf(const FlashTransaction& txn,
                                             Us write_free_at) const {
-  // A write's die is decided by the FTL's write-frontier allocator at
-  // dispatch time; the allocator's earliest frontier die (probed once per
-  // PickNext — it is transaction-independent) is the best prediction of
-  // when the program could start.  With striped frontiers that minimum is
-  // over several dies, so writes stay dispatchable almost always; with a
-  // single busy frontier, reads on idle dies overtake.  Unmapped reads
-  // carry no flash work: startable now, plane 0.
-  if (txn.op != trace::OpType::kRead) return {write_free_at, 0};
-  const Ppn ppn = ssd_.ftl().ProbePpn(txn.lpn);
-  if (ppn == kInvalidPpn) return {0, 0};
   const auto& geo = ssd_.target().geometry();
-  const BlockId block = geo.BlockOf(ppn);
-  return {ssd_.target().DieFreeAt(block), geo.PlaneOfBlock(block)};
+  switch (txn.source) {
+    case sched::TxnSource::kHostWrite:
+      // A write's die is decided by the FTL's write-frontier allocator at
+      // dispatch time; the allocator's earliest frontier die (probed once
+      // per PickNext — it is transaction-independent) is the best
+      // prediction of when the program could start.
+      return {write_free_at, 0};
+    case sched::TxnSource::kHostRead: {
+      const Ppn ppn = ssd_.ftl().ProbePpn(txn.lpn);
+      if (ppn == kInvalidPpn) {
+        // No flash work at all: startable now, but on no die — the neutral
+        // plane loses every tie so it cannot leapfrog real work that is
+        // also startable (it has no die to win for anyone).
+        return {0, kNeutralPlane};
+      }
+      const BlockId block = geo.BlockOf(ppn);
+      return {ssd_.target().DieFreeAt(block), geo.PlaneOfBlock(block)};
+    }
+    case sched::TxnSource::kGcCopy: {
+      // Conflict key of the relocation read: the source page's die (the
+      // destination die is the GC frontier's business at execution time).
+      const BlockId block = geo.BlockOf(txn.gc_src);
+      return {ssd_.target().DieFreeAt(block), geo.PlaneOfBlock(block)};
+    }
+    case sched::TxnSource::kGcErase:
+      return {ssd_.target().DieFreeAt(txn.gc_block),
+              geo.PlaneOfBlock(txn.gc_block)};
+  }
+  return {0, 0};
 }
 
-std::size_t IoScheduler::PickNext() const {
-  // ready_ stays in submission order: seq is monotonic at push_back and
-  // vector erase preserves relative order, so FIFO is simply the front.
-  if (policy_ == SchedPolicy::kFifo) return 0;
-  // Out-of-order: earliest predicted die availability wins; ties stripe
-  // across planes, then fall back to submission order.  Anything startable
-  // now (idle die, write, unmapped read) shares the same first key.
+std::size_t IoScheduler::PickNext(bool urgent, bool write_pressure) const {
+  if (policy_ == SchedPolicy::kFifo) {
+    // Strict intake order among eligible transactions: ready_ stays in seq
+    // order (push_back + order-preserving erase).
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      if (Eligible(ready_[i], write_pressure)) return i;
+    }
+    return kNoPick;
+  }
+  // Out-of-order: lowest priority rank wins; within a rank the earliest
+  // predicted die availability, then the plane stripe, then intake order
+  // (equal keys keep the earlier index, which is the lower seq).
   const Us now = queue_.Now();
   const Us write_free_at = ssd_.ftl().ProbeWriteFreeAt().value_or(0);
-  std::size_t best = 0;
+  std::size_t best = kNoPick;
+  int best_rank = 0;
   DispatchKey best_key{};
   for (std::size_t i = 0; i < ready_.size(); ++i) {
-    DispatchKey key = KeyOf(ready_[i], write_free_at);
-    key.start = std::max(key.start, now);
-    if (i == 0 || key.start < best_key.start ||
-        (key.start == best_key.start && key.plane < best_key.plane)) {
-      // Equal (start, plane) keeps the earlier index, which is the lower
-      // seq — submission order is the final tie-break.
+    if (!Eligible(ready_[i], write_pressure)) continue;
+    const int rank = RankOf(ready_[i], urgent);
+    DispatchKey key = KeyOf(ready_[i].txn, write_free_at);
+    if (key.start < now) key.start = now;
+    if (best == kNoPick || rank < best_rank ||
+        (rank == best_rank &&
+         (key.start < best_key.start ||
+          (key.start == best_key.start && key.plane < best_key.plane)))) {
       best = i;
+      best_rank = rank;
       best_key = key;
     }
   }
   return best;
 }
 
-void IoScheduler::Pump() {
-  while (in_flight_ < device_slots_ && !ready_.empty()) {
-    const std::size_t idx = PickNext();
-    const FlashTransaction txn = ready_[idx];
-    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(idx));
-    ++in_flight_;
-    if (in_flight_ > peak_in_flight_) peak_in_flight_ = in_flight_;
-    ++dispatched_;
-    // SubmitRead/SubmitWrite service the transaction on the resource
-    // timelines immediately and fire `done` as a completion event, so this
-    // loop never re-enters itself.
-    auto done = [this, txn](const ftl::RequestResult& r) {
-      --in_flight_;
-      if (on_complete_) on_complete_(txn, r);
-      Pump();
-    };
-    if (txn.op == trace::OpType::kRead) {
-      ssd_.SubmitRead(txn.offset_bytes, txn.size_bytes, queue_, done);
-    } else {
-      ssd_.SubmitWrite(txn.offset_bytes, txn.size_bytes, queue_, done);
+void IoScheduler::Dispatch(std::size_t idx) {
+  const ReadyTxn rt = ready_[idx];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(idx));
+  const FlashTransaction& txn = rt.txn;
+  ++in_flight_;
+  if (in_flight_ > peak_in_flight_) peak_in_flight_ = in_flight_;
+  ++dispatched_;
+  if (sched::IsGc(txn.source)) {
+    --gc_ready_;
+    ++gc_dispatched_;
+    if (txn.source == sched::TxnSource::kGcCopy) {
+      const auto it = gc_copies_undispatched_.find(txn.gc_block);
+      if (--it->second == 0) gc_copies_undispatched_.erase(it);
     }
+  } else if (gc_ready_ > 0) {
+    // A host dispatch overtook waiting GC work: advance its age toward the
+    // boost so deferral stays bounded.
+    for (auto& waiting : ready_) {
+      if (sched::IsGc(waiting.txn.source)) ++waiting.gc_age;
+    }
+    if (txn.source == sched::TxnSource::kHostRead) ++read_preemptions_;
+  }
+  if (on_dispatch_) on_dispatch_(txn);
+  // SubmitRead/SubmitWrite/SubmitGc service the transaction on the
+  // resource timelines immediately and fire `done` as a completion event,
+  // so Pump never re-enters itself.
+  switch (txn.source) {
+    case sched::TxnSource::kHostRead:
+      ssd_.SubmitRead(txn.offset_bytes, txn.size_bytes, queue_,
+                      [this, txn](const ftl::RequestResult& r) {
+                        --in_flight_;
+                        if (on_complete_) on_complete_(txn, r);
+                        Pump();
+                      });
+      break;
+    case sched::TxnSource::kHostWrite:
+      ssd_.SubmitWrite(txn.offset_bytes, txn.size_bytes, queue_,
+                       [this, txn](const ftl::RequestResult& r) {
+                         --in_flight_;
+                         if (on_complete_) on_complete_(txn, r);
+                         Pump();
+                       });
+      break;
+    case sched::TxnSource::kGcCopy:
+    case sched::TxnSource::kGcErase:
+      ssd_.SubmitGc(txn, queue_, [this](const ftl::RequestResult&) {
+        --in_flight_;
+        ++gc_completed_;
+        Pump();
+      });
+      break;
+  }
+}
+
+void IoScheduler::Pump() {
+  while (in_flight_ < device_slots_) {
+    // Pull freshly planned GC work first: the pool state may have changed
+    // with the previous dispatch (writes consume blocks, erases free them).
+    PullGcWork();
+    if (ready_.empty()) break;
+    const auto& ftl = ssd_.ftl();
+    const bool scheduled = ftl.ScheduledGcActive();
+    const bool urgent = scheduled && ftl.GcUrgent();
+    const bool write_pressure = scheduled && ftl.GcWritePressure();
+    if (write_pressure && gc_ready_ > 0) {
+      for (const auto& rt : ready_) {
+        if (rt.txn.source == sched::TxnSource::kHostWrite) {
+          ++write_hold_picks_;
+          break;
+        }
+      }
+    }
+    const std::size_t idx = PickNext(urgent, write_pressure);
+    if (idx == kNoPick) break;  // everything ready is held/gated
+    Dispatch(idx);
   }
 }
 

@@ -1,0 +1,19 @@
+#include "sched/transaction.h"
+
+namespace ctflash::sched {
+
+const char* TxnSourceName(TxnSource source) {
+  switch (source) {
+    case TxnSource::kHostRead:
+      return "host-read";
+    case TxnSource::kHostWrite:
+      return "host-write";
+    case TxnSource::kGcCopy:
+      return "gc-copy";
+    case TxnSource::kGcErase:
+      return "gc-erase";
+  }
+  return "?";
+}
+
+}  // namespace ctflash::sched

@@ -23,6 +23,14 @@ void SsdConfig::Validate() const {
   if (endurance_pe_cycles == 0) {
     throw std::invalid_argument("SsdConfig: endurance must be > 0");
   }
+  if (ftl.gc_routing == ftl::GcRouting::kScheduled &&
+      timing_mode != ftl::TimingMode::kQueued) {
+    // Scheduled GC arbitrates against die occupancy; without queued
+    // timelines the conflict keys and erase serialization are meaningless
+    // and every reported latency would silently be garbage.
+    throw std::invalid_argument(
+        "SsdConfig: gc_routing = kScheduled requires TimingMode::kQueued");
+  }
 }
 
 SsdConfig Table1Config(FtlKind kind) {
@@ -99,6 +107,17 @@ void Ssd::SubmitRead(std::uint64_t offset_bytes, std::uint64_t size_bytes,
 void Ssd::SubmitWrite(std::uint64_t offset_bytes, std::uint64_t size_bytes,
                       sim::EventQueue& queue, CompletionCallback cb) {
   const auto r = ftl_->Write(offset_bytes, size_bytes, queue.Now());
+  queue.ScheduleAt(r.completion_us,
+                   [cb = std::move(cb), r](Us) { cb(r); });
+}
+
+void Ssd::SubmitGc(const sched::FlashTransaction& txn, sim::EventQueue& queue,
+                   CompletionCallback cb) {
+  ftl::RequestResult r;
+  r.arrival_us = queue.Now();
+  r.pages = 1;
+  r.completion_us = ftl_->ExecuteGcTransaction(txn, r.arrival_us);
+  if (r.completion_us < r.arrival_us) r.completion_us = r.arrival_us;
   queue.ScheduleAt(r.completion_us,
                    [cb = std::move(cb), r](Us) { cb(r); });
 }

@@ -18,6 +18,7 @@
 #include "ftl/ftl_base.h"
 #include "nand/geometry.h"
 #include "nand/latency_model.h"
+#include "sched/transaction.h"
 #include "sim/event_queue.h"
 #include "util/types.h"
 
@@ -83,6 +84,12 @@ class Ssd {
                   sim::EventQueue& queue, CompletionCallback cb);
   void SubmitWrite(std::uint64_t offset_bytes, std::uint64_t size_bytes,
                    sim::EventQueue& queue, CompletionCallback cb);
+  /// Executes one scheduled-GC transaction (relocation copy or victim
+  /// erase) drained from the FTL planner at `queue.Now()`; `cb` fires at
+  /// its completion time.  Host-scheduler use only (gc_routing =
+  /// kScheduled); see ftl::FtlBase::ExecuteGcTransaction.
+  void SubmitGc(const sched::FlashTransaction& txn, sim::EventQueue& queue,
+                CompletionCallback cb);
 
   std::uint64_t LogicalBytes() const { return ftl_->LogicalBytes(); }
   std::string FtlName() const { return ftl_->Name(); }

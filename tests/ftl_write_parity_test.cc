@@ -44,6 +44,13 @@ struct Fingerprint {
 Fingerprint RunScenario(ssd::FtlKind kind) {
   auto cfg = ssd::ScaledConfig(kind, 256ull << 20, 16 * 1024, 2.0);
   cfg.ftl.write_frontiers = 1;  // the compatibility setting under test
+  // The GC-routing default must stay the seed-identical inline mode: the
+  // priority-transaction refactor (sched::FlashTransaction, FtlBase GC
+  // hooks) moved mapping/block ownership into FtlBase, and these goldens
+  // prove the inline write+GC path still produces the exact seed states.
+  cfg.ftl.gc_routing = ftl::GcRouting::kInline;
+  static_assert(ftl::FtlConfig{}.gc_routing == ftl::GcRouting::kInline,
+                "inline GC routing must remain the default");
   ssd::Ssd ssd(cfg);
   ssd::ExperimentRunner runner(ssd);
   runner.Prefill(ssd.LogicalBytes() / 100 * 80);

@@ -183,6 +183,48 @@ TEST(IoScheduler, OutOfOrderBeatsFifoOnDieSkewedLoad) {
   EXPECT_LT(ooo, fifo);
 }
 
+TEST(IoScheduler, UnmappedReadDoesNotLeapfrogMappedIdleDieRead) {
+  // Regression for the KeyOf neutral-key fix: unmapped reads used to key as
+  // {0, 0} — "startable now on plane 0" — which let them jump dies they
+  // will never use, overtaking mapped reads that are equally startable on
+  // a real idle die.  With the neutral key (startable now, worst plane)
+  // the mapped read must dispatch first; the unmapped read, which carries
+  // no flash work, loses the tie it had no stake in.
+  ssd::Ssd ssd(SmallConfig());
+  const Us prefill_end = Prefill(ssd, 60);
+  HostConfig cfg;
+  cfg.device_slots = 1;  // serialize picks: the ready set really queues
+  HostInterface host(ssd, cfg);
+  host.AdvanceTo(prefill_end);
+
+  const auto& geo = ssd.config().geometry;
+  const std::uint32_t page = geo.page_size_bytes;
+  // A mapped blocker, a mapped read on a DIFFERENT die (idle, startable
+  // now), and an unmapped probe (prefill maps lpns from 0 upward, so the
+  // top of the logical space is untouched).
+  const auto blocker = LpnsOnDie(ssd, 0, true, 1);
+  const auto mapped = LpnsOnDie(ssd, 0, false, 1);
+  ASSERT_EQ(blocker.size(), 1u);
+  ASSERT_EQ(mapped.size(), 1u);
+  const Lpn unmapped = ssd.LogicalBytes() / page - 1;
+  ASSERT_EQ(ssd.ftl().ProbePpn(unmapped), kInvalidPpn);
+
+  std::vector<Lpn> dispatch_order;
+  host.scheduler().OnDispatch(
+      [&](const FlashTransaction& txn) { dispatch_order.push_back(txn.lpn); });
+
+  host.Submit(trace::OpType::kRead, blocker[0] * page, page);
+  host.Submit(trace::OpType::kRead, unmapped * page, page);
+  host.Submit(trace::OpType::kRead, mapped[0] * page, page);
+  host.Run();
+
+  ASSERT_EQ(dispatch_order.size(), 3u);
+  EXPECT_EQ(dispatch_order[0], blocker[0]);  // took the only slot instantly
+  EXPECT_EQ(dispatch_order[1], mapped[0])
+      << "mapped idle-die read must beat the unmapped read's neutral key";
+  EXPECT_EQ(dispatch_order[2], unmapped);
+}
+
 TEST(IoScheduler, ClosedLoopQd8DeterministicAcrossRuns) {
   auto run = [] {
     ssd::Ssd ssd(SmallConfig());
