@@ -1,0 +1,414 @@
+// Multi-tenant QoS — the noisy-neighbor bench.
+//
+// Scenario: a latency-sensitive paced tenant (open-loop reads every 2 ms
+// over a private 20 % working-set slice) shares the device with a flooder
+// (closed-loop QD 32 reads over the other 40 %).  Four arms per FTL
+// variant, identical request streams:
+//   * solo          — the paced tenant alone (its baseline p99);
+//   * no-qos        — both streams through the tenant-less seed path
+//                     (the interference the QoS engine exists to bound);
+//   * weights       — tenants at 8:1 DRR weights in the paced tenant's
+//                     favor;
+//   * weights+limit — same weights plus an IOPS token bucket on the
+//                     flooder.
+//
+// Asserted shape (std::runtime_error on violation, the bench error idiom),
+// for BOTH FTL variants:
+//   * no-qos degrades the paced tenant's read p99 strictly beyond the
+//     weighted arms (the gap the engine closes);
+//   * with weights (and with weights+limit) the paced tenant's read p99
+//     stays within 2x of its solo baseline — the isolation bound;
+//   * a separate two-saturating-tenant run at 2:1 weights serves 2:1
+//     within +-10 % (dispatch ratio over the contention window).
+//
+// Also prints the per-queue latency/throughput breakdown of the weighted
+// arm (util::TablePrinter) and writes BENCH_tenant_qos.json (--json
+// overrides) so the numbers are diffable across PRs.
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "host/host_interface.h"
+#include "host/load_generator.h"
+#include "qos/tenant.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace ctflash;
+
+constexpr std::uint64_t kRequestBytes = 16 * 1024;
+
+struct ArmResult {
+  std::string ftl;
+  std::string arm;
+  double paced_p50_us = 0.0;
+  double paced_p99_us = 0.0;
+  double paced_mean_us = 0.0;
+  double flooder_iops = 0.0;
+  std::uint64_t flooder_throttled = 0;
+};
+
+ssd::SsdConfig DeviceConfig(ssd::FtlKind kind, std::uint64_t device_bytes) {
+  auto cfg = ssd::ScaledConfig(kind, device_bytes, kRequestBytes, 2.0);
+  cfg.timing_mode = ftl::TimingMode::kQueued;
+  return cfg;
+}
+
+qos::QosConfig TwoTenants(std::uint32_t weight_paced,
+                          std::uint32_t weight_flooder, double flooder_iops) {
+  qos::QosConfig qos;
+  qos.tenants.resize(2);
+  qos.tenants[0].name = "paced";
+  qos.tenants[0].weight = weight_paced;
+  qos.tenants[0].queues = {0, 1};
+  qos.tenants[1].name = "flooder";
+  qos.tenants[1].weight = weight_flooder;
+  qos.tenants[1].queues = {2, 3};
+  qos.tenants[1].iops_limit = flooder_iops;  // 0 = uncapped
+  return qos;
+}
+
+host::TenantWorkload PacedWorkload(const ssd::Ssd& ssd,
+                                   std::uint64_t requests) {
+  host::TenantWorkload paced;
+  paced.tenant = 0;
+  paced.interarrival_us = 2'000;
+  paced.total_requests = requests;
+  paced.read_fraction = 1.0;
+  paced.request_bytes = kRequestBytes;
+  paced.footprint_bytes = ssd.LogicalBytes() / 100 * 20;
+  paced.seed = 31;
+  return paced;
+}
+
+host::TenantWorkload FlooderWorkload(const ssd::Ssd& ssd,
+                                     std::uint64_t requests) {
+  host::TenantWorkload flooder;
+  flooder.tenant = 1;
+  flooder.queue_depth = 32;
+  flooder.total_requests = requests;
+  flooder.read_fraction = 1.0;
+  flooder.request_bytes = kRequestBytes;
+  flooder.footprint_base_bytes = ssd.LogicalBytes() / 100 * 20;
+  flooder.footprint_bytes = ssd.LogicalBytes() / 100 * 40;
+  flooder.seed = 32;
+  return flooder;
+}
+
+/// One multi-tenant arm; `print_queues` dumps the per-queue breakdown.
+ArmResult RunTenantArm(ssd::FtlKind kind, const std::string& arm,
+                       std::uint64_t device_bytes, const qos::QosConfig& qos,
+                       std::uint64_t paced_requests,
+                       std::uint64_t flooder_requests, bool print_queues) {
+  ssd::Ssd ssd(DeviceConfig(kind, device_bytes));
+  ssd::ExperimentRunner runner(ssd);
+  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+
+  host::HostConfig cfg;
+  cfg.qos = qos;
+  cfg.device_slots = 4;
+  host::HostInterface host(ssd, cfg);
+  host.AdvanceTo(prefill_end);
+
+  std::vector<host::TenantWorkload> workloads = {
+      PacedWorkload(ssd, paced_requests)};
+  if (flooder_requests > 0) {
+    workloads.push_back(FlooderWorkload(ssd, flooder_requests));
+  }
+  const auto results = host::MultiTenantGenerator(host, workloads).Run();
+
+  ArmResult r;
+  r.ftl = ssd::FtlKindName(kind);
+  r.arm = arm;
+  r.paced_p50_us = results[0].load.read_latency.p50_us();
+  r.paced_p99_us = results[0].load.read_latency.p99_us();
+  r.paced_mean_us = results[0].load.read_latency.mean_us();
+  if (results.size() > 1) {
+    r.flooder_iops = results[1].load.Iops();
+    r.flooder_throttled = host.tenants()->StatsOf(1).throttled;
+  }
+
+  if (print_queues) {
+    util::TablePrinter table({"queue", "tenant", "admitted", "completed",
+                              "read p50", "read p99", "MiB"});
+    for (std::size_t qid = 0; qid < host.stats().per_queue.size(); ++qid) {
+      const auto& q = host.stats().per_queue[qid];
+      table.AddRow(
+          {std::to_string(qid),
+           host.tenants()
+               ->ConfigOf(host.tenants()->TenantOfQueue(
+                   static_cast<std::uint32_t>(qid)))
+               .name,
+           std::to_string(q.admitted), std::to_string(q.completed),
+           util::TablePrinter::FormatDouble(q.read_latency.p50_us()),
+           util::TablePrinter::FormatDouble(q.read_latency.p99_us()),
+           util::TablePrinter::FormatDouble(
+               static_cast<double>(q.bytes_completed) / (1 << 20))});
+    }
+    std::cout << "\nPer-queue breakdown (" << r.ftl << ", " << arm
+              << " arm):\n";
+    table.Print();
+  }
+  return r;
+}
+
+/// The paced + flooder mix through the tenant-less seed path: the flooder
+/// chains closed-loop through Submit, the paced reads arrive open-loop,
+/// and nothing arbitrates between them.
+ArmResult RunNoQosArm(ssd::FtlKind kind, std::uint64_t device_bytes,
+                      std::uint64_t paced_requests,
+                      std::uint64_t flooder_requests) {
+  ssd::Ssd ssd(DeviceConfig(kind, device_bytes));
+  ssd::ExperimentRunner runner(ssd);
+  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+
+  host::HostConfig cfg;
+  cfg.device_slots = 4;
+  host::HostInterface host(ssd, cfg);
+  host.AdvanceTo(prefill_end);
+
+  const std::uint64_t flood_base = ssd.LogicalBytes() / 100 * 20;
+  const std::uint64_t flood_span = ssd.LogicalBytes() / 100 * 40;
+  util::Xoshiro256StarStar rng(32);
+  std::uint64_t issued = 0;
+  std::uint64_t flooder_done = 0;
+  Us last_flood_us = 0;
+  // The chain closure outlives every pending completion (host.Run()
+  // returns drained), so callbacks capture it by plain pointer.
+  std::function<void()> submit_flood = [&, self = &submit_flood]() {
+    if (issued >= flooder_requests) return;
+    ++issued;
+    const std::uint64_t offset =
+        flood_base +
+        rng.UniformBelow(flood_span / kRequestBytes) * kRequestBytes;
+    host.Submit(trace::OpType::kRead, offset, kRequestBytes,
+                [self, &flooder_done,
+                 &last_flood_us](const host::HostCompletion& c) {
+                  ++flooder_done;
+                  last_flood_us = std::max(last_flood_us, c.completion_us);
+                  (*self)();
+                });
+  };
+  const Us t0 = host.queue().Now();
+  for (int i = 0; i < 32; ++i) submit_flood();
+
+  util::Xoshiro256StarStar paced_rng(31);
+  util::LatencyStats paced;
+  const std::uint64_t paced_span = ssd.LogicalBytes() / 100 * 20;
+  for (std::uint64_t i = 0; i < paced_requests; ++i) {
+    const std::uint64_t offset =
+        paced_rng.UniformBelow(paced_span / kRequestBytes) * kRequestBytes;
+    host.SubmitAt(t0 + static_cast<Us>(i) * 2'000, trace::OpType::kRead,
+                  offset, kRequestBytes,
+                  [&paced](const host::HostCompletion& c) {
+                    paced.Add(c.LatencyUs());
+                  });
+  }
+  host.Run();
+
+  ArmResult r;
+  r.ftl = ssd::FtlKindName(kind);
+  r.arm = "no-qos";
+  r.paced_p50_us = paced.p50_us();
+  r.paced_p99_us = paced.p99_us();
+  r.paced_mean_us = paced.mean_us();
+  const Us span = last_flood_us - t0;
+  r.flooder_iops = span > 0 ? static_cast<double>(flooder_done) * 1e6 /
+                                  static_cast<double>(span)
+                            : 0.0;
+  return r;
+}
+
+/// Two identical saturating closed-loop tenants at 2:1 weights; returns
+/// the per-tenant dispatch ratio over the contention window.
+double RunWeightRatio(ssd::FtlKind kind, std::uint64_t device_bytes,
+                      std::uint64_t requests) {
+  ssd::Ssd ssd(DeviceConfig(kind, device_bytes));
+  ssd::ExperimentRunner runner(ssd);
+  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+
+  host::HostConfig cfg;
+  cfg.qos = TwoTenants(2, 1, 0.0);
+  cfg.device_slots = 4;
+  host::HostInterface host(ssd, cfg);
+  host.AdvanceTo(prefill_end);
+
+  std::uint64_t dispatches[2] = {0, 0};
+  bool counting = true;
+  host.scheduler().OnDispatch([&](const host::FlashTransaction& txn) {
+    if (!counting || txn.tenant == qos::kNoTenant) return;
+    dispatches[txn.tenant]++;
+    if (dispatches[txn.tenant] >= requests) counting = false;
+  });
+
+  host::TenantWorkload base;
+  base.queue_depth = 16;
+  base.total_requests = requests;
+  base.read_fraction = 1.0;
+  base.request_bytes = kRequestBytes;
+  base.footprint_bytes = ssd.LogicalBytes() / 100 * 60;
+  std::vector<host::TenantWorkload> workloads(2, base);
+  workloads[0].tenant = 0;
+  workloads[0].seed = 21;
+  workloads[1].tenant = 1;
+  workloads[1].seed = 22;
+  host::MultiTenantGenerator(host, workloads).Run();
+
+  if (counting || dispatches[1] == 0) {
+    throw std::runtime_error("weight-ratio run never reached saturation");
+  }
+  return static_cast<double>(dispatches[0]) /
+         static_cast<double>(dispatches[1]);
+}
+
+void CheckArms(const ArmResult& solo, const ArmResult& no_qos,
+               const ArmResult& weights, const ArmResult& weights_limit) {
+  std::ostringstream os;
+  if (!(no_qos.paced_p99_us > weights.paced_p99_us)) {
+    os << weights.ftl << ": no-qos paced p99 (" << no_qos.paced_p99_us
+       << " us) not above the weighted arm (" << weights.paced_p99_us
+       << " us) — no interference to bound?";
+    throw std::runtime_error(os.str());
+  }
+  for (const auto* arm : {&weights, &weights_limit}) {
+    if (!(arm->paced_p99_us <= 2.0 * solo.paced_p99_us)) {
+      os << arm->ftl << ": " << arm->arm << " paced p99 ("
+         << arm->paced_p99_us << " us) breaks the 2x isolation bound (solo "
+         << solo.paced_p99_us << " us)";
+      throw std::runtime_error(os.str());
+    }
+  }
+}
+
+void WriteJson(const std::string& path, std::uint64_t device_bytes,
+               const std::vector<ArmResult>& results,
+               const std::vector<std::pair<std::string, double>>& ratios) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "{\n"
+      << "  \"bench\": \"tenant_qos\",\n"
+      << "  \"workload\": \"paced open-loop reads (2ms, 20% slice) vs "
+         "closed-loop QD32 read flooder (40% slice), 80% prefill\",\n"
+      << "  \"device_bytes\": " << device_bytes << ",\n"
+      << "  \"arms\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"ftl\": \"" << r.ftl << "\", \"arm\": \"" << r.arm
+        << "\", \"paced_read_p50_us\": " << r.paced_p50_us
+        << ", \"paced_read_p99_us\": " << r.paced_p99_us
+        << ", \"paced_read_mean_us\": " << r.paced_mean_us
+        << ", \"flooder_iops\": " << r.flooder_iops
+        << ", \"flooder_throttled\": " << r.flooder_throttled << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"weighted_dispatch_ratio_2to1\": {";
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    out << "\"" << ratios[i].first << "\": " << ratios[i].second
+        << (i + 1 < ratios.size() ? ", " : "");
+  }
+  out << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ctflash::bench::BenchOptions;
+  auto options = BenchOptions::FromArgs(argc, argv);
+  bool user_device = false;
+  bool user_requests = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--device") user_device = true;
+    if (arg == "--qd-requests") user_requests = true;
+  }
+  if (!user_device) options.device_bytes = 256ull << 20;
+  // --qd-requests scales the flooder; the paced tenant keeps its cadence
+  // and shares the flooder's active window.
+  const std::uint64_t flooder_requests =
+      user_requests ? options.qd_requests : 40'000;
+  const std::uint64_t paced_requests = 400;
+  const std::uint64_t ratio_requests =
+      std::max<std::uint64_t>(2'000, flooder_requests / 8);
+  const std::string json_path =
+      options.json_path.empty() ? "BENCH_tenant_qos.json" : options.json_path;
+
+  std::cout << "=== Multi-tenant QoS: noisy neighbor vs paced tenant ===\n"
+            << "Paced open-loop reads (every 2 ms, private 20% slice) vs a\n"
+            << "closed-loop QD32 read flooder; weighted DRR + token-bucket\n"
+            << "rate limits vs the tenant-less seed path.\n"
+            << "Device: " << (options.device_bytes >> 20) << " MiB; flooder "
+            << flooder_requests << " requests\n";
+
+  std::vector<ArmResult> results;
+  std::vector<std::pair<std::string, double>> ratios;
+  for (const auto kind :
+       {ctflash::ssd::FtlKind::kConventional, ctflash::ssd::FtlKind::kPpb}) {
+    const auto solo =
+        RunTenantArm(kind, "solo", options.device_bytes, TwoTenants(8, 1, 0.0),
+                     paced_requests, 0, false);
+    const auto no_qos = RunNoQosArm(kind, options.device_bytes, paced_requests,
+                                    flooder_requests);
+    const auto weights =
+        RunTenantArm(kind, "weights", options.device_bytes,
+                     TwoTenants(8, 1, 0.0), paced_requests, flooder_requests,
+                     kind == ctflash::ssd::FtlKind::kConventional);
+    const auto weights_limit = RunTenantArm(
+        kind, "weights+limit", options.device_bytes,
+        TwoTenants(8, 1, 20'000.0), paced_requests, flooder_requests, false);
+    CheckArms(solo, no_qos, weights, weights_limit);
+    results.push_back(solo);
+    results.push_back(no_qos);
+    results.push_back(weights);
+    results.push_back(weights_limit);
+
+    const double ratio =
+        RunWeightRatio(kind, options.device_bytes, ratio_requests);
+    if (ratio < 1.8 || ratio > 2.2) {
+      std::ostringstream os;
+      os << ctflash::ssd::FtlKindName(kind)
+         << ": 2:1 weighted dispatch ratio out of tolerance: " << ratio;
+      throw std::runtime_error(os.str());
+    }
+    ratios.emplace_back(ctflash::ssd::FtlKindName(kind), ratio);
+  }
+
+  std::cout << "\n";
+  ctflash::util::TablePrinter table({"FTL", "arm", "paced p50", "paced p99",
+                                     "paced mean", "flooder IOPS",
+                                     "throttled"});
+  for (const auto& r : results) {
+    table.AddRow({r.ftl, r.arm,
+                  ctflash::util::TablePrinter::FormatDouble(r.paced_p50_us),
+                  ctflash::util::TablePrinter::FormatDouble(r.paced_p99_us),
+                  ctflash::util::TablePrinter::FormatDouble(r.paced_mean_us),
+                  ctflash::util::TablePrinter::FormatDouble(r.flooder_iops),
+                  std::to_string(r.flooder_throttled)});
+  }
+  table.Print();
+
+  for (std::size_t i = 0; i + 3 < results.size(); i += 4) {
+    const auto& solo = results[i];
+    const auto& no_qos = results[i + 1];
+    const auto& weights = results[i + 2];
+    std::cout << "\n" << solo.ftl << ": paced read p99 " << weights.paced_p99_us
+              << " us with QoS vs " << no_qos.paced_p99_us
+              << " us unarbitrated (solo " << solo.paced_p99_us
+              << " us; bound 2x solo)";
+  }
+  for (const auto& [ftl, ratio] : ratios) {
+    std::cout << "\n" << ftl << ": 2:1 weights served at " << ratio << ":1";
+  }
+  std::cout << "\n\nAll assertions passed; JSON written to " << json_path
+            << "\n";
+  WriteJson(json_path, options.device_bytes, results, ratios);
+  return 0;
+}

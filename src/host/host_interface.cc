@@ -20,15 +20,34 @@ void HostConfig::Validate() const {
   if (gc_aging_limit == 0) {
     throw std::invalid_argument("HostConfig: gc_aging_limit must be > 0");
   }
+  // write_aging_limit = 0 is the documented "disabled" setting.
+  if (qos.Enabled()) {
+    if (policy != SchedPolicy::kOutOfOrder) {
+      throw std::invalid_argument(
+          "HostConfig: multi-tenant QoS requires SchedPolicy::kOutOfOrder "
+          "(FIFO dispatch cannot express weights)");
+    }
+    qos.Validate(num_queues);
+  }
 }
 
 HostInterface::HostInterface(ssd::Ssd& ssd, const HostConfig& config)
     : ssd_(ssd),
       config_(config),
+      tenants_(config.qos.Enabled() ? std::make_unique<qos::TenantTable>(
+                                          config.qos, config.num_queues)
+                                    : nullptr),
       scheduler_(ssd, queue_, config.policy, config.device_slots,
-                 config.gc_aging_limit),
+                 config.gc_aging_limit, config.write_aging_limit,
+                 tenants_.get()),
       queue_fill_(config.num_queues, 0) {
   config_.Validate();
+  if (tenants_) {
+    pace_queues_.resize(tenants_->TenantCount());
+    tenant_rr_.resize(tenants_->TenantCount(), 0);
+    tenant_backlogs_.resize(tenants_->TenantCount());
+  }
+  stats_.per_queue.resize(config_.num_queues);
   scheduler_.OnTxnComplete(
       [this](const FlashTransaction& txn, const ftl::RequestResult& result) {
         OnTxnComplete(txn, result);
@@ -39,6 +58,11 @@ std::uint64_t HostInterface::Submit(trace::OpType op,
                                     std::uint64_t offset_bytes,
                                     std::uint64_t size_bytes,
                                     CompletionCallback cb) {
+  if (tenants_) {
+    // Tenant-less submissions in multi-tenant mode are attributed to
+    // tenant 0 so they still obey its limits and weights.
+    return SubmitAs(0, op, offset_bytes, size_bytes, std::move(cb));
+  }
   HostRequest request;
   request.id = next_id_++;
   request.op = op;
@@ -72,10 +96,105 @@ void HostInterface::SubmitAt(Us at, trace::OpType op,
   });
 }
 
+std::uint64_t HostInterface::SubmitAs(qos::TenantId tenant, trace::OpType op,
+                                      std::uint64_t offset_bytes,
+                                      std::uint64_t size_bytes,
+                                      CompletionCallback cb) {
+  if (!tenants_) {
+    throw std::logic_error("HostInterface: SubmitAs without tenants");
+  }
+  if (tenant >= tenants_->TenantCount()) {
+    throw std::out_of_range("HostInterface: unknown tenant " +
+                            std::to_string(tenant));
+  }
+  HostRequest request;
+  request.id = next_id_++;
+  request.op = op;
+  request.offset_bytes = offset_bytes;
+  request.size_bytes = size_bytes;
+  request.submit_us = queue_.Now();
+  stats_.submitted++;
+  auto& tstats = tenants_->StatsOf(tenant);
+  tstats.submitted++;
+
+  if (tenants_->Limited(tenant)) {
+    auto& pace = pace_queues_[tenant];
+    if (!pace.empty()) {
+      // FIFO behind earlier throttled work; its wake event is already
+      // armed and will drain this request in turn.
+      tstats.throttled++;
+      pace.emplace_back(request, std::move(cb));
+      return request.id;
+    }
+    const Us now = queue_.Now();
+    const Us at = tenants_->AdmissionAt(tenant, now, size_bytes);
+    if (at > now) {
+      tstats.throttled++;
+      pace.emplace_back(request, std::move(cb));
+      queue_.ScheduleAt(at, [this, tenant](Us) { PumpPaceQueue(tenant); });
+      return request.id;
+    }
+    tenants_->ChargeAdmission(tenant, now, size_bytes);
+  }
+  PlaceTenantRequest(tenant, request, std::move(cb));
+  return request.id;
+}
+
+void HostInterface::SubmitAtAs(Us at, qos::TenantId tenant, trace::OpType op,
+                               std::uint64_t offset_bytes,
+                               std::uint64_t size_bytes,
+                               CompletionCallback cb) {
+  queue_.ScheduleAt(at, [this, tenant, op, offset_bytes, size_bytes,
+                         cb = std::move(cb)](Us) mutable {
+    SubmitAs(tenant, op, offset_bytes, size_bytes, std::move(cb));
+  });
+}
+
+void HostInterface::PumpPaceQueue(qos::TenantId tenant) {
+  auto& pace = pace_queues_[tenant];
+  while (!pace.empty()) {
+    const Us now = queue_.Now();
+    const Us at =
+        tenants_->AdmissionAt(tenant, now, pace.front().first.size_bytes);
+    if (at > now) {
+      queue_.ScheduleAt(at, [this, tenant](Us) { PumpPaceQueue(tenant); });
+      return;
+    }
+    auto [request, cb] = std::move(pace.front());
+    pace.pop_front();
+    tenants_->ChargeAdmission(tenant, now, request.size_bytes);
+    tenants_->StatsOf(tenant).throttle_wait_us += now - request.submit_us;
+    PlaceTenantRequest(tenant, std::move(request), std::move(cb));
+  }
+}
+
+void HostInterface::PlaceTenantRequest(qos::TenantId tenant,
+                                       HostRequest request,
+                                       CompletionCallback cb) {
+  // Round-robin within the tenant's own queues with fall-through, the
+  // tenant-local analogue of the global placement in Submit.
+  const auto& queues = tenants_->ConfigOf(tenant).queues;
+  const std::uint32_t count = static_cast<std::uint32_t>(queues.size());
+  const std::uint32_t start = tenant_rr_[tenant];
+  tenant_rr_[tenant] = (start + 1) % count;
+  for (std::uint32_t probe = 0; probe < count; ++probe) {
+    const std::uint32_t qid = queues[(start + probe) % count];
+    if (queue_fill_[qid] < config_.queue_capacity) {
+      Admit(std::move(request), qid, std::move(cb));
+      return;
+    }
+  }
+  stats_.backlogged++;
+  tenant_backlogs_[tenant].emplace_back(std::move(request), std::move(cb));
+}
+
 void HostInterface::Admit(HostRequest request, std::uint32_t qid,
                           CompletionCallback cb) {
   queue_fill_[qid]++;
   outstanding_++;
+  stats_.per_queue[qid].admitted++;
+  const qos::TenantId tenant =
+      tenants_ ? tenants_->TenantOfQueue(qid) : qos::kNoTenant;
 
   // Clip into the exported logical space (wrapped traces), mirroring the
   // trace-replay harness.
@@ -117,6 +236,7 @@ void HostInterface::Admit(HostRequest request, std::uint32_t qid,
     txn.source = request.op == trace::OpType::kRead
                      ? sched::TxnSource::kHostRead
                      : sched::TxnSource::kHostWrite;
+    txn.tenant = tenant;
     txn.offset_bytes = lo;
     txn.size_bytes = hi - lo;
     txn.lpn = lpn;
@@ -152,12 +272,28 @@ void HostInterface::FinalizeRequest(std::uint64_t id) {
   completion.request = pending.request;
   completion.completion_us = pending.completion_us;
   completion.pages = pending.pages;
-  auto& latency = pending.request.op == trace::OpType::kRead
-                      ? stats_.read_latency
-                      : stats_.write_latency;
-  latency.Add(completion.LatencyUs());
+  const bool is_read = pending.request.op == trace::OpType::kRead;
+  const Us latency_us = completion.LatencyUs();
+  (is_read ? stats_.read_latency : stats_.write_latency).Add(latency_us);
+  QueueStats& qstats = stats_.per_queue[pending.qid];
+  qstats.completed++;
+  qstats.bytes_completed += pending.request.size_bytes;
+  (is_read ? qstats.read_latency : qstats.write_latency).Add(latency_us);
 
-  if (!backlog_.empty()) {
+  if (tenants_) {
+    const qos::TenantId tenant = tenants_->TenantOfQueue(pending.qid);
+    auto& tstats = tenants_->StatsOf(tenant);
+    tstats.completed++;
+    tstats.bytes_completed += pending.request.size_bytes;
+    (is_read ? tstats.read_latency : tstats.write_latency).Add(latency_us);
+    // The freed slot belongs to this tenant's queue: its backlog refills it.
+    auto& backlog = tenant_backlogs_[tenant];
+    if (!backlog.empty()) {
+      auto [request, cb] = std::move(backlog.front());
+      backlog.pop_front();
+      Admit(std::move(request), pending.qid, std::move(cb));
+    }
+  } else if (!backlog_.empty()) {
     auto [request, cb] = std::move(backlog_.front());
     backlog_.pop_front();
     Admit(std::move(request), pending.qid, std::move(cb));

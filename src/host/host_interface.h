@@ -19,16 +19,26 @@
 // events, which makes runs bit-for-bit deterministic.  Construct the Ssd
 // with TimingMode::kQueued — with pure service-time accounting there is no
 // contention and queue depth cannot matter.
+// Multi-tenant QoS (HostConfig::qos): tenants own disjoint submission
+// queues and submit through SubmitAs/SubmitAtAs.  Admission applies the
+// tenant's token buckets first — a rate-limited request waits in a
+// host-side per-tenant pacing queue and never occupies a queue slot — and
+// the scheduler arbitrates tenants inside each priority class by weighted
+// deficit round robin (see io_scheduler.h and src/qos/).  An empty
+// QosConfig keeps the pre-QoS single-tenant path bit-identical to the seed.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "host/io_scheduler.h"
 #include "host/request.h"
+#include "qos/tenant.h"
+#include "qos/tenant_table.h"
 #include "sim/event_queue.h"
 #include "ssd/ssd.h"
 #include "util/types.h"
@@ -43,6 +53,14 @@ struct HostConfig {
   /// Scheduled-GC aging bound: a waiting GC transaction overtaken by this
   /// many host dispatches is boosted above host writes (see io_scheduler.h).
   std::uint32_t gc_aging_limit = 64;
+  /// Host-write aging bound: a ready host write overtaken by this many
+  /// host-READ dispatches is boosted into the read rank, closing the
+  /// open-loop read-flood starvation gap.  0 (default) disables the bound
+  /// and preserves the seed dispatch order bit-for-bit.
+  std::uint32_t write_aging_limit = 0;
+  /// Multi-tenant QoS; empty (default) disables the layer entirely.
+  /// Requires SchedPolicy::kOutOfOrder (weights rank, FIFO cannot).
+  qos::QosConfig qos;
 
   void Validate() const;
 };
@@ -58,6 +76,7 @@ class HostInterface {
 
   /// Submits a request at the current simulated time; returns its id.
   /// `cb` (optional) fires when the last page transaction completes.
+  /// With tenants configured this is SubmitAs(tenant 0, ...).
   std::uint64_t Submit(trace::OpType op, std::uint64_t offset_bytes,
                        std::uint64_t size_bytes,
                        CompletionCallback cb = nullptr);
@@ -66,6 +85,20 @@ class HostInterface {
   /// arrivals from trace timestamps).
   void SubmitAt(Us at, trace::OpType op, std::uint64_t offset_bytes,
                 std::uint64_t size_bytes, CompletionCallback cb = nullptr);
+
+  /// Multi-tenant submission: rate-limit admission against `tenant`'s
+  /// token buckets (waiting host-side in its pacing queue if throttled),
+  /// then round-robin across the tenant's own submission queues.  Requires
+  /// a HostConfig with tenants configured; throws std::logic_error
+  /// otherwise, std::out_of_range for an unknown tenant.
+  std::uint64_t SubmitAs(qos::TenantId tenant, trace::OpType op,
+                         std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                         CompletionCallback cb = nullptr);
+
+  /// Open-loop arrival for a tenant (SubmitAs at absolute time `at`).
+  void SubmitAtAs(Us at, qos::TenantId tenant, trace::OpType op,
+                  std::uint64_t offset_bytes, std::uint64_t size_bytes,
+                  CompletionCallback cb = nullptr);
 
   /// Runs the event queue until all submitted work has completed.
   void Run() { queue_.RunToCompletion(); }
@@ -78,7 +111,21 @@ class HostInterface {
   ssd::Ssd& ssd() { return ssd_; }
   const HostConfig& config() const { return config_; }
   const HostStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = HostStats{}; }
+  void ResetStats() {
+    stats_ = HostStats{};
+    stats_.per_queue.resize(config_.num_queues);
+    if (tenants_) tenants_->ResetStats();
+  }
+
+  /// Non-null only with tenants configured (per-tenant telemetry, DRR
+  /// deficits, throttle counters).
+  qos::TenantTable* tenants() { return tenants_.get(); }
+  const qos::TenantTable* tenants() const { return tenants_.get(); }
+  /// Requests waiting host-side in `tenant`'s rate-limit pacing queue;
+  /// 0 for unknown tenants and for hosts without tenants configured.
+  std::size_t PacedDepth(qos::TenantId tenant) const {
+    return tenant < pace_queues_.size() ? pace_queues_[tenant].size() : 0;
+  }
 
   /// Admitted-but-incomplete requests across all queues.
   std::uint32_t Outstanding() const { return outstanding_; }
@@ -105,6 +152,13 @@ class HostInterface {
   /// Places the request in submission queue `qid` and hands its page
   /// transactions to the scheduler.
   void Admit(HostRequest request, std::uint32_t qid, CompletionCallback cb);
+  /// Tenant placement: round-robin over the tenant's queues with
+  /// fall-through; full queues push to the tenant's backlog.
+  void PlaceTenantRequest(qos::TenantId tenant, HostRequest request,
+                          CompletionCallback cb);
+  /// Drains `tenant`'s pacing queue while its buckets allow, rescheduling
+  /// itself at the next admission time otherwise.
+  void PumpPaceQueue(qos::TenantId tenant);
   void OnTxnComplete(const FlashTransaction& txn,
                      const ftl::RequestResult& result);
   /// Retires a fully completed request: stats, queue slot, backlog pull,
@@ -114,11 +168,21 @@ class HostInterface {
   ssd::Ssd& ssd_;
   HostConfig config_;
   sim::EventQueue queue_;
+  /// Built before the scheduler, which borrows it for arbitration.
+  std::unique_ptr<qos::TenantTable> tenants_;
   IoScheduler scheduler_;
   HostStats stats_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::vector<std::uint32_t> queue_fill_;  ///< occupancy per submission queue
   std::deque<std::pair<HostRequest, CompletionCallback>> backlog_;
+  /// Per-tenant state (sized TenantCount() in multi-tenant mode, else
+  /// empty): rate-limit pacing queues (FIFO; at most one wake event armed
+  /// per tenant), queue-placement cursors, and full-queue backlogs.
+  std::vector<std::deque<std::pair<HostRequest, CompletionCallback>>>
+      pace_queues_;
+  std::vector<std::uint32_t> tenant_rr_;
+  std::vector<std::deque<std::pair<HostRequest, CompletionCallback>>>
+      tenant_backlogs_;
   std::uint64_t next_id_ = 1;
   std::uint32_t rr_next_queue_ = 0;
   std::uint32_t outstanding_ = 0;

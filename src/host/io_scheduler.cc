@@ -18,18 +18,23 @@ const char* SchedPolicyName(SchedPolicy policy) {
 
 IoScheduler::IoScheduler(ssd::Ssd& ssd, sim::EventQueue& queue,
                          SchedPolicy policy, std::uint32_t device_slots,
-                         std::uint32_t gc_aging_limit)
+                         std::uint32_t gc_aging_limit,
+                         std::uint32_t write_aging_limit,
+                         qos::TenantTable* tenants)
     : ssd_(ssd),
       queue_(queue),
       policy_(policy),
       device_slots_(device_slots),
-      gc_aging_limit_(gc_aging_limit) {
+      gc_aging_limit_(gc_aging_limit),
+      write_aging_limit_(write_aging_limit),
+      tenants_(tenants) {
   if (device_slots == 0) {
     throw std::invalid_argument("IoScheduler: device_slots must be > 0");
   }
   if (gc_aging_limit == 0) {
     throw std::invalid_argument("IoScheduler: gc_aging_limit must be > 0");
   }
+  if (tenants_ != nullptr) arb_active_.resize(tenants_->TenantCount());
   if (ssd_.ftl().config().gc_routing == ftl::GcRouting::kScheduled) {
     ssd_.ftl().AttachGcScheduler();
     attached_gc_ = true;
@@ -84,8 +89,15 @@ int IoScheduler::RankOf(const ReadyTxn& rt, bool urgent) const {
   // aged out — boosted GC overtakes host writes, never host reads.
   constexpr int kBoostedGcRank = 1;
   if (sched::IsGc(rt.txn.source) &&
-      (urgent || rt.gc_age >= gc_aging_limit_)) {
+      (urgent || rt.age >= gc_aging_limit_)) {
     return kBoostedGcRank;
+  }
+  // Write aging closes the read-flood starvation gap: an aged host write
+  // joins the read rank (and competes there on die keys), so sustained
+  // reads can defer a write by at most `write_aging_limit` dispatches.
+  if (rt.txn.source == sched::TxnSource::kHostWrite &&
+      write_aging_limit_ > 0 && rt.age >= write_aging_limit_) {
+    return 0;
   }
   const int priority = sched::PriorityOf(rt.txn.source);
   return priority == 0 ? 0 : priority + 1;
@@ -139,11 +151,48 @@ std::size_t IoScheduler::PickNext(bool urgent, bool write_pressure) const {
   // (equal keys keep the earlier index, which is the lower seq).
   const Us now = queue_.Now();
   const Us write_free_at = ssd_.ftl().ProbeWriteFreeAt().value_or(0);
+
+  // Multi-tenant arbitration inserts one step between the rank and the die
+  // key: find the winning rank, let the tenant table pick the tenant to
+  // serve (weighted DRR + min-share floor), then key-order only within that
+  // tenant's candidates.  Without tenants the single-pass pick below is the
+  // seed path, byte-for-byte.
+  qos::TenantId serve = qos::kNoTenant;
+  if (tenants_ != nullptr) {
+    // Single pass: track the winning rank, restarting the per-tenant
+    // active set whenever a strictly lower rank appears.
+    int winning_rank = -1;
+    bool any_tenant = false;
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      if (!Eligible(ready_[i], write_pressure)) continue;
+      const int rank = RankOf(ready_[i], urgent);
+      if (winning_rank < 0 || rank < winning_rank) {
+        winning_rank = rank;
+        arb_active_.assign(arb_active_.size(), false);
+        any_tenant = false;
+      }
+      if (rank != winning_rank) continue;
+      const std::uint32_t tenant = ready_[i].txn.tenant;
+      if (tenant == qos::kNoTenant) continue;
+      arb_active_[tenant] = true;
+      any_tenant = true;
+    }
+    if (winning_rank < 0) return kNoPick;
+    // Host ranks only (0 = reads + aged writes, 2 = writes); GC carries no
+    // tenant.  Arbitrate when the rank's candidates name any tenant.
+    if (any_tenant && (winning_rank == 0 || winning_rank == 2)) {
+      serve = tenants_->PickTenant(
+          winning_rank == 0 ? qos::ArbClass::kRead : qos::ArbClass::kWrite,
+          arb_active_);
+    }
+  }
+
   std::size_t best = kNoPick;
   int best_rank = 0;
   DispatchKey best_key{};
   for (std::size_t i = 0; i < ready_.size(); ++i) {
     if (!Eligible(ready_[i], write_pressure)) continue;
+    if (serve != qos::kNoTenant && ready_[i].txn.tenant != serve) continue;
     const int rank = RankOf(ready_[i], urgent);
     DispatchKey key = KeyOf(ready_[i].txn, write_free_at);
     if (key.start < now) key.start = now;
@@ -173,13 +222,34 @@ void IoScheduler::Dispatch(std::size_t idx) {
       const auto it = gc_copies_undispatched_.find(txn.gc_block);
       if (--it->second == 0) gc_copies_undispatched_.erase(it);
     }
-  } else if (gc_ready_ > 0) {
-    // A host dispatch overtook waiting GC work: advance its age toward the
-    // boost so deferral stays bounded.
-    for (auto& waiting : ready_) {
-      if (sched::IsGc(waiting.txn.source)) ++waiting.gc_age;
+  } else {
+    if (gc_ready_ > 0) {
+      // A host dispatch overtook waiting GC work: advance its age toward
+      // the boost so deferral stays bounded.
+      for (auto& waiting : ready_) {
+        if (sched::IsGc(waiting.txn.source)) ++waiting.age;
+      }
+      if (txn.source == sched::TxnSource::kHostRead) ++read_preemptions_;
     }
-    if (txn.source == sched::TxnSource::kHostRead) ++read_preemptions_;
+    if (write_aging_limit_ > 0) {
+      // Same bound for host writes overtaken by host reads.
+      if (txn.source == sched::TxnSource::kHostRead) {
+        for (auto& waiting : ready_) {
+          if (waiting.txn.source == sched::TxnSource::kHostWrite) {
+            ++waiting.age;
+          }
+        }
+      } else if (txn.source == sched::TxnSource::kHostWrite &&
+                 rt.age >= write_aging_limit_) {
+        ++aged_write_dispatches_;
+      }
+    }
+    if (tenants_ != nullptr && txn.tenant != qos::kNoTenant) {
+      tenants_->NoteDispatch(txn.tenant,
+                             txn.source == sched::TxnSource::kHostRead
+                                 ? qos::ArbClass::kRead
+                                 : qos::ArbClass::kWrite);
+    }
   }
   if (on_dispatch_) on_dispatch_(txn);
   // SubmitRead/SubmitWrite/SubmitGc service the transaction on the

@@ -38,6 +38,21 @@
 // A gc-erase never dispatches before all of its job's copies did (the
 // victim must be fully relocated), enforced with a per-victim counter.
 //
+// Host writes get the same protection against host reads (they strictly
+// outrank writes in out-of-order mode): with `write_aging_limit` > 0, a
+// ready host write overtaken by that many host-read dispatches is boosted
+// into the read rank, so an open-loop read flood can no longer starve
+// writes indefinitely.  The limit defaults to 0 (disabled) to preserve the
+// seed dispatch order bit-for-bit.
+//
+// Multi-tenant arbitration (qos::TenantTable attached): within a host
+// priority rank whose candidates span tenants, a weighted deficit-round-
+// robin pick (plus the min-share reservation floor) chooses the tenant
+// first, and only then does the die-availability key order apply among that
+// tenant's transactions.  Priority classes stay global — a host read of any
+// tenant still outranks every host write — but inside a class tenants drain
+// in weight proportion.  GC work carries no tenant and skips arbitration.
+//
 // Writes have no resolvable die before the FTL's allocator runs at
 // dispatch time and use the write-frontier availability probe; unmapped
 // reads carry no flash work at all and take a NEUTRAL key (startable now,
@@ -49,6 +64,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qos/tenant_table.h"
 #include "sched/transaction.h"
 #include "sim/event_queue.h"
 #include "ssd/ssd.h"
@@ -77,8 +93,12 @@ class IoScheduler {
   /// live Ssd is never left with no one collecting.
   /// `gc_aging_limit` has no default here on purpose: HostConfig carries
   /// the documented default, and a second one would silently drift.
+  /// `write_aging_limit` 0 disables write aging (the seed behavior);
+  /// `tenants` (borrowed, may be null) enables multi-tenant arbitration.
   IoScheduler(ssd::Ssd& ssd, sim::EventQueue& queue, SchedPolicy policy,
-              std::uint32_t device_slots, std::uint32_t gc_aging_limit);
+              std::uint32_t device_slots, std::uint32_t gc_aging_limit,
+              std::uint32_t write_aging_limit = 0,
+              qos::TenantTable* tenants = nullptr);
   ~IoScheduler();
 
   IoScheduler(const IoScheduler&) = delete;
@@ -103,6 +123,10 @@ class IoScheduler {
   std::uint32_t PeakInFlight() const { return peak_in_flight_; }
   SchedPolicy policy() const { return policy_; }
   std::uint32_t gc_aging_limit() const { return gc_aging_limit_; }
+  std::uint32_t write_aging_limit() const { return write_aging_limit_; }
+  /// Host writes that dispatched with their aging boost active (telemetry
+  /// for the read-flood starvation bound).
+  std::uint64_t AgedWriteDispatches() const { return aged_write_dispatches_; }
 
   // --- GC routing observability --------------------------------------------
   /// GC transactions currently waiting in the ready set.
@@ -116,10 +140,12 @@ class IoScheduler {
   std::uint64_t WriteHoldPicks() const { return write_hold_picks_; }
 
  private:
-  /// A ready transaction plus its aging state (host overtakes seen).
+  /// A ready transaction plus its aging state: overtakes seen by waiting
+  /// GC work (any host dispatch) or by waiting host writes (host-read
+  /// dispatches, when write aging is enabled).
   struct ReadyTxn {
     FlashTransaction txn;
-    std::uint32_t gc_age = 0;
+    std::uint32_t age = 0;
   };
 
   /// Out-of-order sort key within a priority rank: earliest cell-op start
@@ -150,6 +176,11 @@ class IoScheduler {
   SchedPolicy policy_;
   std::uint32_t device_slots_;
   std::uint32_t gc_aging_limit_;
+  std::uint32_t write_aging_limit_;
+  /// Borrowed from the host interface; non-null only in multi-tenant mode.
+  /// PickNext (const) arbitrates through it — tenant DRR state advances
+  /// exactly once per dispatched transaction.
+  qos::TenantTable* tenants_;
   bool attached_gc_ = false;  ///< this scheduler is the FTL's GC sink
   std::uint32_t in_flight_ = 0;
   std::uint32_t peak_in_flight_ = 0;
@@ -160,11 +191,15 @@ class IoScheduler {
   /// job's erase is eligible only once its entry drains to zero.
   std::unordered_map<BlockId, std::uint32_t> gc_copies_undispatched_;
   std::vector<sched::FlashTransaction> gc_intake_;  ///< drain scratch buffer
+  /// Per-tenant "has eligible work in the winning rank" scratch for
+  /// PickNext (mutable: PickNext is logically const; this is a buffer).
+  mutable std::vector<bool> arb_active_;
   std::size_t gc_ready_ = 0;
   std::uint64_t gc_dispatched_ = 0;
   std::uint64_t gc_completed_ = 0;
   std::uint64_t read_preemptions_ = 0;
   std::uint64_t write_hold_picks_ = 0;
+  std::uint64_t aged_write_dispatches_ = 0;
   TxnCallback on_complete_;
   DispatchCallback on_dispatch_;
 };

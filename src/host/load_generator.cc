@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace ctflash::host {
@@ -101,6 +102,154 @@ LoadStats ClosedLoopGenerator::Run() {
   stats.write_latency = host_.stats().write_latency;
   probe.Finish(stats);
   return stats;
+}
+
+void TenantWorkload::Validate() const {
+  if (total_requests == 0) {
+    throw std::invalid_argument("TenantWorkload: total_requests must be > 0");
+  }
+  if (request_bytes == 0) {
+    throw std::invalid_argument("TenantWorkload: request_bytes must be > 0");
+  }
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    throw std::invalid_argument(
+        "TenantWorkload: read_fraction must be in [0, 1]");
+  }
+  if (interarrival_us == 0 && queue_depth == 0) {
+    throw std::invalid_argument(
+        "TenantWorkload: closed loop needs queue_depth > 0");
+  }
+}
+
+MultiTenantGenerator::MultiTenantGenerator(HostInterface& host,
+                                           std::vector<TenantWorkload> workloads)
+    : host_(host) {
+  if (workloads.empty()) {
+    throw std::invalid_argument("MultiTenantGenerator: no workloads");
+  }
+  if (host_.tenants() == nullptr) {
+    throw std::logic_error(
+        "MultiTenantGenerator: host interface has no tenants configured");
+  }
+  const std::uint64_t logical = host_.ssd().LogicalBytes();
+  for (auto& workload : workloads) {
+    workload.Validate();
+    if (workload.tenant >= host_.tenants()->TenantCount()) {
+      throw std::out_of_range("MultiTenantGenerator: unknown tenant " +
+                              std::to_string(workload.tenant));
+    }
+    if (workload.footprint_base_bytes >= logical) {
+      throw std::invalid_argument(
+          "MultiTenantGenerator: working set starts beyond the device");
+    }
+    const std::uint64_t cap = logical - workload.footprint_base_bytes;
+    if (workload.footprint_bytes == 0 || workload.footprint_bytes > cap) {
+      workload.footprint_bytes = cap;
+    }
+    if (workload.footprint_bytes < workload.request_bytes) {
+      throw std::invalid_argument(
+          "MultiTenantGenerator: working set smaller than one request");
+    }
+    runs_.push_back(TenantRun{workload,
+                              util::Xoshiro256StarStar(workload.seed),
+                              0,
+                              0,
+                              0,
+                              0,
+                              {},
+                              {}});
+  }
+}
+
+trace::TraceRecord MultiTenantGenerator::NextRecord(TenantRun& run) {
+  const TenantWorkload& w = run.workload;
+  const trace::OpType op = run.rng.Bernoulli(w.read_fraction)
+                               ? trace::OpType::kRead
+                               : trace::OpType::kWrite;
+  const std::uint64_t slots = w.footprint_bytes / w.request_bytes;
+  const std::uint64_t offset =
+      w.footprint_base_bytes + run.rng.UniformBelow(slots) * w.request_bytes;
+  return {host_.queue().Now(), op, offset, w.request_bytes};
+}
+
+void MultiTenantGenerator::OnComplete(std::size_t idx,
+                                      const HostCompletion& completion) {
+  TenantRun& run = runs_[idx];
+  run.completed++;
+  if (completion.completion_us > run.last_completion_us) {
+    run.last_completion_us = completion.completion_us;
+  }
+  const Us latency = completion.LatencyUs();
+  if (completion.request.op == trace::OpType::kRead) {
+    run.read_latency.Add(latency);
+  } else {
+    run.write_latency.Add(latency);
+  }
+  if (run.workload.interarrival_us == 0) SubmitNext(idx);
+}
+
+void MultiTenantGenerator::SubmitNext(std::size_t idx) {
+  TenantRun& run = runs_[idx];
+  if (run.issued >= run.workload.total_requests) return;
+  run.issued++;
+  const trace::TraceRecord record = NextRecord(run);
+  host_.SubmitAs(run.workload.tenant, record.op, record.offset_bytes,
+                 record.size_bytes, [this, idx](const HostCompletion& c) {
+                   OnComplete(idx, c);
+                 });
+}
+
+std::vector<TenantLoadStats> MultiTenantGenerator::Run() {
+  if (host_.Outstanding() != 0) {
+    throw std::logic_error("MultiTenantGenerator: host interface not idle");
+  }
+  host_.ResetStats();
+  const Us start = host_.queue().Now();
+  for (std::size_t idx = 0; idx < runs_.size(); ++idx) {
+    TenantRun& run = runs_[idx];
+    run.issued = 0;
+    run.completed = 0;
+    run.first_submit_us = start;
+    run.last_completion_us = start;
+    run.read_latency.Reset();
+    run.write_latency.Reset();
+    const TenantWorkload& w = run.workload;
+    if (w.interarrival_us == 0) {
+      const std::uint64_t initial =
+          std::min<std::uint64_t>(w.queue_depth, w.total_requests);
+      for (std::uint64_t i = 0; i < initial; ++i) SubmitNext(idx);
+    } else {
+      // Paced open loop: every arrival is scheduled up front at its fixed
+      // cadence; the record stream is drawn here, in arrival order, so the
+      // run stays deterministic.
+      for (std::uint64_t i = 0; i < w.total_requests; ++i) {
+        const trace::TraceRecord record = NextRecord(run);
+        run.issued++;
+        host_.SubmitAtAs(start + static_cast<Us>(i) * w.interarrival_us,
+                         w.tenant, record.op, record.offset_bytes,
+                         record.size_bytes, [this, idx](const HostCompletion& c) {
+                           OnComplete(idx, c);
+                         });
+      }
+    }
+  }
+  host_.Run();
+
+  std::vector<TenantLoadStats> results;
+  results.reserve(runs_.size());
+  for (const TenantRun& run : runs_) {
+    TenantLoadStats out;
+    out.tenant = run.workload.tenant;
+    out.load.requests = run.completed;
+    out.load.start_us = run.first_submit_us;
+    out.load.end_us = run.last_completion_us;
+    out.load.read_latency = run.read_latency;
+    out.load.write_latency = run.write_latency;
+    // Utilization is a device-wide quantity and does not decompose per
+    // tenant; read it off the host interface / a UtilizationProbe instead.
+    results.push_back(std::move(out));
+  }
+  return results;
 }
 
 OpenLoopGenerator::OpenLoopGenerator(HostInterface& host,

@@ -105,6 +105,71 @@ class OpenLoopGenerator {
   double time_scale_;
 };
 
+// --- multi-tenant load ------------------------------------------------------
+
+/// One tenant's arrival process for MultiTenantGenerator: either a closed
+/// loop at `queue_depth` (interarrival_us == 0) or paced open-loop arrivals
+/// every `interarrival_us` (offered load fixed regardless of completions —
+/// the shape that exposes noisy-neighbor interference).  Offsets are drawn
+/// request-aligned and uniform from the tenant's own working-set range
+/// [footprint_base_bytes, footprint_base_bytes + footprint_bytes), so
+/// tenants can be given disjoint (or deliberately overlapping) data.
+struct TenantWorkload {
+  qos::TenantId tenant = 0;
+  std::uint32_t queue_depth = 8;   ///< closed-loop arm
+  Us interarrival_us = 0;          ///< > 0: paced open-loop arm
+  std::uint64_t total_requests = 1'000;
+  double read_fraction = 1.0;
+  std::uint64_t request_bytes = 16 * kKiB;
+  std::uint64_t footprint_base_bytes = 0;
+  std::uint64_t footprint_bytes = 0;  ///< 0 = through end of device
+  std::uint64_t seed = 1;
+
+  void Validate() const;
+};
+
+/// Per-tenant results of one multi-tenant run; `load` carries the tenant's
+/// own request latencies (end-to-end, including any rate-limit pacing) and
+/// IOPS over the tenant's first-submission..last-completion span.
+struct TenantLoadStats {
+  qos::TenantId tenant = 0;
+  LoadStats load;
+};
+
+/// Drives several tenants' arrival processes concurrently through one
+/// multi-tenant host interface (HostConfig::qos configured) and reports
+/// per-tenant aggregates.  The device-wide view (utilization, per-queue
+/// breakdown, tenant-table telemetry) stays readable on the host interface
+/// afterwards.
+class MultiTenantGenerator {
+ public:
+  MultiTenantGenerator(HostInterface& host,
+                       std::vector<TenantWorkload> workloads);
+
+  /// Submits every tenant's process from an idle host, drains, reports in
+  /// workload order.
+  std::vector<TenantLoadStats> Run();
+
+ private:
+  struct TenantRun {
+    TenantWorkload workload;
+    util::Xoshiro256StarStar rng;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    Us first_submit_us = 0;
+    Us last_completion_us = 0;
+    util::LatencyStats read_latency;
+    util::LatencyStats write_latency;
+  };
+
+  void SubmitNext(std::size_t idx);         ///< closed-loop chain
+  void OnComplete(std::size_t idx, const HostCompletion& completion);
+  trace::TraceRecord NextRecord(TenantRun& run);
+
+  HostInterface& host_;
+  std::vector<TenantRun> runs_;
+};
+
 /// Snapshot/delta helper shared by the generators: utilization of the
 /// device's resource pools between two points in simulated time.
 struct UtilizationProbe {

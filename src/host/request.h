@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "trace/trace.h"
 #include "util/stats.h"
@@ -34,6 +35,17 @@ struct HostCompletion {
   Us LatencyUs() const { return completion_us - request.submit_us; }
 };
 
+/// Per-submission-queue slice of the aggregates: the breakdown the benches
+/// print to show how load and latency spread across the queue pairs (and,
+/// with tenants configured, across each tenant's queues).
+struct QueueStats {
+  std::uint64_t admitted = 0;  ///< requests that entered this queue
+  std::uint64_t completed = 0;
+  std::uint64_t bytes_completed = 0;
+  util::LatencyStats read_latency;  ///< end-to-end, per request
+  util::LatencyStats write_latency;
+};
+
 /// Aggregates the host interface maintains over its lifetime (reset with
 /// HostInterface::ResetStats before a measured run).
 struct HostStats {
@@ -44,6 +56,8 @@ struct HostStats {
   std::uint64_t transactions_completed = 0;
   util::LatencyStats read_latency;   ///< end-to-end, per request
   util::LatencyStats write_latency;
+  /// One slice per submission queue (sized by the host interface).
+  std::vector<QueueStats> per_queue;
 };
 
 }  // namespace ctflash::host

@@ -1,0 +1,54 @@
+#include "qos/tenant.h"
+
+#include <stdexcept>
+
+namespace ctflash::qos {
+
+void QosConfig::Validate(std::uint32_t num_queues) const {
+  if (tenants.empty()) return;  // QoS disabled
+  std::vector<bool> owned(num_queues, false);
+  double min_share_sum = 0.0;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantConfig& tenant = tenants[t];
+    const std::string who =
+        "QosConfig tenant " + std::to_string(t) +
+        (tenant.name.empty() ? "" : " (" + tenant.name + ")");
+    if (tenant.weight == 0) {
+      throw std::invalid_argument(who + ": weight must be > 0");
+    }
+    if (tenant.queues.empty()) {
+      throw std::invalid_argument(who + ": must own at least one queue");
+    }
+    for (const std::uint32_t qid : tenant.queues) {
+      if (qid >= num_queues) {
+        throw std::invalid_argument(who + ": queue " + std::to_string(qid) +
+                                    " out of range");
+      }
+      if (owned[qid]) {
+        throw std::invalid_argument(who + ": queue " + std::to_string(qid) +
+                                    " assigned twice");
+      }
+      owned[qid] = true;
+    }
+    if (tenant.iops_limit < 0.0 || tenant.bytes_per_sec_limit < 0.0 ||
+        tenant.iops_burst < 0.0 || tenant.bytes_burst < 0.0) {
+      throw std::invalid_argument(who + ": limits and bursts must be >= 0");
+    }
+    if (tenant.min_share < 0.0 || tenant.min_share >= 1.0) {
+      throw std::invalid_argument(who + ": min_share must be in [0, 1)");
+    }
+    min_share_sum += tenant.min_share;
+  }
+  if (min_share_sum > 1.0) {
+    throw std::invalid_argument(
+        "QosConfig: min_share reservations exceed the device (sum > 1)");
+  }
+  for (std::uint32_t qid = 0; qid < num_queues; ++qid) {
+    if (!owned[qid]) {
+      throw std::invalid_argument("QosConfig: queue " + std::to_string(qid) +
+                                  " belongs to no tenant");
+    }
+  }
+}
+
+}  // namespace ctflash::qos

@@ -1,0 +1,74 @@
+// Multi-tenant QoS configuration: who owns which submission queues, with
+// what scheduling weight, rate limits and minimum-share reservation.
+//
+// A tenant is the unit of isolation at the host interface — a user, VM or
+// service sharing the device.  Tenants own disjoint submission queues
+// (every queue must be assigned when QoS is enabled, so queue -> tenant is
+// a total function), and three independent knobs shape their service:
+//
+//  * weight       — weighted deficit-round-robin share among tenants whose
+//                   transactions sit in the same priority class (reads
+//                   still outrank writes globally; weights divide the
+//                   class's dispatch slots in weight proportion);
+//  * rate limits  — optional token buckets on IOPS and bytes/s with a
+//                   configurable burst, applied at admission (a throttled
+//                   request waits host-side and never occupies a queue
+//                   slot, so an open-loop flooder cannot buy device time
+//                   it is not entitled to);
+//  * min_share    — optional dispatch-share floor: while the tenant's
+//                   share of recent host dispatches sits below the
+//                   reservation, its ready transactions are served first
+//                   within their class, ahead of the DRR rotation.
+//
+// An empty QosConfig (the default) disables the whole layer: the host
+// interface and scheduler take their pre-QoS single-tenant paths, which
+// stay bit-identical to the seed (tests/host_qos_parity_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ctflash::qos {
+
+/// Index into QosConfig::tenants; also the identity carried by every host
+/// flash transaction (sched::FlashTransaction::tenant).
+using TenantId = std::uint32_t;
+
+/// "No tenant": GC transactions, and all host work when QoS is disabled.
+inline constexpr TenantId kNoTenant = std::numeric_limits<TenantId>::max();
+
+struct TenantConfig {
+  std::string name;
+  /// DRR quantum: transactions served per round relative to other tenants.
+  std::uint32_t weight = 1;
+  /// Submission queues this tenant owns (disjoint across tenants; together
+  /// the tenants must cover every queue).
+  std::vector<std::uint32_t> queues;
+  /// Token-bucket IOPS cap (requests/s); 0 = uncapped.
+  double iops_limit = 0.0;
+  /// IOPS bucket capacity in requests; 0 = 10 ms worth of rate, >= 1.
+  double iops_burst = 0.0;
+  /// Token-bucket throughput cap (bytes/s); 0 = uncapped.
+  double bytes_per_sec_limit = 0.0;
+  /// Bytes bucket capacity; 0 = 10 ms worth of rate, >= 128 KiB.
+  double bytes_burst = 0.0;
+  /// Guaranteed fraction [0, 1) of host dispatch slots (see file header);
+  /// 0 = no reservation.  Reservations must sum to <= 1 across tenants.
+  double min_share = 0.0;
+
+  bool Limited() const { return iops_limit > 0.0 || bytes_per_sec_limit > 0.0; }
+};
+
+struct QosConfig {
+  std::vector<TenantConfig> tenants;
+
+  bool Enabled() const { return !tenants.empty(); }
+
+  /// Throws std::invalid_argument unless every tenant is well-formed and
+  /// the tenants partition [0, num_queues) exactly.
+  void Validate(std::uint32_t num_queues) const;
+};
+
+}  // namespace ctflash::qos

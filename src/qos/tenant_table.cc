@@ -1,0 +1,136 @@
+#include "qos/tenant_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ctflash::qos {
+
+DrrArbiter::DrrArbiter(std::vector<std::uint32_t> weights)
+    : weights_(std::move(weights)), deficit_(weights_.size(), 0) {}
+
+TenantId DrrArbiter::Pick(const std::vector<bool>& active) {
+  const std::uint32_t n = static_cast<std::uint32_t>(weights_.size());
+  bool any = false;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    if (active[t]) {
+      any = true;
+    } else {
+      deficit_[t] = 0;  // idle tenants forfeit credit (no hoarding)
+    }
+  }
+  if (!any) return kNoTenant;
+  while (!active[cursor_]) cursor_ = (cursor_ + 1) % n;
+  if (deficit_[cursor_] == 0) deficit_[cursor_] = weights_[cursor_];
+  const TenantId pick = cursor_;
+  if (--deficit_[cursor_] == 0) cursor_ = (cursor_ + 1) % n;
+  return pick;
+}
+
+namespace {
+
+/// Default burst when the config leaves it 0: 10 ms worth of the rate,
+/// floored so a burst is never smaller than one sensible request.
+double DefaultBurst(double rate_per_sec, double floor) {
+  return std::max(rate_per_sec * 0.01, floor);
+}
+
+}  // namespace
+
+TenantTable::TenantTable(const QosConfig& config, std::uint32_t num_queues)
+    : tenants_(config.tenants),
+      queue_tenant_(num_queues, kNoTenant),
+      window_dispatches_(config.tenants.size(), 0),
+      stats_(config.tenants.size()) {
+  config.Validate(num_queues);
+  std::vector<std::uint32_t> weights;
+  weights.reserve(tenants_.size());
+  for (TenantId t = 0; t < TenantCount(); ++t) {
+    const TenantConfig& tenant = tenants_[t];
+    for (const std::uint32_t qid : tenant.queues) queue_tenant_[qid] = t;
+    weights.push_back(tenant.weight);
+    iops_buckets_.emplace_back();
+    bytes_buckets_.emplace_back();
+    if (tenant.iops_limit > 0.0) {
+      const double burst = tenant.iops_burst > 0.0
+                               ? tenant.iops_burst
+                               : DefaultBurst(tenant.iops_limit, 1.0);
+      iops_buckets_.back() = TokenBucket(tenant.iops_limit, burst);
+    }
+    if (tenant.bytes_per_sec_limit > 0.0) {
+      const double burst =
+          tenant.bytes_burst > 0.0
+              ? tenant.bytes_burst
+              : DefaultBurst(tenant.bytes_per_sec_limit, 128.0 * 1024.0);
+      bytes_buckets_.back() = TokenBucket(tenant.bytes_per_sec_limit, burst);
+    }
+    if (tenant.min_share > 0.0) any_min_share_ = true;
+  }
+  for (std::uint32_t c = 0; c < kArbClasses; ++c) {
+    drr_.emplace_back(weights);
+  }
+}
+
+Us TenantTable::AdmissionAt(TenantId tenant, Us now,
+                            std::uint64_t bytes) const {
+  const Us ops_at = iops_buckets_[tenant].EarliestAt(now, 1.0);
+  const Us bytes_at =
+      bytes_buckets_[tenant].EarliestAt(now, static_cast<double>(bytes));
+  return std::max(ops_at, bytes_at);
+}
+
+void TenantTable::ChargeAdmission(TenantId tenant, Us now,
+                                  std::uint64_t bytes) {
+  iops_buckets_[tenant].Consume(now, 1.0);
+  bytes_buckets_[tenant].Consume(now, static_cast<double>(bytes));
+}
+
+double TenantTable::WindowShareOf(TenantId tenant) const {
+  if (window_total_ == 0) return 0.0;
+  return static_cast<double>(window_dispatches_[tenant]) /
+         static_cast<double>(window_total_);
+}
+
+TenantId TenantTable::PickTenant(ArbClass cls,
+                                 const std::vector<bool>& active) {
+  CTFLASH_CHECK(active.size() == tenants_.size());
+  if (any_min_share_ && window_total_ > 0) {
+    // Reservation floor: the most under-served reserved tenant goes first.
+    TenantId starved = kNoTenant;
+    double worst_gap = 0.0;
+    for (TenantId t = 0; t < TenantCount(); ++t) {
+      if (!active[t] || tenants_[t].min_share <= 0.0) continue;
+      const double gap = tenants_[t].min_share - WindowShareOf(t);
+      if (gap > worst_gap) {
+        worst_gap = gap;
+        starved = t;
+      }
+    }
+    if (starved != kNoTenant) return starved;
+  }
+  return drr_[static_cast<std::uint32_t>(cls)].Pick(active);
+}
+
+void TenantTable::NoteDispatch(TenantId tenant, ArbClass cls) {
+  if (cls == ArbClass::kRead) {
+    stats_[tenant].read_dispatches++;
+  } else {
+    stats_[tenant].write_dispatches++;
+  }
+  if (!any_min_share_) return;  // the window only feeds the reservation
+  window_dispatches_[tenant]++;
+  if (++window_total_ >= 2 * kShareWindow) {
+    // Halve instead of reset: shares decay smoothly, old phases fade.
+    window_total_ = 0;
+    for (auto& d : window_dispatches_) {
+      d /= 2;
+      window_total_ += d;
+    }
+  }
+}
+
+void TenantTable::ResetStats() {
+  for (auto& s : stats_) s = TenantStats{};
+}
+
+}  // namespace ctflash::qos

@@ -1,0 +1,134 @@
+// TenantTable: the runtime state of the multi-tenant QoS engine.
+//
+// Owns, per tenant: the queue -> tenant mapping, the admission token
+// buckets (IOPS and bytes/s), the weighted deficit-round-robin arbitration
+// state per priority class, the minimum-share dispatch window, and the
+// telemetry every bench and test reads back.
+//
+// The table splits the engine across the two host layers:
+//  * host::HostInterface consults AdmissionAt/ChargeAdmission before a
+//    request may enter its submission queue (rate limiting, host-side
+//    pacing queues);
+//  * host::IoScheduler calls PickTenant when several tenants have eligible
+//    transactions in the winning priority class (weighted DRR + min-share
+//    floor), and NoteDispatch on every host dispatch (share window,
+//    per-tenant dispatch counters).
+//
+// All state advances only from those deterministic call sites, so
+// multi-tenant runs stay bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qos/tenant.h"
+#include "qos/token_bucket.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace ctflash::qos {
+
+/// Host priority classes with independent DRR state.  Aged host writes
+/// boosted into the read class arbitrate with the read-class state — DRR
+/// state belongs to the rank pool being served, not to the op code.
+enum class ArbClass : std::uint32_t { kRead = 0, kWrite = 1 };
+inline constexpr std::uint32_t kArbClasses = 2;
+
+/// Weighted deficit round robin over tenants for one priority class, in
+/// units of one page transaction (cost 1, quantum = weight).  A tenant's
+/// turn serves `weight` transactions, then the cursor moves on; tenants
+/// with no eligible work forfeit their remaining deficit (no credit
+/// hoarding), so under saturation dispatch counts converge to the weight
+/// proportion.
+class DrrArbiter {
+ public:
+  explicit DrrArbiter(std::vector<std::uint32_t> weights);
+
+  /// Picks the tenant to serve among those with eligible work
+  /// (`active[t]`), charging one unit of its deficit.  Returns kNoTenant
+  /// when nothing is active.
+  TenantId Pick(const std::vector<bool>& active);
+
+  std::uint64_t DeficitOf(TenantId tenant) const { return deficit_[tenant]; }
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::vector<std::uint64_t> deficit_;
+  std::uint32_t cursor_ = 0;
+};
+
+class TenantTable {
+ public:
+  /// Validates `config` against `num_queues` (throws std::invalid_argument).
+  TenantTable(const QosConfig& config, std::uint32_t num_queues);
+
+  std::uint32_t TenantCount() const {
+    return static_cast<std::uint32_t>(tenants_.size());
+  }
+  const TenantConfig& ConfigOf(TenantId tenant) const {
+    return tenants_[tenant];
+  }
+  TenantId TenantOfQueue(std::uint32_t qid) const {
+    return queue_tenant_[qid];
+  }
+
+  // --- admission (token-bucket rate limiting) ------------------------------
+  bool Limited(TenantId tenant) const { return tenants_[tenant].Limited(); }
+  /// Earliest time >= now a request of `bytes` may be admitted under the
+  /// tenant's IOPS and bytes/s buckets.
+  Us AdmissionAt(TenantId tenant, Us now, std::uint64_t bytes) const;
+  /// Pays for one admitted request of `bytes` at `now`.
+  void ChargeAdmission(TenantId tenant, Us now, std::uint64_t bytes);
+
+  // --- arbitration (scheduler side) ----------------------------------------
+  /// DRR pick within `cls` among active tenants, after the min-share floor:
+  /// an active tenant whose recent dispatch share sits below its
+  /// reservation is served first (most-deficient wins, lowest id breaks
+  /// ties) before the DRR rotation proceeds.
+  TenantId PickTenant(ArbClass cls, const std::vector<bool>& active);
+  /// Records a host dispatch for `tenant` (share window + counters).
+  void NoteDispatch(TenantId tenant, ArbClass cls);
+
+  /// Current DRR deficit (telemetry; the QD-sweep and benches report it).
+  std::uint64_t DeficitOf(ArbClass cls, TenantId tenant) const {
+    return drr_[static_cast<std::uint32_t>(cls)].DeficitOf(tenant);
+  }
+  /// Tenant's share of the min-share dispatch window (0 when empty).
+  double WindowShareOf(TenantId tenant) const;
+
+  // --- telemetry ------------------------------------------------------------
+  struct TenantStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t bytes_completed = 0;
+    /// Submissions the rate limiter deferred into the pacing queue.
+    std::uint64_t throttled = 0;
+    /// Total host-side pacing delay across throttled submissions.
+    Us throttle_wait_us = 0;
+    std::uint64_t read_dispatches = 0;
+    std::uint64_t write_dispatches = 0;
+    util::LatencyStats read_latency;  ///< end-to-end, per request
+    util::LatencyStats write_latency;
+  };
+  TenantStats& StatsOf(TenantId tenant) { return stats_[tenant]; }
+  const TenantStats& StatsOf(TenantId tenant) const { return stats_[tenant]; }
+  void ResetStats();
+
+ private:
+  /// Dispatches counted toward min-share before the window halves.  Halving
+  /// (instead of a ring buffer) keeps the share responsive to phase changes
+  /// at O(tenants) cost, deterministically.
+  static constexpr std::uint64_t kShareWindow = 1024;
+
+  std::vector<TenantConfig> tenants_;
+  std::vector<TenantId> queue_tenant_;       ///< qid -> owner
+  std::vector<TokenBucket> iops_buckets_;    ///< unlimited when no cap
+  std::vector<TokenBucket> bytes_buckets_;
+  std::vector<DrrArbiter> drr_;              ///< one per ArbClass
+  bool any_min_share_ = false;
+  std::vector<std::uint64_t> window_dispatches_;
+  std::uint64_t window_total_ = 0;
+  std::vector<TenantStats> stats_;
+};
+
+}  // namespace ctflash::qos

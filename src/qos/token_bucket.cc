@@ -1,0 +1,44 @@
+#include "qos/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ctflash::qos {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst, Us now)
+    : rate_per_us_(rate_per_sec / 1e6),
+      capacity_(burst),
+      tokens_(burst),
+      last_refill_(now) {
+  if (rate_per_sec <= 0.0) {
+    throw std::invalid_argument("TokenBucket: rate_per_sec must be > 0");
+  }
+  if (burst <= 0.0) {
+    throw std::invalid_argument("TokenBucket: burst must be > 0");
+  }
+}
+
+double TokenBucket::TokensAt(Us now) const {
+  if (!limited()) return 0.0;
+  const Us dt = now > last_refill_ ? now - last_refill_ : 0;
+  return std::min(capacity_,
+                  tokens_ + static_cast<double>(dt) * rate_per_us_);
+}
+
+Us TokenBucket::EarliestAt(Us now, double cost) const {
+  if (!limited() || cost <= 0.0) return now;
+  const double need = std::min(cost, capacity_);
+  const double have = TokensAt(now);
+  if (have >= need) return now;
+  const double wait_us = (need - have) / rate_per_us_;
+  return now + static_cast<Us>(std::ceil(wait_us));
+}
+
+void TokenBucket::Consume(Us now, double cost) {
+  if (!limited()) return;
+  tokens_ = TokensAt(now) - cost;
+  last_refill_ = std::max(last_refill_, now);
+}
+
+}  // namespace ctflash::qos

@@ -1,0 +1,49 @@
+// Token-bucket rate limiter over simulated time.
+//
+// The bucket holds up to `burst` tokens and refills continuously at
+// `rate_per_sec` tokens per second of simulated time.  Admission control
+// asks when a cost could be paid (EarliestAt) and pays it (Consume); both
+// are O(1) and purely a function of (state, now), so runs stay
+// deterministic.
+//
+// Oversize costs — a single request larger than the burst — are admitted
+// once the bucket is FULL and charged in full, driving the token count
+// negative; the debt repays at the refill rate before anything else is
+// admitted.  This keeps long-run conservation exact (admitted cost over any
+// window [t0, t1] <= burst + rate * (t1 - t0) + one oversize remainder)
+// without rejecting legal large requests outright.
+#pragma once
+
+#include "util/types.h"
+
+namespace ctflash::qos {
+
+class TokenBucket {
+ public:
+  /// An unlimited bucket: EarliestAt is always `now`, Consume is a no-op.
+  TokenBucket() = default;
+
+  /// Starts full.  `rate_per_sec` must be > 0, `burst` > 0.
+  TokenBucket(double rate_per_sec, double burst, Us now = 0);
+
+  bool limited() const { return rate_per_us_ > 0.0; }
+
+  /// Earliest simulated time >= now at which `cost` tokens can be paid
+  /// (min(cost, burst) available — see the oversize rule above).
+  Us EarliestAt(Us now, double cost) const;
+
+  /// Pays `cost` at `now`.  Callers admit at EarliestAt, so the balance
+  /// only goes negative through the oversize rule.
+  void Consume(Us now, double cost);
+
+  /// Balance after refilling to `now` (capped at the burst size).
+  double TokensAt(Us now) const;
+
+ private:
+  double rate_per_us_ = 0.0;  ///< 0 = unlimited
+  double capacity_ = 0.0;
+  double tokens_ = 0.0;
+  Us last_refill_ = 0;
+};
+
+}  // namespace ctflash::qos

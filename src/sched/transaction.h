@@ -63,6 +63,10 @@ struct FlashTransaction {
   std::uint64_t request_id = 0;  ///< host request id, or GC job id
   std::uint64_t seq = 0;  ///< global intake order at the scheduler (FIFO key)
   TxnSource source = TxnSource::kHostRead;
+  /// Owning tenant (qos::TenantId) when the host interface runs with a
+  /// multi-tenant QosConfig; ~0u (qos::kNoTenant) for GC work and for all
+  /// host work when QoS is disabled.
+  std::uint32_t tenant = ~0u;
 
   // --- host identity -------------------------------------------------------
   std::uint64_t offset_bytes = 0;  ///< absolute; spans at most one page
