@@ -24,6 +24,12 @@
 // Also prints the per-queue latency/throughput breakdown of the weighted
 // arm (util::TablePrinter) and writes BENCH_tenant_qos.json (--json
 // overrides) so the numbers are diffable across PRs.
+//
+// With --tenant-trace <t>=<csv>[@host] (repeatable) the synthetic pair is
+// replaced by real MSR CSV streams: each spec replays through the replay
+// engine as that tenant under 8:1 DRR weights (tenant 0 favored), printing
+// per-tenant latency/IOPS and asserting conservation only — a
+// user-supplied trace carries no latency bounds.
 #include <cstdint>
 #include <fstream>
 #include <functional>
@@ -38,6 +44,9 @@
 #include "host/host_interface.h"
 #include "host/load_generator.h"
 #include "qos/tenant.h"
+#include "replay/replay_engine.h"
+#include "replay/replay_plan.h"
+#include "replay/trace_source.h"
 #include "util/random.h"
 #include "util/table_printer.h"
 
@@ -318,6 +327,87 @@ void WriteJson(const std::string& path, std::uint64_t device_bytes,
   out << "}\n}\n";
 }
 
+/// --tenant-trace mode: replays real MSR CSV streams as the tenants (8:1
+/// DRR weights, tenant 0 favored) through the replay engine instead of the
+/// synthetic paced/flooder pair.
+int RunTenantTraceMode(const bench::BenchOptions& options,
+                       const std::string& json_path) {
+  const auto& specs = options.tenant_traces;
+  auto cfg = DeviceConfig(ssd::FtlKind::kConventional, options.device_bytes);
+  cfg.ftl.gc_routing = ftl::GcRouting::kScheduled;
+  ssd::Ssd ssd(cfg);
+
+  host::HostConfig host_cfg;
+  host_cfg.qos = TwoTenants(8, 1, 0.0);
+  for (const auto& spec : specs) {
+    if (spec.tenant < host_cfg.qos.tenants.size() && !spec.hostname.empty()) {
+      host_cfg.qos.tenants[spec.tenant].name = spec.hostname;
+    }
+  }
+  host_cfg.device_slots = 4;
+  host::HostInterface host(ssd, host_cfg);
+
+  replay::ReplayPlan plan;
+  const auto source_names = bench::AddTenantTraceSources(
+      plan, specs, ssd.LogicalBytes(), host_cfg.qos.tenants.size());
+  // Tenant -> its sources (several specs may feed one tenant).
+  std::vector<std::string> tenant_sources(host_cfg.qos.tenants.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto& joined = tenant_sources[specs[i].tenant];
+    joined += (joined.empty() ? "" : "+") + source_names[i];
+  }
+
+  replay::ReplayEngineConfig engine_cfg;
+  engine_cfg.window_us = 250'000;
+  replay::ReplayEngine engine(host, engine_cfg);
+  const auto result = engine.Run(plan);
+
+  std::uint64_t emitted = 0;
+  for (const auto& counters : result.sources) emitted += counters.emitted;
+  if (result.completed != emitted || host.Outstanding() != 0) {
+    std::ostringstream os;
+    os << "tenant trace replay conservation violated: emitted " << emitted
+       << ", completed " << result.completed;
+    throw std::runtime_error(os.str());
+  }
+
+  std::cout << "\n--- tenant trace replay (8:1 weights, tenant 0 favored) "
+               "---\n";
+  util::TablePrinter table({"tenant", "source", "records", "read p50 (us)",
+                            "read p99 (us)", "write p99 (us)", "IOPS"});
+  for (const auto& tenant : result.tenants) {
+    if (tenant.completed == 0) continue;
+    table.AddRow(
+        {tenant.name,
+         tenant_sources[tenant.tenant].empty() ? "-"
+                                               : tenant_sources[tenant.tenant],
+         std::to_string(tenant.completed),
+         util::TablePrinter::FormatDouble(tenant.read_latency.p50_us()),
+         util::TablePrinter::FormatDouble(tenant.read_latency.p99_us()),
+         util::TablePrinter::FormatDouble(tenant.write_latency.p99_us()),
+         util::TablePrinter::FormatDouble(tenant.Iops(), 0)});
+  }
+  table.Print();
+
+  std::ofstream out(json_path);
+  if (!out) throw std::runtime_error("cannot write " + json_path);
+  out << "{\n  \"bench\": \"tenant_qos\",\n  \"mode\": \"trace_replay\",\n"
+      << "  \"device_bytes\": " << options.device_bytes << ",\n"
+      << "  \"tenants\": [\n";
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    const auto& tenant = result.tenants[i];
+    out << "    {\"tenant\": " << tenant.tenant << ", \"name\": \""
+        << tenant.name << "\", \"completed\": " << tenant.completed
+        << ", \"read_p99_us\": " << tenant.read_latency.p99_us()
+        << ", \"iops\": " << tenant.Iops() << "}"
+        << (i + 1 < result.tenants.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nAll assertions passed; JSON written to " << json_path
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,6 +430,10 @@ int main(int argc, char** argv) {
       std::max<std::uint64_t>(2'000, flooder_requests / 8);
   const std::string json_path =
       options.json_path.empty() ? "BENCH_tenant_qos.json" : options.json_path;
+
+  if (!options.tenant_traces.empty()) {
+    return RunTenantTraceMode(options, json_path);
+  }
 
   std::cout << "=== Multi-tenant QoS: noisy neighbor vs paced tenant ===\n"
             << "Paced open-loop reads (every 2 ms, private 20% slice) vs a\n"

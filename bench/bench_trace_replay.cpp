@@ -1,0 +1,518 @@
+// Trace replay engine — streaming scale + mixed-tenant QoS replay.
+//
+// Three arms, all self-asserting (std::runtime_error on violation, the
+// bench error idiom):
+//
+//  1. Streaming scale: generates a >= 1M-record web/SQL trace, round-trips
+//     it through an MSR CSV file, and streams it back through a
+//     ReplayPlan (hash-scatter remap) with a 4096-record decode window.
+//     Asserts every record arrives AND the peak resident record count
+//     stays <= the window — O(window), not O(trace) — then runs the
+//     streaming WorkloadProfiler over the same file and checks it
+//     recovers the configured read fraction.
+//
+//  2. Mixed-tenant replay: a media-server trace (tenant "media", DRR
+//     weight 8, rate-targeted to 1k IOPS of large streaming reads) and a
+//     web/SQL trace time-warped to a saturating 30k IOPS (tenant "web",
+//     weight 1) merge onto one device through the multi-queue host
+//     interface with scheduler-visible GC.  Asserts conservation (every
+//     merged record completes), that 8:1 weights bound the media tenant's
+//     read p99 to <= 2x its solo baseline, and — the contrast arm — that
+//     the same mix with the weights inverted (media 1, web 8) blows the
+//     media p99 out by >= 4x (observed ~5000x): the isolation comes from
+//     the weights, not from slack capacity.  Exports full latency CDFs
+//     (solo + per-tenant mixed) with detected knees.
+//
+//  3. Sample smoke (--trace-file <csv>, CI): splits the checked-in
+//     two-host sample CSV into per-host tenant streams
+//     (--tenant-trace <t>=<csv>@<host> overrides) and replays the mix,
+//     asserting conservation end-to-end.
+//
+// Writes BENCH_trace_replay.json (--json overrides).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "host/host_interface.h"
+#include "replay/latency_cdf.h"
+#include "replay/replay_engine.h"
+#include "replay/replay_plan.h"
+#include "replay/trace_source.h"
+#include "replay/workload_profile.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace ctflash;
+
+constexpr std::uint64_t kStreamRecords = 1'000'000;
+constexpr std::size_t kStreamWindow = 4096;
+constexpr double kIsolationBound = 2.0;  ///< mixed media p99 <= bound * solo
+/// Inverted-weights contrast: with the flood holding weight 8 instead, the
+/// media tenant's p99 must blow out by at least this factor over the
+/// correctly-weighted mix (observed ~5000x; the floor is deliberately slack).
+constexpr double kContrastFloor = 4.0;
+/// The media trace replays rate-targeted at 1k IOPS (~10k page-ops/s of
+/// large streaming reads, comfortably inside the tenant's 8/9 weighted
+/// share of the device) while the web trace is warped to a saturating 30k.
+constexpr double kMediaTargetIops = 1'000.0;
+constexpr double kWebTargetIops = 30'000.0;
+
+struct StreamArmResult {
+  std::uint64_t records = 0;
+  std::size_t peak_resident = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t clipped = 0;
+  double profiled_read_fraction = 0.0;
+};
+
+/// Arm 1: 1M-record CSV stream with bounded resident window.
+StreamArmResult RunStreamArm() {
+  const std::string csv_path = "bench_trace_replay_stream.csv";
+  const auto workload = trace::WebServerWorkload(8ull << 30, kStreamRecords);
+  {
+    // Write the CSV incrementally — the generator side is O(1) resident too.
+    std::ofstream out(csv_path);
+    if (!out) throw std::runtime_error("cannot write " + csv_path);
+    trace::SyntheticTraceGenerator generator(workload);
+    std::vector<trace::TraceRecord> chunk;
+    for (std::uint64_t i = 0; i < kStreamRecords; ++i) {
+      chunk.push_back(generator.Next());
+      if (chunk.size() == kStreamWindow || i + 1 == kStreamRecords) {
+        trace::WriteMsrCsv(chunk, out);
+        chunk.clear();
+      }
+    }
+  }
+
+  replay::StreamingMsrCsvSource::Options source_opts;
+  source_opts.window_records = kStreamWindow;
+  auto source = std::make_unique<replay::StreamingMsrCsvSource>(csv_path,
+                                                                source_opts);
+  replay::StreamingMsrCsvSource* source_view = source.get();
+
+  replay::ReplayPlan plan;
+  replay::SourceOptions opts;
+  opts.name = "stream";
+  opts.remap.policy = replay::RemapPolicy::kHashScatter;
+  opts.remap.footprint_bytes = 256 * kMiB;
+  plan.AddSource(std::move(source), opts);
+
+  StreamArmResult result;
+  while (auto record = plan.Next()) result.records++;
+  result.peak_resident = source_view->PeakResidentRecords();
+  result.emitted = plan.CountersOf(0).emitted;
+  result.clipped = plan.CountersOf(0).clipped;
+
+  std::ostringstream os;
+  if (plan.CountersOf(0).pulled != kStreamRecords) {
+    os << "stream arm lost records: pulled " << plan.CountersOf(0).pulled
+       << " of " << kStreamRecords;
+    throw std::runtime_error(os.str());
+  }
+  if (result.records != result.emitted) {
+    throw std::runtime_error("stream arm: merged count != emitted count");
+  }
+  // The bounded-memory claim: O(window), not O(trace).
+  if (result.peak_resident > kStreamWindow ||
+      result.peak_resident * 100 > kStreamRecords) {
+    os << "stream arm resident window not bounded: peak "
+       << result.peak_resident << " records (window " << kStreamWindow
+       << ", trace " << kStreamRecords << ")";
+    throw std::runtime_error(os.str());
+  }
+
+  // Second pass: the streaming characterizer over the same file.
+  replay::StreamingMsrCsvSource profile_source(csv_path, source_opts);
+  const auto profile = replay::Characterize(profile_source);
+  result.profiled_read_fraction = profile.ReadFraction();
+  if (profile.requests != kStreamRecords) {
+    throw std::runtime_error("profiler lost records");
+  }
+  if (result.profiled_read_fraction < workload.read_fraction - 0.02 ||
+      result.profiled_read_fraction > workload.read_fraction + 0.02) {
+    os << "profiled read fraction " << result.profiled_read_fraction
+       << " far from configured " << workload.read_fraction;
+    throw std::runtime_error(os.str());
+  }
+  std::cout << "\n--- streamed profile (1M-record CSV, window "
+            << kStreamWindow << ") ---\n"
+            << replay::ProfileSummary(profile) << "\n";
+  std::remove(csv_path.c_str());
+  return result;
+}
+
+// --- arm 2: mixed-tenant media vs web replay -------------------------------
+
+qos::QosConfig MixedTenants(std::uint32_t media_weight,
+                            std::uint32_t web_weight) {
+  qos::QosConfig qos;
+  qos.tenants.resize(2);
+  qos.tenants[0].name = "media";
+  qos.tenants[0].weight = media_weight;
+  qos.tenants[0].queues = {0, 1};
+  qos.tenants[1].name = "web";
+  qos.tenants[1].weight = web_weight;
+  qos.tenants[1].queues = {2, 3};
+  return qos;
+}
+
+struct MixedArmResult {
+  double solo_p99_us = 0.0;
+  double mixed_media_p99_us = 0.0;
+  double mixed_web_p99_us = 0.0;
+  double inverted_media_p99_us = 0.0;
+  double media_iops = 0.0;
+  double web_iops = 0.0;
+  std::uint64_t merged_records = 0;
+  std::vector<replay::CdfPoint> solo_cdf;
+  std::vector<replay::CdfPoint> media_cdf;
+  std::vector<replay::CdfPoint> web_cdf;
+  std::vector<replay::ReplayWindow> windows;
+};
+
+/// Media source (tenant 0) remapped into the lower device half and
+/// rate-targeted to kMediaTargetIops; when `with_web`, the web source
+/// (tenant 1) joins, hash-scattered into the upper half and time-warped to
+/// `web_target_iops`.
+replay::ReplayResult RunMixedReplay(std::uint64_t device_bytes,
+                                    std::uint64_t media_requests,
+                                    std::uint64_t web_requests,
+                                    bool with_web, double web_target_iops,
+                                    std::uint32_t media_weight,
+                                    std::uint32_t web_weight, Us window_us) {
+  auto cfg = ssd::ScaledConfig(ssd::FtlKind::kConventional, device_bytes,
+                               16 * 1024, 2.0);
+  cfg.timing_mode = ftl::TimingMode::kQueued;
+  // The web flood is write-heavy: GC must be scheduler-visible (preemptible
+  // by tenant reads) or inline GC bursts would stall the media tenant no
+  // matter how the DRR weights are set.
+  cfg.ftl.gc_routing = ftl::GcRouting::kScheduled;
+  ssd::Ssd ssd(cfg);
+  ssd::ExperimentRunner runner(ssd);
+  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+
+  host::HostConfig host_cfg;
+  host_cfg.qos = MixedTenants(media_weight, web_weight);
+  host_cfg.device_slots = 4;
+  host::HostInterface host(ssd, host_cfg);
+  host.AdvanceTo(prefill_end);
+
+  const std::uint64_t logical = ssd.LogicalBytes();
+  replay::ReplayPlan plan;
+
+  const auto media_cfg = trace::MediaServerWorkload(4ull << 30, media_requests,
+                                                    /*seed=*/31);
+  replay::SourceOptions media;
+  media.name = "media";
+  media.tenant = 0;
+  media.remap.policy = replay::RemapPolicy::kWrap;
+  media.remap.footprint_bytes = logical / 2;
+  media.warp.target_iops = kMediaTargetIops;
+  {
+    // Resolve the rate target from the source's native rate (profile pass).
+    replay::SyntheticTraceSource probe(media_cfg);
+    const auto profile = replay::Characterize(probe);
+    media.warp.ResolveRateTarget(profile.requests, profile.duration_us);
+  }
+  plan.AddSource(std::make_unique<replay::SyntheticTraceSource>(media_cfg),
+                 media);
+
+  if (with_web) {
+    const auto web_cfg = trace::WebServerWorkload(4ull << 30, web_requests,
+                                                  /*seed=*/32);
+    replay::SourceOptions web;
+    web.name = "web";
+    web.tenant = 1;
+    web.remap.policy = replay::RemapPolicy::kHashScatter;
+    web.remap.footprint_bytes = logical / 2;
+    web.remap.base_bytes = logical / 2;
+    web.warp.target_iops = web_target_iops;
+    // Resolve the rate target from the source's native rate (profile pass).
+    replay::SyntheticTraceSource probe(web_cfg);
+    const auto profile = replay::Characterize(probe);
+    web.warp.ResolveRateTarget(profile.requests, profile.duration_us);
+    plan.AddSource(std::make_unique<replay::SyntheticTraceSource>(web_cfg),
+                   web);
+  }
+
+  replay::ReplayEngineConfig engine_cfg;
+  engine_cfg.window_us = window_us;
+  replay::ReplayEngine engine(host, engine_cfg);
+  const auto result = engine.Run(plan);
+
+  // Conservation: every record the plan emitted was submitted and completed.
+  std::uint64_t emitted = 0;
+  for (const auto& counters : result.sources) emitted += counters.emitted;
+  if (result.pulled != emitted || result.submitted != emitted ||
+      result.completed != emitted || host.Outstanding() != 0) {
+    std::ostringstream os;
+    os << "mixed replay conservation violated: emitted " << emitted
+       << ", pulled " << result.pulled << ", submitted " << result.submitted
+       << ", completed " << result.completed;
+    throw std::runtime_error(os.str());
+  }
+  return result;
+}
+
+MixedArmResult RunMixedArm(std::uint64_t device_bytes,
+                           std::uint64_t media_requests,
+                           std::uint64_t web_requests,
+                           double web_target_iops) {
+  MixedArmResult arm;
+  const Us window_us = 250'000;
+
+  const auto solo = RunMixedReplay(device_bytes, media_requests, web_requests,
+                                   /*with_web=*/false, 0.0, /*media_weight=*/8,
+                                   /*web_weight=*/1, window_us);
+  arm.solo_p99_us = solo.tenants[0].read_latency.p99_us();
+  arm.solo_cdf = replay::LatencyCdf(solo.tenants[0].read_latency);
+
+  const auto mixed = RunMixedReplay(device_bytes, media_requests, web_requests,
+                                    /*with_web=*/true, web_target_iops,
+                                    /*media_weight=*/8, /*web_weight=*/1,
+                                    window_us);
+  arm.mixed_media_p99_us = mixed.tenants[0].read_latency.p99_us();
+  arm.mixed_web_p99_us = mixed.tenants[1].read_latency.p99_us();
+  arm.media_iops = mixed.tenants[0].Iops();
+  arm.web_iops = mixed.tenants[1].Iops();
+  arm.merged_records = mixed.completed;
+  arm.media_cdf = replay::LatencyCdf(mixed.tenants[0].read_latency);
+  arm.web_cdf = replay::LatencyCdf(mixed.tenants[1].read_latency);
+  arm.windows = mixed.windows;
+
+  // Contrast arm: identical traces, weights inverted — the flood now holds
+  // weight 8, so the media tenant's share falls below its offered load and
+  // its queue grows without bound.  This is what makes the 8:1 result a
+  // property of the weights, not of slack capacity.
+  const auto inverted = RunMixedReplay(device_bytes, media_requests,
+                                       web_requests, /*with_web=*/true,
+                                       web_target_iops, /*media_weight=*/1,
+                                       /*web_weight=*/8, window_us);
+  arm.inverted_media_p99_us = inverted.tenants[0].read_latency.p99_us();
+
+  std::ostringstream os;
+  if (!(arm.mixed_media_p99_us <= kIsolationBound * arm.solo_p99_us)) {
+    os << "8:1 weights fail the isolation bound: media p99 "
+       << arm.mixed_media_p99_us << " us mixed vs " << arm.solo_p99_us
+       << " us solo (bound " << kIsolationBound << "x)";
+    throw std::runtime_error(os.str());
+  }
+  if (!(arm.inverted_media_p99_us >=
+        kContrastFloor * arm.mixed_media_p99_us)) {
+    os << "inverted weights show no contrast: media p99 "
+       << arm.inverted_media_p99_us << " us at 1:8 vs "
+       << arm.mixed_media_p99_us << " us at 8:1 (floor " << kContrastFloor
+       << "x)";
+    throw std::runtime_error(os.str());
+  }
+  return arm;
+}
+
+// --- arm 3: sample-CSV smoke ------------------------------------------------
+
+struct SampleArmResult {
+  std::string path;
+  std::uint64_t records = 0;
+  std::uint64_t completed = 0;
+  std::vector<replay::SourceCounters> sources;
+};
+
+SampleArmResult RunSampleArm(const ctflash::bench::BenchOptions& options) {
+  SampleArmResult arm;
+  std::vector<ctflash::bench::TenantTraceOption> specs = options.tenant_traces;
+  if (specs.empty()) {
+    // Default split of the checked-in sample: its two well-known hosts.
+    specs.push_back({0, options.trace_file, "mds0"});
+    specs.push_back({1, options.trace_file, "web0"});
+  }
+  arm.path = specs.front().path;
+
+  auto cfg = ssd::ScaledConfig(ssd::FtlKind::kConventional, 256ull << 20,
+                               16 * 1024, 2.0);
+  cfg.timing_mode = ftl::TimingMode::kQueued;
+  ssd::Ssd ssd(cfg);
+
+  host::HostConfig host_cfg;
+  host_cfg.qos = MixedTenants(/*media_weight=*/8, /*web_weight=*/1);
+  host::HostInterface host(ssd, host_cfg);
+
+  replay::ReplayPlan plan;
+  ctflash::bench::AddTenantTraceSources(plan, specs, ssd.LogicalBytes(),
+                                        host_cfg.qos.tenants.size());
+
+  replay::ReplayEngine engine(host, replay::ReplayEngineConfig{});
+  const auto result = engine.Run(plan);
+  std::uint64_t emitted = 0;
+  for (const auto& counters : result.sources) {
+    arm.sources.push_back(counters);
+    emitted += counters.emitted;
+    arm.records += counters.pulled;
+  }
+  arm.completed = result.completed;
+  if (arm.records == 0 || result.completed != emitted ||
+      host.Outstanding() != 0) {
+    std::ostringstream os;
+    os << "sample smoke conservation violated: pulled " << arm.records
+       << ", emitted " << emitted << ", completed " << result.completed;
+    throw std::runtime_error(os.str());
+  }
+  return arm;
+}
+
+// --- reporting --------------------------------------------------------------
+
+void PrintWindows(const std::vector<replay::ReplayWindow>& windows) {
+  util::TablePrinter table({"t (ms)", "arrivals", "done", "IOPS", "read p50",
+                            "read p99", "QD"});
+  const std::size_t step = windows.size() > 12 ? windows.size() / 12 : 1;
+  for (std::size_t i = 0; i < windows.size(); i += step) {
+    const auto& w = windows[i];
+    table.AddRow({util::TablePrinter::FormatDouble(
+                      static_cast<double>(w.start_us) / 1000.0, 0),
+                  std::to_string(w.arrivals), std::to_string(w.completions),
+                  util::TablePrinter::FormatDouble(w.iops, 0),
+                  util::TablePrinter::FormatDouble(w.read_p50_us, 1),
+                  util::TablePrinter::FormatDouble(w.read_p99_us, 1),
+                  std::to_string(w.outstanding_end)});
+  }
+  table.Print();
+}
+
+void WriteJson(const std::string& path, const StreamArmResult& stream,
+               const MixedArmResult& mixed, const SampleArmResult* sample) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "{\n"
+      << "  \"bench\": \"trace_replay\",\n"
+      << "  \"stream\": {\"records\": " << stream.records
+      << ", \"window_records\": " << kStreamWindow
+      << ", \"peak_resident_records\": " << stream.peak_resident
+      << ", \"clipped\": " << stream.clipped
+      << ", \"profiled_read_fraction\": " << stream.profiled_read_fraction
+      << "},\n"
+      << "  \"mixed\": {\n"
+      << "    \"media_solo_read_p99_us\": " << mixed.solo_p99_us << ",\n"
+      << "    \"media_mixed_read_p99_us\": " << mixed.mixed_media_p99_us
+      << ",\n"
+      << "    \"media_inverted_read_p99_us\": " << mixed.inverted_media_p99_us
+      << ",\n"
+      << "    \"web_mixed_read_p99_us\": " << mixed.mixed_web_p99_us << ",\n"
+      << "    \"media_iops\": " << mixed.media_iops << ",\n"
+      << "    \"web_iops\": " << mixed.web_iops << ",\n"
+      << "    \"merged_records\": " << mixed.merged_records << ",\n"
+      << "    \"isolation_bound\": " << kIsolationBound << ",\n"
+      << "    \"contrast_floor\": " << kContrastFloor << ",\n";
+  const auto knee = [](const std::vector<replay::CdfPoint>& cdf) {
+    const std::size_t k = replay::KneeIndex(cdf);
+    return k < cdf.size() ? cdf[k].latency_us : 0.0;
+  };
+  out << "    \"media_solo_knee_us\": " << knee(mixed.solo_cdf) << ",\n"
+      << "    \"media_mixed_knee_us\": " << knee(mixed.media_cdf) << ",\n"
+      << "    \"media_solo_read_cdf\": ";
+  replay::WriteCdfJson(out, mixed.solo_cdf);
+  out << ",\n    \"media_mixed_read_cdf\": ";
+  replay::WriteCdfJson(out, mixed.media_cdf);
+  out << ",\n    \"web_mixed_read_cdf\": ";
+  replay::WriteCdfJson(out, mixed.web_cdf);
+  out << "\n  }";
+  if (sample != nullptr) {
+    out << ",\n  \"sample_smoke\": {\"path\": \"" << sample->path
+        << "\", \"records\": " << sample->records
+        << ", \"completed\": " << sample->completed << "}";
+  }
+  out << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ctflash::bench::BenchOptions;
+  auto options = BenchOptions::FromArgs(argc, argv);
+  bool user_device = false;
+  bool user_requests = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--device") user_device = true;
+    if (arg == "--qd-requests") user_requests = true;
+  }
+  if (!user_device) options.device_bytes = 256ull << 20;
+  const std::uint64_t web_requests = user_requests ? options.qd_requests
+                                                   : 40'000;
+  const std::uint64_t media_requests =
+      std::max<std::uint64_t>(500, web_requests / 8);
+  const std::string json_path =
+      options.json_path.empty() ? "BENCH_trace_replay.json" : options.json_path;
+
+  std::cout << "=== Trace replay: streaming ingest + mixed-tenant QoS ===\n"
+            << "Arm 1: 1M-record MSR CSV streamed through a "
+            << kStreamWindow << "-record window (bounded-memory assert).\n"
+            << "Arm 2: media trace (weight 8, " << kMediaTargetIops
+            << " IOPS) vs web trace rate-warped to " << kWebTargetIops
+            << " IOPS (weight 1)\nmerged onto one "
+            << (options.device_bytes >> 20)
+            << " MiB device; media read p99 bound to " << kIsolationBound
+            << "x solo, inverted\nweights must blow it out "
+            << kContrastFloor << "x.\n";
+
+  const StreamArmResult stream = RunStreamArm();
+  std::cout << "\nstreamed " << stream.records << " records, peak resident "
+            << stream.peak_resident << " (window " << kStreamWindow << ", "
+            << stream.clipped << " clipped)\n";
+
+  const MixedArmResult mixed = RunMixedArm(options.device_bytes,
+                                           media_requests, web_requests,
+                                           kWebTargetIops);
+
+  std::cout << "\n--- mixed-tenant replay (media " << media_requests
+            << " reqs @ " << kMediaTargetIops << " IOPS vs web "
+            << web_requests << " reqs @ " << kWebTargetIops << " IOPS) ---\n";
+  ctflash::util::TablePrinter table(
+      {"tenant", "arm", "read p99 (us)", "IOPS"});
+  table.AddRow({"media", "solo",
+                ctflash::util::TablePrinter::FormatDouble(mixed.solo_p99_us),
+                "-"});
+  table.AddRow(
+      {"media", "mixed 8:1",
+       ctflash::util::TablePrinter::FormatDouble(mixed.mixed_media_p99_us),
+       ctflash::util::TablePrinter::FormatDouble(mixed.media_iops, 0)});
+  table.AddRow(
+      {"web", "mixed 8:1",
+       ctflash::util::TablePrinter::FormatDouble(mixed.mixed_web_p99_us),
+       ctflash::util::TablePrinter::FormatDouble(mixed.web_iops, 0)});
+  table.AddRow(
+      {"media", "mixed 1:8",
+       ctflash::util::TablePrinter::FormatDouble(mixed.inverted_media_p99_us),
+       "-"});
+  table.Print();
+  std::cout << "\nWindowed telemetry (mixed arm):\n";
+  PrintWindows(mixed.windows);
+
+  const bool run_sample =
+      !options.trace_file.empty() || !options.tenant_traces.empty();
+  SampleArmResult sample;
+  if (run_sample) {
+    sample = RunSampleArm(options);
+    std::cout << "\nsample smoke: " << sample.records << " records from "
+              << sample.path << " -> " << sample.completed
+              << " completed across " << sample.sources.size()
+              << " tenant streams\n";
+  }
+
+  std::cout << "\nmedia read p99: " << mixed.mixed_media_p99_us
+            << " us mixed vs " << mixed.solo_p99_us << " us solo (bound "
+            << kIsolationBound << "x); inverted weights: "
+            << mixed.inverted_media_p99_us << " us (contrast floor "
+            << kContrastFloor << "x)\n"
+            << "\nAll assertions passed; JSON written to " << json_path
+            << "\n";
+  WriteJson(json_path, stream, mixed, run_sample ? &sample : nullptr);
+  return 0;
+}

@@ -12,6 +12,14 @@
 //   --media-trace <csv>       replay a real MSR CSV instead of the media
 //   --web-trace <csv>         (resp. web) synthetic stand-in; offsets are
 //                             wrapped into the device's logical space
+//   --trace-file <csv>        one real MSR CSV for BOTH workload slots
+//                             (sets --media-trace and --web-trace; also the
+//                             sample-smoke input of bench_trace_replay)
+//   --tenant-trace <t>=<csv>[@host]
+//                             repeatable: tenant t replays this MSR CSV in
+//                             the multi-tenant benches (optional @host
+//                             keeps only that Hostname's records when one
+//                             combined CSV carries several servers)
 //   --qd-list <a,b,c>         queue depths for QD-scaling benches
 //   --qd-requests <n>         requests per QD sweep point
 //   --frontiers <n>           write frontiers for the striped series
@@ -23,10 +31,30 @@
 #include <string>
 #include <vector>
 
+#include "replay/replay_plan.h"
 #include "ssd/experiment.h"
 #include "trace/synthetic.h"
 
 namespace ctflash::bench {
+
+/// One --tenant-trace assignment: tenant `tenant` replays the MSR CSV at
+/// `path`, optionally keeping only `hostname`'s records.
+struct TenantTraceOption {
+  std::uint32_t tenant = 0;
+  std::string path;
+  std::string hostname;  ///< "" = all records
+};
+
+/// Adds one streaming MSR CSV source per --tenant-trace spec to `plan`:
+/// wrap-remapped into its own slice of `logical_bytes` (spec i gets slice
+/// i of specs.size(), so working sets stay disjoint), hostname-filtered,
+/// tagged with its tenant.  Throws std::runtime_error for a tenant id at
+/// or beyond `tenant_count`.  Returns the source name chosen for each
+/// spec (its hostname, or "tenant<t>") — index-aligned with `specs`, NOT
+/// with tenant ids (several specs may feed one tenant).
+std::vector<std::string> AddTenantTraceSources(
+    replay::ReplayPlan& plan, const std::vector<TenantTraceOption>& specs,
+    std::uint64_t logical_bytes, std::size_t tenant_count);
 
 struct BenchOptions {
   std::uint64_t device_bytes = 4ull << 30;
@@ -34,6 +62,8 @@ struct BenchOptions {
   std::uint64_t media_requests = 600'000;
   std::string media_trace_path;  ///< real MSR CSV overriding the stand-in
   std::string web_trace_path;
+  std::string trace_file;        ///< --trace-file (also fills the two above)
+  std::vector<TenantTraceOption> tenant_traces;
   std::vector<std::uint32_t> qd_list = {1, 2, 4, 8, 16, 32, 64};
   std::uint64_t qd_requests = 20'000;
   std::uint32_t write_frontiers = 8;  ///< striped series of bench_write_scaling

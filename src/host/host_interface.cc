@@ -116,6 +116,7 @@ std::uint64_t HostInterface::SubmitAs(qos::TenantId tenant, trace::OpType op,
   stats_.submitted++;
   auto& tstats = tenants_->StatsOf(tenant);
   tstats.submitted++;
+  if (tstats.first_submit_us < 0) tstats.first_submit_us = request.submit_us;
 
   if (tenants_->Limited(tenant)) {
     auto& pace = pace_queues_[tenant];
@@ -286,6 +287,9 @@ void HostInterface::FinalizeRequest(std::uint64_t id) {
     tstats.completed++;
     tstats.bytes_completed += pending.request.size_bytes;
     (is_read ? tstats.read_latency : tstats.write_latency).Add(latency_us);
+    if (completion.completion_us > tstats.last_completion_us) {
+      tstats.last_completion_us = completion.completion_us;
+    }
     // The freed slot belongs to this tenant's queue: its backlog refills it.
     auto& backlog = tenant_backlogs_[tenant];
     if (!backlog.empty()) {

@@ -109,6 +109,14 @@ class TenantTable {
     std::uint64_t write_dispatches = 0;
     util::LatencyStats read_latency;  ///< end-to-end, per request
     util::LatencyStats write_latency;
+    /// Active-span attribution since the last ResetStats: first submission
+    /// and last completion, so per-tenant throughput can be computed over
+    /// the tenant's own span rather than the device makespan (trace
+    /// replays where tenants enter and leave at different times — see
+    /// replay::TenantReplayResult::Iops).  first_submit_us is -1 until the
+    /// tenant submits.
+    Us first_submit_us = -1;
+    Us last_completion_us = 0;
   };
   TenantStats& StatsOf(TenantId tenant) { return stats_[tenant]; }
   const TenantStats& StatsOf(TenantId tenant) const { return stats_[tenant]; }

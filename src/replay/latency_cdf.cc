@@ -1,0 +1,72 @@
+#include "replay/latency_cdf.h"
+
+#include <cmath>
+
+namespace ctflash::replay {
+
+std::vector<CdfPoint> LatencyCdf(const util::LatencyStats& stats) {
+  std::vector<CdfPoint> cdf;
+  const util::QuantileEstimator& hist = stats.quantiles();
+  const std::uint64_t total = hist.count();
+  if (total == 0) return cdf;
+  std::uint64_t running = 0;
+  const auto& bins = hist.bins();
+  for (int i = 0; i < util::QuantileEstimator::kBins; ++i) {
+    if (bins[i] == 0) continue;
+    running += bins[i];
+    CdfPoint point;
+    point.latency_us =
+        static_cast<double>(util::QuantileEstimator::BinHigh(i));
+    point.cum_fraction =
+        static_cast<double>(running) / static_cast<double>(total);
+    point.count = bins[i];
+    cdf.push_back(point);
+  }
+  return cdf;
+}
+
+std::size_t KneeIndex(const std::vector<CdfPoint>& cdf) {
+  if (cdf.size() < 3) return cdf.size();
+  // Normalize (cum_fraction, log latency) to the unit square and find the
+  // interior point farthest from the first->last chord.
+  const double x0 = cdf.front().cum_fraction;
+  const double x1 = cdf.back().cum_fraction;
+  const double y0 = std::log(cdf.front().latency_us + 1.0);
+  const double y1 = std::log(cdf.back().latency_us + 1.0);
+  const double xspan = x1 - x0;
+  const double yspan = y1 - y0;
+  if (xspan <= 0.0 || yspan <= 0.0) return cdf.size();
+  std::size_t best = cdf.size();
+  double best_dist = 0.0;
+  for (std::size_t i = 1; i + 1 < cdf.size(); ++i) {
+    const double x = (cdf[i].cum_fraction - x0) / xspan;
+    const double y = (std::log(cdf[i].latency_us + 1.0) - y0) / yspan;
+    // Distance from (x, y) to the chord y = x (unit square diagonal): a
+    // knee sits where latency has not yet risen relative to quantile mass,
+    // i.e. x - y is maximal.
+    const double dist = x - y;
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best == cdf.size() ? cdf.size() - 1 : best;
+}
+
+void WriteCdfJson(std::ostream& out, const std::vector<CdfPoint>& cdf,
+                  int indent) {
+  const std::string pad =
+      indent >= 0 ? "\n" + std::string(static_cast<std::size_t>(indent), ' ')
+                  : "";
+  out << "[";
+  for (std::size_t i = 0; i < cdf.size(); ++i) {
+    out << pad << "{\"us\": " << cdf[i].latency_us
+        << ", \"cum\": " << cdf[i].cum_fraction
+        << ", \"n\": " << cdf[i].count << "}"
+        << (i + 1 < cdf.size() ? "," : "");
+  }
+  if (indent >= 0 && !cdf.empty()) out << "\n";
+  out << "]";
+}
+
+}  // namespace ctflash::replay

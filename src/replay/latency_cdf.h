@@ -1,0 +1,40 @@
+// Latency-CDF extraction: the curve the paper's Figures 13/14 plot.
+//
+// A LatencyStats aggregate carries an HdrHistogram-style quantile
+// estimator; LatencyCdf() walks its occupied bins into an explicit
+// (latency, cumulative fraction) staircase suitable for plotting or
+// diffing, and KneeIndex() locates the saturation knee — the point of
+// maximum distance from the chord between the curve's endpoints (the
+// "kneedle" construction, computed on the log-latency curve so the knee is
+// scale-free).  Both are deterministic functions of the histogram.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace ctflash::replay {
+
+struct CdfPoint {
+  double latency_us = 0.0;       ///< upper edge of the histogram bin
+  double cum_fraction = 0.0;     ///< P(latency <= latency_us)
+  std::uint64_t count = 0;       ///< samples in this bin
+};
+
+/// Occupied-bin staircase of `stats`; empty when the aggregate is empty.
+/// The final point always has cum_fraction == 1.
+std::vector<CdfPoint> LatencyCdf(const util::LatencyStats& stats);
+
+/// Index into `cdf` of the saturation knee, or cdf.size() when the curve
+/// has fewer than 3 points (no interior to bend).
+std::size_t KneeIndex(const std::vector<CdfPoint>& cdf);
+
+/// Serializes the CDF as a JSON array of {"us": ..., "cum": ...} objects
+/// (one line per point when `indent` >= 0, compact otherwise).
+void WriteCdfJson(std::ostream& out, const std::vector<CdfPoint>& cdf,
+                  int indent = -1);
+
+}  // namespace ctflash::replay

@@ -1,0 +1,75 @@
+#include "replay/trace_source.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ctflash::replay {
+
+SyntheticTraceSource::SyntheticTraceSource(
+    const trace::SyntheticWorkloadConfig& config)
+    : config_(config),
+      generator_(std::make_unique<trace::SyntheticTraceGenerator>(config)) {}
+
+std::optional<trace::TraceRecord> SyntheticTraceSource::Next() {
+  if (emitted_ >= config_.num_requests) return std::nullopt;
+  ++emitted_;
+  return generator_->Next();
+}
+
+void SyntheticTraceSource::Reset() {
+  // The generator is seeded from the config alone, so a fresh instance
+  // replays the identical stream.
+  generator_ = std::make_unique<trace::SyntheticTraceGenerator>(config_);
+  emitted_ = 0;
+}
+
+StreamingMsrCsvSource::StreamingMsrCsvSource(const std::string& path,
+                                             const Options& options)
+    : path_(path), options_(options), in_(path) {
+  if (options_.window_records == 0) {
+    throw std::invalid_argument(
+        "StreamingMsrCsvSource: window_records must be > 0");
+  }
+  if (!in_) {
+    throw std::runtime_error("StreamingMsrCsvSource: cannot open " + path);
+  }
+}
+
+void StreamingMsrCsvSource::Refill() {
+  std::string line;
+  trace::TraceRecord record;
+  std::string hostname;
+  std::string* hostname_out =
+      options_.hostname_filter.empty() ? nullptr : &hostname;
+  while (window_.size() < options_.window_records && std::getline(in_, line)) {
+    if (!parser_.ParseLine(line, record, hostname_out)) continue;
+    if (hostname_out != nullptr && hostname != options_.hostname_filter) {
+      continue;
+    }
+    window_.push_back(record);
+  }
+  if (window_.size() > peak_resident_) peak_resident_ = window_.size();
+  if (!in_) exhausted_ = true;
+}
+
+std::optional<trace::TraceRecord> StreamingMsrCsvSource::Next() {
+  if (window_.empty() && !exhausted_) Refill();
+  if (window_.empty()) return std::nullopt;
+  const trace::TraceRecord record = window_.front();
+  window_.pop_front();
+  return record;
+}
+
+void StreamingMsrCsvSource::Reset() {
+  // Reopen rather than seekg: clears EOF state portably and restarts the
+  // parser's rebase origin with it.
+  in_ = std::ifstream(path_);
+  if (!in_) {
+    throw std::runtime_error("StreamingMsrCsvSource: cannot reopen " + path_);
+  }
+  parser_.Reset();
+  window_.clear();
+  exhausted_ = false;
+}
+
+}  // namespace ctflash::replay

@@ -5,6 +5,8 @@
 
 #include "host/host_interface.h"
 #include "host/load_generator.h"
+#include "replay/replay_engine.h"
+#include "replay/trace_source.h"
 
 namespace ctflash::ssd {
 
@@ -87,16 +89,22 @@ ExperimentResult ExperimentRunner::Replay(
 ExperimentResult ExperimentRunner::ReplayOpenLoop(
     const std::vector<trace::TraceRecord>& records,
     const std::string& workload_name) {
+  // Rebased onto the replay engine's direct mode (streaming chained
+  // arrivals, O(1) pending events instead of one per record).  For
+  // monotone traces the issue order and times — and therefore every
+  // latency sample and FTL counter — are identical to the seed
+  // event-per-record loop; out-of-order arrivals are clamped to the
+  // current simulated time in record order.
+  replay::ReplayEngineConfig cfg;
+  cfg.start_us = clock_us_;
+  replay::ReplayEngine engine(ssd_, cfg);
+  replay::VectorTraceSource source(records);
+  const replay::ReplayResult replayed = engine.Run(source);
+
   ExperimentResult result;
-  sim::EventQueue queue;
-  const Us base = clock_us_;
-  for (const auto& rec : records) {
-    queue.ScheduleAt(base + rec.timestamp_us,
-                     [this, &rec, &result](Us now) {
-                       IssueRecord(rec, now, result);
-                     });
-  }
-  queue.RunToCompletion();
+  result.read_latency = replayed.read_latency;
+  result.write_latency = replayed.write_latency;
+  clock_us_ = std::max(clock_us_, replayed.max_completion_us);
   FinalizeResult(result, workload_name);
   return result;
 }

@@ -65,7 +65,10 @@ class ExperimentRunner {
   /// an arrival event at its trace timestamp regardless of completions.
   /// With TimingMode::kQueued this exposes queueing delay under bursts (a
   /// latency-vs-load study); with service-time accounting it matches
-  /// Replay(closed_loop=false).
+  /// Replay(closed_loop=false).  Implemented on replay::ReplayEngine's
+  /// direct mode (streaming chained arrivals, O(1) pending events); see
+  /// src/replay/replay_engine.h for the host-interface-driven variant that
+  /// exposes queueing, scheduling, and QoS.
   ExperimentResult ReplayOpenLoop(const std::vector<trace::TraceRecord>& records,
                                   const std::string& workload_name);
 

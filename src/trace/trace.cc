@@ -68,52 +68,64 @@ std::uint64_t ParseUnsigned(const std::string& raw, const char* what) {
 }
 }  // namespace
 
+void MsrCsvParser::Reset() {
+  lineno_ = 0;
+  base_filetime_ = -1;
+}
+
+bool MsrCsvParser::ParseLine(const std::string& line, TraceRecord& out,
+                             std::string* hostname) {
+  ++lineno_;
+  const std::string trimmed = util::Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return false;
+  const auto fields = SplitCsv(trimmed);
+  if (fields.size() < 6) {
+    throw std::invalid_argument("ParseMsrCsv: too few fields at line " +
+                                std::to_string(lineno_));
+  }
+  try {
+    TraceRecord r;
+    const std::int64_t filetime = std::stoll(fields[0]);
+    if (filetime < 0) throw std::invalid_argument("negative timestamp");
+    if (base_filetime_ < 0) base_filetime_ = filetime;
+    // FILETIME is in 100 ns ticks; 10 ticks per microsecond.
+    r.timestamp_us = (filetime - base_filetime_) / 10;
+    if (r.timestamp_us < 0) r.timestamp_us = 0;  // out-of-order arrivals
+    const std::string type = util::ToLower(util::Trim(fields[3]));
+    if (type == "read" || type == "r") {
+      r.op = OpType::kRead;
+    } else if (type == "write" || type == "w") {
+      r.op = OpType::kWrite;
+    } else {
+      throw std::invalid_argument("bad op '" + fields[3] + "'");
+    }
+    r.offset_bytes = ParseUnsigned(fields[4], "offset");
+    r.size_bytes = ParseUnsigned(fields[5], "size");
+    if (r.size_bytes >
+        std::numeric_limits<std::uint64_t>::max() - r.offset_bytes) {
+      throw std::invalid_argument("offset+size overflows");
+    }
+    if (r.size_bytes == 0) return false;  // zero-length ops carry no work
+    if (hostname != nullptr) *hostname = util::Trim(fields[1]);
+    out = r;
+    return true;
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("ParseMsrCsv: malformed line " +
+                                std::to_string(lineno_) + " (" + e.what() +
+                                "): " + trimmed);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("ParseMsrCsv: overflowing field at line " +
+                                std::to_string(lineno_) + ": " + trimmed);
+  }
+}
+
 std::vector<TraceRecord> ParseMsrCsv(std::istream& in) {
   std::vector<TraceRecord> records;
+  MsrCsvParser parser;
   std::string line;
-  std::uint64_t lineno = 0;
-  std::int64_t base_filetime = -1;
+  TraceRecord r;
   while (std::getline(in, line)) {
-    ++lineno;
-    const std::string trimmed = util::Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    const auto fields = SplitCsv(trimmed);
-    if (fields.size() < 6) {
-      throw std::invalid_argument("ParseMsrCsv: too few fields at line " +
-                                  std::to_string(lineno));
-    }
-    try {
-      TraceRecord r;
-      const std::int64_t filetime = std::stoll(fields[0]);
-      if (filetime < 0) throw std::invalid_argument("negative timestamp");
-      if (base_filetime < 0) base_filetime = filetime;
-      // FILETIME is in 100 ns ticks; 10 ticks per microsecond.
-      r.timestamp_us = (filetime - base_filetime) / 10;
-      if (r.timestamp_us < 0) r.timestamp_us = 0;  // out-of-order arrivals
-      const std::string type = util::ToLower(util::Trim(fields[3]));
-      if (type == "read" || type == "r") {
-        r.op = OpType::kRead;
-      } else if (type == "write" || type == "w") {
-        r.op = OpType::kWrite;
-      } else {
-        throw std::invalid_argument("bad op '" + fields[3] + "'");
-      }
-      r.offset_bytes = ParseUnsigned(fields[4], "offset");
-      r.size_bytes = ParseUnsigned(fields[5], "size");
-      if (r.size_bytes >
-          std::numeric_limits<std::uint64_t>::max() - r.offset_bytes) {
-        throw std::invalid_argument("offset+size overflows");
-      }
-      if (r.size_bytes == 0) continue;  // zero-length ops carry no work
-      records.push_back(r);
-    } catch (const std::invalid_argument& e) {
-      throw std::invalid_argument("ParseMsrCsv: malformed line " +
-                                  std::to_string(lineno) + " (" + e.what() +
-                                  "): " + trimmed);
-    } catch (const std::out_of_range&) {
-      throw std::invalid_argument("ParseMsrCsv: overflowing field at line " +
-                                  std::to_string(lineno) + ": " + trimmed);
-    }
+    if (parser.ParseLine(line, r)) records.push_back(r);
   }
   return records;
 }

@@ -51,14 +51,38 @@ struct TraceStats {
 
 TraceStats ComputeStats(const std::vector<TraceRecord>& records);
 
-/// Parses MSR-Cambridge SNIA CSV lines:
+/// Incremental MSR-Cambridge SNIA CSV decoder:
 ///   Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
 /// Timestamp is a Windows FILETIME (100 ns ticks); it is rebased so the
-/// first record starts at t=0.  Malformed input — too few fields, unknown
-/// op, negative or non-numeric or uint64-overflowing offset/size/timestamp,
-/// offset+size wrapping past 2^64 — raises std::invalid_argument naming the
-/// line number; corrupt traces fail loudly instead of replaying as
-/// petabyte-range requests.
+/// first accepted record starts at t=0.  Feed one line at a time — the
+/// parser keeps only the rebase origin and a line counter, so callers that
+/// stream a multi-GB trace hold O(1) parser state (the streaming reader in
+/// src/replay/trace_source.h builds its bounded window on top of this).
+/// Malformed input — too few fields, unknown op, negative or non-numeric or
+/// uint64-overflowing offset/size/timestamp, offset+size wrapping past
+/// 2^64 — raises std::invalid_argument naming the line number; corrupt
+/// traces fail loudly instead of replaying as petabyte-range requests.
+class MsrCsvParser {
+ public:
+  /// Decodes one CSV line.  Returns false for lines that carry no record
+  /// (blank, '#' comment, zero-length ops); true fills `out`.  `hostname`
+  /// (optional) receives the line's Hostname field, letting callers split a
+  /// combined multi-server trace into per-host streams.
+  bool ParseLine(const std::string& line, TraceRecord& out,
+                 std::string* hostname = nullptr);
+
+  /// Lines consumed so far (error messages are 1-based on this count).
+  std::uint64_t LineCount() const { return lineno_; }
+
+  /// Forgets the rebase origin and line count (restart a file).
+  void Reset();
+
+ private:
+  std::uint64_t lineno_ = 0;
+  std::int64_t base_filetime_ = -1;
+};
+
+/// One-shot wrappers over MsrCsvParser (whole trace materialized).
 std::vector<TraceRecord> ParseMsrCsv(std::istream& in);
 std::vector<TraceRecord> ParseMsrCsvFile(const std::string& path);
 

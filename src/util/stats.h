@@ -88,6 +88,9 @@ class QuantileEstimator {
   static std::uint64_t BinHigh(int index);
   static int BinOf(std::uint64_t value);
 
+  /// Raw bin counts (CDF export: replay::LatencyCdf walks these).
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
  private:
   std::vector<std::uint64_t> bins_ = std::vector<std::uint64_t>(kBins, 0);
   std::uint64_t count_ = 0;
@@ -115,6 +118,9 @@ class LatencyStats {
 
   /// One-line human-readable summary.
   std::string Summary(const std::string& label) const;
+
+  /// The underlying histogram (full-CDF export, see replay::LatencyCdf).
+  const QuantileEstimator& quantiles() const { return hist_; }
 
  private:
   RunningMoments moments_;

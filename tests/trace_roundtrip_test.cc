@@ -1,0 +1,141 @@
+// MSR CSV codec lock-in: WriteMsrCsv -> ParseMsrCsv round-trip property
+// tests plus the checked-in two-host sample trace (tests/data/
+// sample_msr.csv), so the codec stays pinned without the
+// non-redistributable SNIA originals.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "replay/trace_source.h"
+#include "trace/trace.h"
+#include "util/random.h"
+
+namespace ctflash::trace {
+namespace {
+
+std::string SampleCsvPath() {
+  return std::string(CTFLASH_TEST_DATA_DIR) + "/sample_msr.csv";
+}
+
+std::vector<TraceRecord> RandomRecords(std::uint64_t seed, int n) {
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<TraceRecord> records;
+  Us t = 0;  // first record at t=0 so the parse-side rebase is the identity
+  for (int i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.timestamp_us = t;
+    t += static_cast<Us>(rng.UniformBelow(50'000));
+    r.op = rng.Bernoulli(0.6) ? OpType::kRead : OpType::kWrite;
+    r.offset_bytes = rng.UniformBelow(1ull << 40);
+    r.size_bytes = 512 * (1 + rng.UniformBelow(1024));
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(MsrCsvRoundTrip, RandomRecordsSurviveExactly) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const auto records = RandomRecords(seed, 500);
+    std::stringstream csv;
+    WriteMsrCsv(records, csv);
+    const auto parsed = ParseMsrCsv(csv);
+    ASSERT_EQ(parsed.size(), records.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(parsed[i], records[i]) << "seed " << seed << " record " << i;
+    }
+  }
+}
+
+TEST(MsrCsvRoundTrip, FirstTimestampIsRebasedToZero) {
+  std::vector<TraceRecord> records = {
+      {5'000, OpType::kRead, 0, 4096},
+      {7'500, OpType::kWrite, 4096, 4096},
+  };
+  std::stringstream csv;
+  WriteMsrCsv(records, csv);
+  const auto parsed = ParseMsrCsv(csv);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].timestamp_us, 0);
+  EXPECT_EQ(parsed[1].timestamp_us, 2'500);
+}
+
+TEST(MsrCsvRoundTrip, ZeroSizedRecordsAreDropped) {
+  std::vector<TraceRecord> records = {
+      {0, OpType::kRead, 0, 4096},
+      {10, OpType::kWrite, 8192, 0},  // no work
+      {20, OpType::kRead, 16384, 512},
+  };
+  std::stringstream csv;
+  WriteMsrCsv(records, csv);
+  const auto parsed = ParseMsrCsv(csv);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].offset_bytes, 0u);
+  EXPECT_EQ(parsed[1].offset_bytes, 16384u);
+}
+
+TEST(MsrCsvRoundTrip, IncrementalParserMatchesBatch) {
+  const auto records = RandomRecords(99, 200);
+  std::stringstream csv;
+  WriteMsrCsv(records, csv);
+  const std::string text = csv.str();
+
+  MsrCsvParser parser;
+  std::vector<TraceRecord> incremental;
+  std::istringstream in(text);
+  std::string line;
+  TraceRecord r;
+  while (std::getline(in, line)) {
+    if (parser.ParseLine(line, r)) incremental.push_back(r);
+  }
+  std::istringstream in2(text);
+  EXPECT_EQ(incremental, ParseMsrCsv(in2));
+}
+
+TEST(SampleTrace, ParsesWithExpectedShape) {
+  const auto records = ParseMsrCsvFile(SampleCsvPath());
+  ASSERT_EQ(records.size(), 200u);
+  const auto stats = ComputeStats(records);
+  EXPECT_EQ(stats.total_requests, 200u);
+  EXPECT_GT(stats.read_requests, stats.write_requests);  // read-dominated mix
+  EXPECT_EQ(records.front().timestamp_us, 0);            // rebased
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].timestamp_us, records[i - 1].timestamp_us);
+  }
+}
+
+TEST(SampleTrace, HostnameFilterSplitsTheTwoServers) {
+  replay::StreamingMsrCsvSource::Options media_opts;
+  media_opts.hostname_filter = "mds0";
+  replay::StreamingMsrCsvSource media(SampleCsvPath(), media_opts);
+  std::uint64_t media_count = 0;
+  std::uint64_t media_bytes = 0;
+  while (auto r = media.Next()) {
+    media_count++;
+    media_bytes += r->size_bytes;
+    EXPECT_GE(r->size_bytes, 64ull * 1024) << "media requests are large";
+  }
+  EXPECT_EQ(media_count, 100u);
+
+  replay::StreamingMsrCsvSource::Options web_opts;
+  web_opts.hostname_filter = "web0";
+  replay::StreamingMsrCsvSource web(SampleCsvPath(), web_opts);
+  std::uint64_t web_count = 0;
+  while (auto r = web.Next()) {
+    web_count++;
+    EXPECT_LE(r->size_bytes, 16ull * 1024) << "web requests are small";
+  }
+  EXPECT_EQ(web_count, 100u);
+  EXPECT_GT(media_bytes, 0u);
+}
+
+TEST(SampleTrace, RoundTripsThroughTheCodec) {
+  const auto records = ParseMsrCsvFile(SampleCsvPath());
+  std::stringstream csv;
+  WriteMsrCsv(records, csv);
+  EXPECT_EQ(ParseMsrCsv(csv), records);
+}
+
+}  // namespace
+}  // namespace ctflash::trace
