@@ -53,16 +53,19 @@ struct RoutingResult {
 };
 
 RoutingResult RunOne(ssd::FtlKind kind, ftl::GcRouting routing,
-                     std::uint64_t device_bytes, std::uint64_t requests) {
+                     std::uint64_t device_bytes, std::uint64_t requests,
+                     bench::PrefillSnapshotCache& prefills) {
   auto cfg = ssd::ScaledConfig(kind, device_bytes, 16 * 1024, 2.0);
   cfg.timing_mode = ftl::TimingMode::kQueued;
   cfg.ftl.gc_routing = routing;
   ssd::Ssd ssd(cfg);
 
   // Synchronous prefill before the host interface exists: the GC sink is
-  // not attached yet, so inline GC keeps the pool healthy in both modes.
-  ssd::ExperimentRunner runner(ssd);
-  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 85);
+  // not attached yet, so inline GC keeps the pool healthy in both modes —
+  // which also makes the prefilled state routing-independent, so the cache
+  // prefills each FTL variant once and restores it for the other routing.
+  const Us prefill_end =
+      prefills.Prefill(ssd, ssd.LogicalBytes() / 100 * 85);
   ssd.ftl().ResetStats();
 
   host::HostInterface host(ssd, host::HostConfig{});
@@ -125,7 +128,8 @@ void CheckPair(const RoutingResult& inline_r, const RoutingResult& sched_r) {
 
 void WriteJson(const std::string& path, std::uint64_t device_bytes,
                std::uint64_t requests,
-               const std::vector<RoutingResult>& results) {
+               const std::vector<RoutingResult>& results,
+               const ctflash::bench::PrefillSnapshotCache& prefills) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write " + path);
   out << "{\n"
@@ -134,6 +138,7 @@ void WriteJson(const std::string& path, std::uint64_t device_bytes,
          "footprint, 85% prefill\",\n"
       << "  \"device_bytes\": " << device_bytes << ",\n"
       << "  \"requests\": " << requests << ",\n"
+      << "  \"prefill\": " << prefills.JsonObject() << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -179,12 +184,13 @@ int main(int argc, char** argv) {
             << " MiB scaled array; " << requests << " requests\n\n";
 
   std::vector<RoutingResult> results;
+  ctflash::bench::PrefillSnapshotCache prefills;
   for (const auto kind :
        {ctflash::ssd::FtlKind::kConventional, ctflash::ssd::FtlKind::kPpb}) {
     const auto inline_r = RunOne(kind, ctflash::ftl::GcRouting::kInline,
-                                 options.device_bytes, requests);
+                                 options.device_bytes, requests, prefills);
     const auto sched_r = RunOne(kind, ctflash::ftl::GcRouting::kScheduled,
-                                options.device_bytes, requests);
+                                options.device_bytes, requests, prefills);
     CheckPair(inline_r, sched_r);
     results.push_back(inline_r);
     results.push_back(sched_r);
@@ -211,8 +217,11 @@ int main(int argc, char** argv) {
               << "% lower) at erase parity " << sc.gc_erases << "/"
               << in.gc_erases;
   }
-  std::cout << "\n\nAll assertions passed; JSON written to " << json_path
+  std::cout << "\n\nprefill snapshots: " << prefills.distinct_prefills()
+            << " prefills, " << prefills.restores() << " restores, ~"
+            << prefills.saved_wall_ms() << " ms saved";
+  std::cout << "\nAll assertions passed; JSON written to " << json_path
             << "\n";
-  WriteJson(json_path, options.device_bytes, requests, results);
+  WriteJson(json_path, options.device_bytes, requests, results, prefills);
   return 0;
 }

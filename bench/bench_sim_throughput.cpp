@@ -1,0 +1,200 @@
+// Simulator-core throughput microbench.
+//
+// Two hot paths dominate campaign wall-clock: the discrete-event queue
+// (every flash completion is one heap pop + callback) and the I/O
+// scheduler's ready-queue scan (every dispatch rescans candidates).  This
+// bench drives both and SELF-ASSERTS conservative events/sec floors so a
+// regression that slows the core by an order of magnitude fails CI rather
+// than silently stretching every campaign:
+//
+//   1. event queue: chained schedule/fire pairs (pure engine overhead);
+//   2. host pipeline: closed-loop random reads through the multi-queue
+//      host interface at QD 32 (scheduler scan + timeline booking + event
+//      dispatch per page transaction).
+//
+// The floors are ~20x below the Release-build rates measured on one
+// 2025-era core, so slow CI runners and modest regressions pass while a
+// complexity regression (accidental O(n^2), per-event allocation storm)
+// fails.  Debug/sanitizer builds run 10-50x slower — keep this bench out
+// of those legs (CI runs it in the Release smoke job only).
+//
+// Options:
+//   --events <n>     chained events for the engine loop  (default 2M)
+//   --requests <n>   closed-loop requests                (default 60k)
+//   --quick          1/10th sizes for smoke runs
+//   --json <path>    result file (default BENCH_sim_throughput.json)
+//   --no-assert      measure and report only (profiling runs)
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/json.h"
+#include "host/host_interface.h"
+#include "host/load_generator.h"
+#include "sim/event_queue.h"
+#include "ssd/experiment.h"
+#include "ssd/ssd.h"
+#include "util/types.h"
+
+namespace {
+
+using ctflash::Us;
+using ctflash::campaign::Json;
+
+constexpr double kEventQueueFloorPerSec = 1e6;  // measured ~2e7
+constexpr double kHostPipelineFloorPerSec = 2e4;  // measured ~8e5 txns/s
+
+struct Options {
+  std::uint64_t events = 2'000'000;
+  std::uint64_t requests = 60'000;
+  bool assert_floors = true;
+  std::string json_path = "BENCH_sim_throughput.json";
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value after " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--events") {
+      o.events = std::stoull(next());
+    } else if (arg == "--requests") {
+      o.requests = std::stoull(next());
+    } else if (arg == "--quick") {
+      o.events /= 10;
+      o.requests /= 10;
+    } else if (arg == "--no-assert") {
+      o.assert_floors = false;
+    } else if (arg == "--json") {
+      o.json_path = next();
+    } else {
+      throw std::invalid_argument("unknown bench option: " + arg);
+    }
+  }
+  return o;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Chained schedule/fire: each event schedules its successor, so the heap
+/// stays shallow and the measurement isolates per-event engine overhead
+/// (push + pop + std::function dispatch), not heap depth.
+double EventQueueRate(std::uint64_t events) {
+  ctflash::sim::EventQueue queue;
+  std::uint64_t fired = 0;
+  std::function<void(Us)> chain = [&](Us) {
+    if (++fired < events) queue.ScheduleAfter(1, chain);
+  };
+  const auto start = std::chrono::steady_clock::now();
+  queue.ScheduleAfter(1, chain);
+  queue.RunToCompletion();
+  const double elapsed = SecondsSince(start);
+  if (fired != events) {
+    throw std::logic_error("event chain terminated early");
+  }
+  return static_cast<double>(events) / elapsed;
+}
+
+struct PipelineRates {
+  double requests_per_sec = 0.0;
+  double txns_per_sec = 0.0;
+  std::uint64_t txns = 0;
+};
+
+/// Closed-loop random reads through the full host pipeline on a small
+/// queued-timing device: scheduler scan, resource booking, completion
+/// events — the per-transaction cost campaigns pay.
+PipelineRates HostPipelineRate(std::uint64_t requests) {
+  auto config = ctflash::ssd::ScaledConfig(
+      ctflash::ssd::FtlKind::kConventional, 64ull << 20, 16 * 1024,
+      /*speed_ratio=*/2.0);
+  config.timing_mode = ctflash::ftl::TimingMode::kQueued;
+  ctflash::ssd::Ssd ssd(config);
+  ctflash::ssd::ExperimentRunner prefiller(ssd);
+  const Us prefill_end = prefiller.Prefill(ssd.LogicalBytes() / 10 * 8);
+
+  ctflash::host::HostConfig host_config;
+  ctflash::host::HostInterface host(ssd, host_config);
+  host.AdvanceTo(prefill_end);
+
+  ctflash::host::ClosedLoopGenerator::Config gen_config;
+  gen_config.queue_depth = 32;
+  gen_config.total_requests = requests;
+  gen_config.read_fraction = 1.0;
+  gen_config.footprint_bytes = ssd.LogicalBytes() / 10 * 8;
+  gen_config.seed = 11;
+  ctflash::host::ClosedLoopGenerator generator(host, gen_config);
+  const auto start = std::chrono::steady_clock::now();
+  generator.Run();
+  const double elapsed = SecondsSince(start);
+
+  PipelineRates rates;
+  rates.txns = host.TxnsDispatched();
+  rates.requests_per_sec = static_cast<double>(requests) / elapsed;
+  rates.txns_per_sec = static_cast<double>(rates.txns) / elapsed;
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+  std::cout << "=== Simulator-core throughput ===\n";
+
+  const double event_rate = EventQueueRate(options.events);
+  std::cout << "event queue:  " << options.events << " chained events -> "
+            << static_cast<std::uint64_t>(event_rate) << " events/s (floor "
+            << static_cast<std::uint64_t>(kEventQueueFloorPerSec) << ")\n";
+
+  const PipelineRates pipeline = HostPipelineRate(options.requests);
+  std::cout << "host pipeline: " << options.requests << " reads, "
+            << pipeline.txns << " flash txns -> "
+            << static_cast<std::uint64_t>(pipeline.txns_per_sec)
+            << " txns/s, "
+            << static_cast<std::uint64_t>(pipeline.requests_per_sec)
+            << " reqs/s (floor "
+            << static_cast<std::uint64_t>(kHostPipelineFloorPerSec)
+            << " txns/s)\n";
+
+  bool ok = true;
+  if (options.assert_floors) {
+    if (event_rate < kEventQueueFloorPerSec) {
+      std::cerr << "SELF-ASSERT FAILED: event queue below "
+                << kEventQueueFloorPerSec << " events/s\n";
+      ok = false;
+    }
+    if (pipeline.txns_per_sec < kHostPipelineFloorPerSec) {
+      std::cerr << "SELF-ASSERT FAILED: host pipeline below "
+                << kHostPipelineFloorPerSec << " txns/s\n";
+      ok = false;
+    }
+  }
+
+  Json report;
+  report["events"] = options.events;
+  report["event_queue_per_sec"] = event_rate;
+  report["event_queue_floor_per_sec"] = kEventQueueFloorPerSec;
+  report["requests"] = options.requests;
+  report["pipeline_txns"] = pipeline.txns;
+  report["pipeline_txns_per_sec"] = pipeline.txns_per_sec;
+  report["pipeline_requests_per_sec"] = pipeline.requests_per_sec;
+  report["pipeline_floor_txns_per_sec"] = kHostPipelineFloorPerSec;
+  report["asserted"] = options.assert_floors;
+  std::ofstream out(options.json_path);
+  out << report.Dump(2) << "\n";
+  std::cout << (ok ? "floors hold" : "floors violated") << "; wrote "
+            << options.json_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -56,6 +56,11 @@ using namespace ctflash;
 
 constexpr std::uint64_t kRequestBytes = 16 * 1024;
 
+// All arms of one FTL variant share a device shape and an 80 % prefill, so
+// the snapshot cache prefills once per variant and restores everywhere
+// else (restored state is bit-identical; bench_campaign asserts it).
+bench::PrefillSnapshotCache g_prefills;
+
 struct ArmResult {
   std::string ftl;
   std::string arm;
@@ -119,8 +124,8 @@ ArmResult RunTenantArm(ssd::FtlKind kind, const std::string& arm,
                        std::uint64_t paced_requests,
                        std::uint64_t flooder_requests, bool print_queues) {
   ssd::Ssd ssd(DeviceConfig(kind, device_bytes));
-  ssd::ExperimentRunner runner(ssd);
-  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+  const Us prefill_end =
+      g_prefills.Prefill(ssd, ssd.LogicalBytes() / 100 * 80);
 
   host::HostConfig cfg;
   cfg.qos = qos;
@@ -177,8 +182,8 @@ ArmResult RunNoQosArm(ssd::FtlKind kind, std::uint64_t device_bytes,
                       std::uint64_t paced_requests,
                       std::uint64_t flooder_requests) {
   ssd::Ssd ssd(DeviceConfig(kind, device_bytes));
-  ssd::ExperimentRunner runner(ssd);
-  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+  const Us prefill_end =
+      g_prefills.Prefill(ssd, ssd.LogicalBytes() / 100 * 80);
 
   host::HostConfig cfg;
   cfg.device_slots = 4;
@@ -242,8 +247,8 @@ ArmResult RunNoQosArm(ssd::FtlKind kind, std::uint64_t device_bytes,
 double RunWeightRatio(ssd::FtlKind kind, std::uint64_t device_bytes,
                       std::uint64_t requests) {
   ssd::Ssd ssd(DeviceConfig(kind, device_bytes));
-  ssd::ExperimentRunner runner(ssd);
-  const Us prefill_end = runner.Prefill(ssd.LogicalBytes() / 100 * 80);
+  const Us prefill_end =
+      g_prefills.Prefill(ssd, ssd.LogicalBytes() / 100 * 80);
 
   host::HostConfig cfg;
   cfg.qos = TwoTenants(2, 1, 0.0);
@@ -324,7 +329,7 @@ void WriteJson(const std::string& path, std::uint64_t device_bytes,
     out << "\"" << ratios[i].first << "\": " << ratios[i].second
         << (i + 1 < ratios.size() ? ", " : "");
   }
-  out << "}\n}\n";
+  out << "},\n  \"prefill\": " << g_prefills.JsonObject() << "\n}\n";
 }
 
 /// --tenant-trace mode: replays real MSR CSV streams as the tenants (8:1
@@ -501,6 +506,9 @@ int main(int argc, char** argv) {
   for (const auto& [ftl, ratio] : ratios) {
     std::cout << "\n" << ftl << ": 2:1 weights served at " << ratio << ":1";
   }
+  std::cout << "\nprefill snapshots: " << g_prefills.distinct_prefills()
+            << " prefills, " << g_prefills.restores() << " restores, ~"
+            << g_prefills.saved_wall_ms() << " ms saved";
   std::cout << "\n\nAll assertions passed; JSON written to " << json_path
             << "\n";
   WriteJson(json_path, options.device_bytes, results, ratios);

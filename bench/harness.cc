@@ -1,16 +1,56 @@
 #include "harness.h"
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "replay/trace_source.h"
 #include "util/config.h"
 #include "util/table_printer.h"
 
 namespace ctflash::bench {
+
+Us PrefillSnapshotCache::Prefill(ssd::Ssd& ssd, std::uint64_t bytes,
+                                 std::uint64_t chunk_bytes) {
+  const std::string key = campaign::SnapshotShapeKey(ssd.config()) +
+                          "|bytes=" + std::to_string(bytes) +
+                          "|chunk=" + std::to_string(chunk_bytes);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ssd.Restore(it->second.state);
+    const double restore_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    ++restores_;
+    saved_wall_ms_ += it->second.wall_ms - restore_ms;
+    return static_cast<Us>(it->second.state.clock_us);
+  }
+  ssd::ExperimentRunner runner(ssd);
+  const Us end = runner.Prefill(bytes, chunk_bytes);
+  Entry entry{ssd.Snapshot(end), 0.0};
+  entry.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  prefill_wall_ms_ += entry.wall_ms;
+  ++distinct_prefills_;
+  cache_.emplace(key, std::move(entry));
+  return end;
+}
+
+std::string PrefillSnapshotCache::JsonObject() const {
+  std::ostringstream os;
+  os << "{\"distinct_prefills\": " << distinct_prefills_
+     << ", \"restores\": " << restores_
+     << ", \"prefill_wall_ms\": " << prefill_wall_ms_
+     << ", \"saved_wall_ms\": " << saved_wall_ms_ << "}";
+  return os.str();
+}
 
 std::vector<std::string> AddTenantTraceSources(
     replay::ReplayPlan& plan, const std::vector<TenantTraceOption>& specs,

@@ -27,15 +27,58 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/snapshot.h"
 #include "replay/replay_plan.h"
 #include "ssd/experiment.h"
 #include "trace/synthetic.h"
 
 namespace ctflash::bench {
+
+/// Snapshot-shared prefill for benches that build several same-shape
+/// devices (FTL-variant and GC-routing series prefill identically — the
+/// snapshot shape key deliberately excludes gc_routing).  The first
+/// Prefill() of a shape runs the real sequential prefill and snapshots the
+/// device; every later same-shape call restores the snapshot instead.
+/// Restored devices are bit-identical to straight-through prefills
+/// (bench_campaign asserts this), so series numbers do not change — only
+/// the wall clock does.  Single-threaded (benches run series serially).
+class PrefillSnapshotCache {
+ public:
+  /// Prefills `ssd` with `bytes` sequential bytes (restoring a cached
+  /// snapshot when this shape+bytes was prefilled before) and returns the
+  /// simulated prefill-end time, exactly like ExperimentRunner::Prefill.
+  Us Prefill(ssd::Ssd& ssd, std::uint64_t bytes,
+             std::uint64_t chunk_bytes = 256 * kKiB);
+
+  std::uint64_t distinct_prefills() const { return distinct_prefills_; }
+  std::uint64_t restores() const { return restores_; }
+  /// Wall clock actually spent prefilling (the cache misses).
+  double prefill_wall_ms() const { return prefill_wall_ms_; }
+  /// Wall clock the restores avoided: the cached prefill's cost minus the
+  /// restore's own cost, summed over hits.
+  double saved_wall_ms() const { return saved_wall_ms_; }
+
+  /// JSON fragment for bench result files:
+  /// {"distinct_prefills": n, "restores": n, "prefill_wall_ms": x,
+  ///  "saved_wall_ms": x} (no surrounding braces caller concerns).
+  std::string JsonObject() const;
+
+ private:
+  struct Entry {
+    campaign::DeviceState state;
+    double wall_ms = 0.0;  ///< cost of the prefill this entry replaces
+  };
+  std::map<std::string, Entry> cache_;
+  std::uint64_t distinct_prefills_ = 0;
+  std::uint64_t restores_ = 0;
+  double prefill_wall_ms_ = 0.0;
+  double saved_wall_ms_ = 0.0;
+};
 
 /// One --tenant-trace assignment: tenant `tenant` replays the MSR CSV at
 /// `path`, optionally keeping only `hostname`'s records.

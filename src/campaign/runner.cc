@@ -1,0 +1,393 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "host/host_interface.h"
+#include "host/load_generator.h"
+#include "replay/trace_source.h"
+#include "ssd/experiment.h"
+#include "ssd/ssd.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+#include "util/config.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace ctflash::campaign {
+
+namespace {
+
+double WallMs(std::chrono::steady_clock::time_point from,
+              std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::uint64_t BytesOf(const Json& parent, const std::string& key,
+                      std::uint64_t fallback) {
+  const Json* v = parent.Get(key);
+  if (v == nullptr || v->IsNull()) return fallback;
+  if (v->IsNumber()) return v->AsUint();
+  return util::ParseByteSize(v->AsString());
+}
+
+/// Shards [0, count) over up to `workers` threads.  `fn(i)` must not throw;
+/// arm/prefill bodies catch internally.
+void RunSharded(std::size_t count, std::uint32_t workers,
+                const std::function<void(std::size_t)>& fn) {
+  const std::size_t n_threads =
+      std::min<std::size_t>(workers == 0 ? 1 : workers, count);
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+Json LatencyJson(const util::LatencyStats& stats) {
+  Json out;
+  out["count"] = stats.count();
+  out["mean_us"] = stats.mean_us();
+  out["p50_us"] = stats.p50_us();
+  out["p95_us"] = stats.p95_us();
+  out["p99_us"] = stats.p99_us();
+  out["p999_us"] = stats.p999_us();
+  out["max_us"] = stats.max_us();
+  return out;
+}
+
+Json LoadStatsJson(const host::LoadStats& stats) {
+  Json out;
+  out["requests"] = stats.requests;
+  out["makespan_us"] = stats.MakespanUs();
+  out["iops"] = stats.Iops();
+  out["read_latency"] = LatencyJson(stats.read_latency);
+  out["write_latency"] = LatencyJson(stats.write_latency);
+  out["die_utilization"] = stats.die_utilization;
+  out["channel_utilization"] = stats.channel_utilization;
+  return out;
+}
+
+Json RunClosedLoop(host::HostInterface& host, const Json& w,
+                   std::uint64_t prefill_bytes, std::uint64_t seed) {
+  host::ClosedLoopGenerator::Config cfg;
+  cfg.queue_depth =
+      static_cast<std::uint32_t>(w.GetUintOr("queue_depth", 8));
+  cfg.total_requests = w.GetUintOr("requests", 10'000);
+  cfg.read_fraction = w.GetDoubleOr("read_fraction", 1.0);
+  cfg.request_bytes = BytesOf(w, "request_bytes", 16 * kKiB);
+  cfg.footprint_bytes = BytesOf(w, "footprint", prefill_bytes);
+  cfg.seed = seed;
+  cfg.Validate();
+  host::ClosedLoopGenerator gen(host, cfg);
+  return LoadStatsJson(gen.Run());
+}
+
+Json RunTenants(host::HostInterface& host, const Json& w,
+                std::uint64_t prefill_bytes, std::uint64_t seed) {
+  const Json* list = w.Get("tenants");
+  if (list == nullptr || !list->IsArray() || list->AsArray().empty()) {
+    throw std::runtime_error(
+        "campaign: tenants workload needs a non-empty \"tenants\" array");
+  }
+  const std::size_t n = list->AsArray().size();
+  // Default working sets: the prefilled space split evenly, tenant order.
+  const std::uint64_t slice = prefill_bytes / n;
+  std::vector<host::TenantWorkload> workloads;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json& t = list->AsArray()[i];
+    host::TenantWorkload tw;
+    tw.tenant = static_cast<qos::TenantId>(t.GetUintOr("tenant", i));
+    tw.queue_depth = static_cast<std::uint32_t>(t.GetUintOr("queue_depth", 8));
+    tw.interarrival_us = static_cast<Us>(t.GetUintOr("interarrival_us", 0));
+    tw.total_requests = t.GetUintOr("requests", 1'000);
+    tw.read_fraction = t.GetDoubleOr("read_fraction", 1.0);
+    tw.request_bytes = BytesOf(t, "request_bytes", 16 * kKiB);
+    tw.footprint_base_bytes = BytesOf(t, "footprint_base", i * slice);
+    tw.footprint_bytes = BytesOf(t, "footprint", slice);
+    tw.seed = t.GetUintOr("seed", seed + i);
+    tw.Validate();
+    workloads.push_back(std::move(tw));
+  }
+  host::MultiTenantGenerator gen(host, std::move(workloads));
+  const std::vector<host::TenantLoadStats> per_tenant = gen.Run();
+  Json out;
+  JsonArray tenants;
+  std::uint64_t requests = 0;
+  for (const host::TenantLoadStats& t : per_tenant) {
+    Json entry = LoadStatsJson(t.load);
+    entry["tenant"] = static_cast<std::uint64_t>(t.tenant);
+    requests += t.load.requests;
+    tenants.push_back(std::move(entry));
+  }
+  out["requests"] = requests;
+  out["tenants"] = Json(std::move(tenants));
+  return out;
+}
+
+Json RunOpenLoopRecords(host::HostInterface& host,
+                        std::vector<trace::TraceRecord> records,
+                        double time_scale) {
+  host::OpenLoopGenerator gen(host, std::move(records), time_scale);
+  return LoadStatsJson(gen.Run());
+}
+
+Json RunSynthetic(host::HostInterface& host, const Json& w,
+                  std::uint64_t prefill_bytes, std::uint64_t seed) {
+  const std::string preset = w.GetStringOr("preset", "web");
+  const std::uint64_t requests = w.GetUintOr("requests", 20'000);
+  const std::uint64_t footprint = BytesOf(w, "footprint", prefill_bytes);
+  trace::SyntheticWorkloadConfig cfg;
+  if (preset == "web") {
+    cfg = trace::WebServerWorkload(footprint, requests, seed);
+  } else if (preset == "media") {
+    cfg = trace::MediaServerWorkload(footprint, requests, seed);
+  } else {
+    throw std::runtime_error("campaign: unknown synthetic preset \"" + preset +
+                             "\" (expected \"web\" or \"media\")");
+  }
+  trace::SyntheticTraceGenerator gen(cfg);
+  return RunOpenLoopRecords(host, gen.Generate(),
+                            w.GetDoubleOr("time_scale", 1.0));
+}
+
+Json RunTraceFile(host::HostInterface& host, const Json& w) {
+  const Json* path = w.Get("path");
+  if (path == nullptr || !path->IsString()) {
+    throw std::runtime_error(
+        "campaign: trace workload needs a \"path\" string");
+  }
+  const std::uint64_t limit = w.GetUintOr("limit", 0);
+  replay::StreamingMsrCsvSource source(path->AsString());
+  std::vector<trace::TraceRecord> records;
+  while (auto record = source.Next()) {
+    records.push_back(*record);
+    if (limit != 0 && records.size() >= limit) break;
+  }
+  return RunOpenLoopRecords(host, std::move(records),
+                            w.GetDoubleOr("time_scale", 1.0));
+}
+
+Json DeviceCountersJson(const ssd::Ssd& ssd) {
+  const ftl::FtlStats& stats = ssd.ftl().stats();
+  Json out;
+  out["host_read_pages"] = stats.host_read_pages;
+  out["host_write_pages"] = stats.host_write_pages;
+  out["gc_page_copies"] = stats.gc_page_copies;
+  out["gc_erases"] = stats.gc_erases;
+  out["gc_stale_copies"] = stats.gc_stale_copies;
+  out["waf"] = stats.Waf();
+  return out;
+}
+
+/// Shared-prefill key: device shape + prefill parameters.  gc_routing is
+/// deliberately absent from the shape key (see campaign/snapshot.h) so
+/// inline- and scheduled-GC arms share one prefill.
+std::string PrefillKey(const ArmSpec& arm) {
+  return SnapshotShapeKey(arm.device) +
+         "|pct=" + std::to_string(arm.prefill_pct) +
+         "|chunk=" + std::to_string(arm.prefill_chunk_bytes);
+}
+
+}  // namespace
+
+ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared) {
+  ArmResult out;
+  out.name = arm.name;
+  out.index = arm.index;
+  out.config = arm.ConfigSummary();
+  try {
+    ssd::Ssd ssd(arm.device);
+    const std::uint64_t prefill_bytes =
+        ssd.LogicalBytes() * arm.prefill_pct / 100;
+    Us prefill_end = 0;
+    if (shared != nullptr) {
+      ssd.Restore(*shared);
+      prefill_end = shared->clock_us;
+    } else if (prefill_bytes > 0) {
+      ssd::ExperimentRunner prefiller(ssd);
+      prefill_end = prefiller.Prefill(prefill_bytes, arm.prefill_chunk_bytes);
+    }
+    host::HostInterface host(ssd, arm.host);
+    host.AdvanceTo(prefill_end);
+
+    const Json& w = *arm.merged.Get("workload");
+    const std::string kind = w.GetStringOr("kind", "closed_loop");
+    if (kind == "closed_loop") {
+      out.metrics = RunClosedLoop(host, w, prefill_bytes, arm.seed);
+    } else if (kind == "tenants") {
+      out.metrics = RunTenants(host, w, prefill_bytes, arm.seed);
+    } else if (kind == "synthetic") {
+      out.metrics = RunSynthetic(host, w, prefill_bytes, arm.seed);
+    } else if (kind == "trace") {
+      out.metrics = RunTraceFile(host, w);
+    } else {
+      throw std::runtime_error("campaign: unknown workload kind \"" + kind +
+                               "\"");
+    }
+    out.metrics["device"] = DeviceCountersJson(ssd);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+    out.metrics = Json();
+  }
+  return out;
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {}
+
+CampaignResult CampaignRunner::Run(std::uint32_t workers_override) {
+  const std::uint32_t workers =
+      workers_override != 0 ? workers_override : spec_.workers;
+  CampaignResult result;
+  result.campaign = spec_.name;
+  result.workers = workers;
+  result.share_prefill = spec_.share_prefill;
+  result.arms.resize(spec_.arms.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Phase 1: one prefill snapshot per (shape, prefill) group.
+  struct PrefillGroup {
+    const ArmSpec* representative = nullptr;
+    std::unique_ptr<DeviceState> state;
+    std::exception_ptr error;
+  };
+  std::vector<PrefillGroup> groups;
+  std::vector<std::size_t> arm_group(spec_.arms.size(), 0);
+  if (spec_.share_prefill) {
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < spec_.arms.size(); ++i) {
+      const std::string key = PrefillKey(spec_.arms[i]);
+      auto [it, inserted] = group_of.emplace(key, groups.size());
+      if (inserted) {
+        groups.push_back(PrefillGroup{&spec_.arms[i], nullptr, nullptr});
+      }
+      arm_group[i] = it->second;
+    }
+    RunSharded(groups.size(), workers, [&](std::size_t g) {
+      PrefillGroup& group = groups[g];
+      try {
+        const ArmSpec& arm = *group.representative;
+        ssd::Ssd ssd(arm.device);
+        const std::uint64_t bytes = ssd.LogicalBytes() * arm.prefill_pct / 100;
+        Us end = 0;
+        if (bytes > 0) {
+          ssd::ExperimentRunner prefiller(ssd);
+          end = prefiller.Prefill(bytes, arm.prefill_chunk_bytes);
+        }
+        group.state = std::make_unique<DeviceState>(ssd.Snapshot(end));
+      } catch (...) {
+        group.error = std::current_exception();
+      }
+    });
+    for (const PrefillGroup& group : groups) {
+      if (group.error) std::rethrow_exception(group.error);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Phase 2: arms.
+  RunSharded(spec_.arms.size(), workers, [&](std::size_t i) {
+    const DeviceState* shared =
+        spec_.share_prefill ? groups[arm_group[i]].state.get() : nullptr;
+    result.arms[i] = RunCampaignArm(spec_.arms[i], shared);
+  });
+  const auto t2 = std::chrono::steady_clock::now();
+
+  result.prefill_wall_ms = WallMs(t0, t1);
+  result.arms_wall_ms = WallMs(t1, t2);
+  result.total_wall_ms = WallMs(t0, t2);
+  result.prefill_groups = groups.size();
+  result.prefill_restores =
+      spec_.share_prefill ? spec_.arms.size() : 0;
+  return result;
+}
+
+Json CampaignResult::DeterministicJson() const {
+  Json out;
+  out["campaign"] = campaign;
+  JsonArray arm_array;
+  for (const ArmResult& arm : arms) {
+    Json entry;
+    entry["name"] = arm.name;
+    entry["index"] = arm.index;
+    entry["ok"] = arm.ok;
+    if (!arm.ok) entry["error"] = arm.error;
+    entry["config"] = arm.config;
+    entry["metrics"] = arm.metrics;
+    arm_array.push_back(std::move(entry));
+  }
+  out["arms"] = Json(std::move(arm_array));
+  return out;
+}
+
+Json CampaignResult::Report() const {
+  Json out = DeterministicJson();
+  Json timing;
+  timing["workers"] = static_cast<std::uint64_t>(workers);
+  timing["share_prefill"] = share_prefill;
+  timing["total_wall_ms"] = total_wall_ms;
+  timing["prefill_wall_ms"] = prefill_wall_ms;
+  timing["arms_wall_ms"] = arms_wall_ms;
+  timing["prefill_groups"] = prefill_groups;
+  timing["prefill_restores"] = prefill_restores;
+  out["timing"] = std::move(timing);
+  return out;
+}
+
+std::string CampaignResult::Csv() const {
+  std::string csv =
+      "arm,ok,requests,iops,read_mean_us,read_p99_us,write_mean_us,"
+      "write_p99_us,waf\n";
+  auto field = [](const Json& metrics, const char* a, const char* b) {
+    const Json* section = metrics.Get(a);
+    if (section == nullptr) return std::string("0");
+    const Json* v = section->Get(b);
+    return v == nullptr ? std::string("0") : v->Dump();
+  };
+  for (const ArmResult& arm : arms) {
+    csv += "\"" + arm.name + "\"," + (arm.ok ? "1" : "0") + ",";
+    if (arm.ok) {
+      const Json* requests = arm.metrics.Get("requests");
+      const Json* iops = arm.metrics.Get("iops");
+      csv += (requests ? requests->Dump() : "0") + ",";
+      csv += (iops ? iops->Dump() : "0") + ",";
+      csv += field(arm.metrics, "read_latency", "mean_us") + ",";
+      csv += field(arm.metrics, "read_latency", "p99_us") + ",";
+      csv += field(arm.metrics, "write_latency", "mean_us") + ",";
+      csv += field(arm.metrics, "write_latency", "p99_us") + ",";
+      csv += field(arm.metrics, "device", "waf");
+    } else {
+      csv += "0,0,0,0,0,0,0";
+    }
+    csv += "\n";
+  }
+  return csv;
+}
+
+}  // namespace ctflash::campaign

@@ -1,0 +1,167 @@
+#include "campaign/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "ssd/ssd.h"
+#include "util/serial.h"
+
+namespace ctflash::campaign {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'T', 'S', 'S'};
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> DeviceState::Serialize() const {
+  util::StateWriter w;
+  w.PutBytes(kMagic, 4);
+  w.PutU32(kFormatVersion);
+  w.PutString(shape_key);
+  w.PutI64(clock_us);
+  w.PutU64(payload.size());
+  w.PutBytes(payload.data(), payload.size());
+  std::vector<std::uint8_t> bytes = w.TakeBytes();
+  // CRC over everything after the magic (version, key, clock, payload).
+  const std::uint32_t crc = util::Crc32(bytes.data() + 4, bytes.size() - 4);
+  util::StateWriter trailer;
+  trailer.PutU32(crc);
+  const auto& t = trailer.bytes();
+  bytes.insert(bytes.end(), t.begin(), t.end());
+  return bytes;
+}
+
+DeviceState DeviceState::Deserialize(const std::vector<std::uint8_t>& bytes) {
+  // magic + version + key length + clock + payload length + crc
+  constexpr std::size_t kMinSize = 4 + 4 + 8 + 8 + 8 + 4;
+  if (bytes.size() < kMinSize) {
+    throw std::runtime_error("snapshot: envelope too small (" +
+                             std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    throw std::runtime_error("snapshot: bad magic (not a ctflash snapshot)");
+  }
+  const std::uint32_t stored_crc = [&] {
+    util::StateReader tr(bytes.data() + bytes.size() - 4, 4);
+    return tr.GetU32();
+  }();
+  const std::uint32_t actual_crc =
+      util::Crc32(bytes.data() + 4, bytes.size() - 8);
+  if (stored_crc != actual_crc) {
+    throw std::runtime_error("snapshot: CRC mismatch (stored " +
+                             std::to_string(stored_crc) + ", computed " +
+                             std::to_string(actual_crc) +
+                             ") — snapshot is corrupt");
+  }
+  util::StateReader r(bytes.data() + 4, bytes.size() - 8);
+  const std::uint32_t version = r.GetU32();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("snapshot: unsupported format version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kFormatVersion) + ")");
+  }
+  DeviceState st;
+  st.shape_key = r.GetString();
+  st.clock_us = r.GetI64();
+  const std::uint64_t n = r.GetCount();
+  st.payload.resize(n);
+  r.GetBytes(st.payload.data(), n);
+  r.ExpectEnd();
+  return st;
+}
+
+std::string SnapshotShapeKey(const ssd::SsdConfig& config) {
+  const nand::NandGeometry& g = config.geometry;
+  const nand::NandTiming& t = config.timing;
+  const ftl::FtlConfig& f = config.ftl;
+  std::string key;
+  key += "geom=" + std::to_string(g.channels) + "," +
+         std::to_string(g.chips_per_channel) + "," +
+         std::to_string(g.dies_per_chip) + "," +
+         std::to_string(g.planes_per_die) + "," +
+         std::to_string(g.blocks_per_plane) + "," +
+         std::to_string(g.pages_per_block) + "," +
+         std::to_string(g.page_size_bytes) + "," +
+         std::to_string(g.num_layers);
+  key += ";timing=" + std::to_string(t.page_read_us) + "," +
+         std::to_string(t.page_program_us) + "," +
+         std::to_string(t.block_erase_us) + "," +
+         FormatDouble(t.transfer_mb_per_s) + "," +
+         FormatDouble(t.speed_ratio) + "," +
+         std::to_string(t.program_layer_dependent ? 1 : 0);
+  key += ";mode=" +
+         std::to_string(static_cast<int>(config.timing_mode));
+  key += ";endurance=" + std::to_string(config.endurance_pe_cycles);
+  key += ";err=" + std::to_string(config.model_read_errors ? 1 : 0);
+  if (config.model_read_errors) {
+    const nand::ErrorModelConfig& e = config.error_model;
+    key += "," + FormatDouble(e.base_rber) + "," + FormatDouble(e.layer_skew) +
+           "," + FormatDouble(e.pe_scale) + "," +
+           std::to_string(e.codeword_bytes) + "," +
+           std::to_string(e.correctable_bits_per_codeword) + "," +
+           std::to_string(config.error_model_seed);
+  }
+  key += ";ftl=" + FormatDouble(f.op_ratio) + "," +
+         std::to_string(f.gc_threshold_low) + "," +
+         std::to_string(f.gc_threshold_high) + "," +
+         std::to_string(f.charge_gc_to_write ? 1 : 0) + "," +
+         std::to_string(f.wear.delta_threshold) + ":" +
+         std::to_string(f.wear.cooldown_erases) + "," +
+         std::to_string(f.write_frontiers) + "," +
+         std::to_string(static_cast<int>(f.stripe_policy));
+  key += ";kind=" + std::to_string(static_cast<int>(config.kind));
+  if (config.kind == ssd::FtlKind::kPpb) {
+    const core::PpbConfig& p = config.ppb;
+    key += ";ppb=" + std::to_string(p.vb_split) + "," +
+           std::to_string(p.hot_lru_capacity) + "," +
+           std::to_string(p.iron_lru_capacity) + "," +
+           std::to_string(p.cold_promote_threshold) + "," +
+           std::to_string(p.freq_table_capacity) + "," +
+           std::to_string(p.hot_size_threshold_bytes) + "," +
+           std::to_string(p.max_open_fast_vbs) + "," +
+           std::to_string(p.migrate_on_update ? 1 : 0) + "," +
+           std::to_string(p.migrate_on_gc ? 1 : 0);
+  }
+  return key;
+}
+
+}  // namespace ctflash::campaign
+
+// Ssd::Snapshot/Restore are declared in ssd/ssd.h but implemented here so
+// the ssd sources never include campaign headers (dependency stays one-way).
+namespace ctflash::ssd {
+
+campaign::DeviceState Ssd::Snapshot(Us clock_us) const {
+  util::StateWriter w;
+  target_->SaveState(w);
+  ftl_->SaveState(w);
+  campaign::DeviceState state;
+  state.shape_key = campaign::SnapshotShapeKey(config_);
+  state.clock_us = clock_us;
+  state.payload = w.TakeBytes();
+  return state;
+}
+
+void Ssd::Restore(const campaign::DeviceState& state) {
+  const std::string expected = campaign::SnapshotShapeKey(config_);
+  if (state.shape_key != expected) {
+    throw std::runtime_error(
+        "snapshot: device shape mismatch — snapshot was taken on [" +
+        state.shape_key + "] but this device is [" + expected + "]");
+  }
+  util::StateReader r(state.payload);
+  target_->LoadState(r);
+  ftl_->LoadState(r);
+  r.ExpectEnd();
+}
+
+}  // namespace ctflash::ssd

@@ -1,0 +1,69 @@
+// Device-state snapshots: pay a prefill once per device shape, clone it per
+// campaign arm.
+//
+// A DeviceState is the complete serialized state of one simulated device —
+// mapping table, block manager + free-list order, write-frontier sets, PPB
+// virtual-block/hotness structures, wear and error counters, resource
+// timeline clocks, and RNG streams — everything that determines how the
+// simulation evolves from here.  Restoring it into a freshly constructed
+// Ssd of the same SHAPE (see SnapshotShapeKey) is bit-identical to having
+// run the producing history on that instance directly; the campaign bench
+// asserts this property end to end.
+//
+// The serialized envelope is versioned (magic + format version) and
+// CRC-protected so corrupt or mismatched snapshots are rejected with a
+// clear error instead of silently mis-restoring a device.
+//
+// Deliberately NOT part of the shape key: FtlConfig::gc_routing.  The GC
+// routing only changes behaviour once a scheduler attaches a GC sink, which
+// never happens during a synchronous prefill — so inline- and
+// scheduled-routing arms of one campaign share a single prefill snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ctflash::ssd {
+struct SsdConfig;
+}
+
+namespace ctflash::campaign {
+
+struct DeviceState {
+  /// Bump on any change to the payload encoding or the envelope layout.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Canonical description of the producing device's configuration; Restore
+  /// refuses state whose shape key differs from the target device's.
+  std::string shape_key;
+
+  /// Simulated time at which the snapshot was taken (e.g. the prefill-end
+  /// clock).  Consumers advance their event queue here before continuing so
+  /// restored runs and straight-through runs share a time base.
+  Us clock_us = 0;
+
+  /// Component state bytes (util::StateWriter encoding).
+  std::vector<std::uint8_t> payload;
+
+  /// Envelope encoding: magic, format version, shape key, clock, payload,
+  /// CRC-32 trailer.
+  std::vector<std::uint8_t> Serialize() const;
+
+  /// Parses and validates an envelope.  Throws std::runtime_error naming
+  /// the failure (bad magic, unsupported version, CRC mismatch, truncation).
+  static DeviceState Deserialize(const std::vector<std::uint8_t>& bytes);
+
+  std::size_t PayloadBytes() const { return payload.size(); }
+};
+
+/// Canonical string over every SsdConfig field that affects how device
+/// state evolves: geometry, timing, timing mode, endurance, error model,
+/// FTL knobs, FTL kind and (for PPB) the PPB knobs.  Excludes gc_routing —
+/// see file header.  Two configs with equal keys produce interchangeable
+/// snapshots.
+std::string SnapshotShapeKey(const ssd::SsdConfig& config);
+
+}  // namespace ctflash::campaign

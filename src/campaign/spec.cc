@@ -1,0 +1,296 @@
+#include "campaign/spec.h"
+
+#include <stdexcept>
+
+#include "util/config.h"
+
+namespace ctflash::campaign {
+
+namespace {
+
+/// Byte sizes may be JSON numbers or strings like "256MiB".
+std::uint64_t BytesOf(const Json& parent, const std::string& key,
+                      std::uint64_t fallback) {
+  const Json* v = parent.Get(key);
+  if (v == nullptr || v->IsNull()) return fallback;
+  if (v->IsNumber()) return v->AsUint();
+  return util::ParseByteSize(v->AsString());
+}
+
+ssd::FtlKind ParseFtlKind(const std::string& s) {
+  if (s == "conventional") return ssd::FtlKind::kConventional;
+  if (s == "ppb") return ssd::FtlKind::kPpb;
+  throw std::runtime_error("campaign: unknown ftl kind \"" + s +
+                           "\" (expected \"conventional\" or \"ppb\")");
+}
+
+ftl::GcRouting ParseGcRouting(const std::string& s) {
+  if (s == "inline") return ftl::GcRouting::kInline;
+  if (s == "scheduled") return ftl::GcRouting::kScheduled;
+  throw std::runtime_error("campaign: unknown gc_routing \"" + s +
+                           "\" (expected \"inline\" or \"scheduled\")");
+}
+
+ftl::TimingMode ParseTimingMode(const std::string& s) {
+  if (s == "queued") return ftl::TimingMode::kQueued;
+  if (s == "service_time") return ftl::TimingMode::kServiceTime;
+  throw std::runtime_error("campaign: unknown timing_mode \"" + s +
+                           "\" (expected \"queued\" or \"service_time\")");
+}
+
+ftl::StripePolicy ParseStripePolicy(const std::string& s) {
+  if (s == "round_robin") return ftl::StripePolicy::kRoundRobin;
+  if (s == "least_busy") return ftl::StripePolicy::kLeastBusy;
+  throw std::runtime_error("campaign: unknown stripe_policy \"" + s +
+                           "\" (expected \"round_robin\" or \"least_busy\")");
+}
+
+qos::QosConfig ParseQos(const Json& arm) {
+  qos::QosConfig qos;
+  const Json* list = arm.Get("qos");
+  if (list == nullptr || list->IsNull()) return qos;
+  for (const Json& t : list->AsArray()) {
+    qos::TenantConfig tenant;
+    tenant.name = t.GetStringOr("name", "tenant" + std::to_string(qos.tenants.size()));
+    tenant.weight = static_cast<std::uint32_t>(t.GetUintOr("weight", 1));
+    if (const Json* queues = t.Get("queues")) {
+      for (const Json& q : queues->AsArray()) {
+        tenant.queues.push_back(static_cast<std::uint32_t>(q.AsUint()));
+      }
+    }
+    tenant.iops_limit = t.GetDoubleOr("iops_limit", 0.0);
+    tenant.iops_burst = t.GetDoubleOr("iops_burst", 0.0);
+    tenant.bytes_per_sec_limit = t.GetDoubleOr("bytes_per_sec_limit", 0.0);
+    tenant.bytes_burst = t.GetDoubleOr("bytes_burst", 0.0);
+    tenant.min_share = t.GetDoubleOr("min_share", 0.0);
+    qos.tenants.push_back(std::move(tenant));
+  }
+  return qos;
+}
+
+ArmSpec ResolveArm(const Json& merged, std::uint64_t index,
+                   const std::string& name, std::uint64_t default_seed,
+                   bool seed_overridden) {
+  ArmSpec arm;
+  arm.name = name;
+  arm.index = index;
+  arm.merged = merged;
+
+  const std::uint64_t device_bytes = BytesOf(merged, "device_bytes", 256 * kMiB);
+  const auto page_size =
+      static_cast<std::uint32_t>(BytesOf(merged, "page_size", 16 * kKiB));
+  const double speed_ratio = merged.GetDoubleOr("speed_ratio", 2.0);
+  const auto channels =
+      static_cast<std::uint32_t>(merged.GetUintOr("channels", 0));
+
+  nand::NandGeometry base_shape;  // defaults = the paper's Table 1 shape
+  if (channels != 0) base_shape.channels = channels;
+  const ssd::FtlKind kind = ParseFtlKind(merged.GetStringOr("ftl", "conventional"));
+  arm.device = ssd::ScaledConfig(kind, device_bytes, page_size, speed_ratio,
+                                 base_shape);
+  arm.device.timing_mode =
+      ParseTimingMode(merged.GetStringOr("timing_mode", "queued"));
+  arm.device.ftl.gc_routing =
+      ParseGcRouting(merged.GetStringOr("gc_routing", "inline"));
+  arm.device.ftl.write_frontiers =
+      static_cast<std::uint32_t>(merged.GetUintOr("write_frontiers", 1));
+  arm.device.ftl.stripe_policy =
+      ParseStripePolicy(merged.GetStringOr("stripe_policy", "round_robin"));
+  if (const Json* ppb = merged.Get("ppb")) {
+    arm.device.ppb.vb_split =
+        static_cast<std::uint32_t>(ppb->GetUintOr("vb_split", arm.device.ppb.vb_split));
+    arm.device.ppb.max_open_fast_vbs = static_cast<std::uint32_t>(
+        ppb->GetUintOr("max_open_fast_vbs", arm.device.ppb.max_open_fast_vbs));
+    arm.device.ppb.migrate_on_update =
+        ppb->GetBoolOr("migrate_on_update", arm.device.ppb.migrate_on_update);
+    arm.device.ppb.migrate_on_gc =
+        ppb->GetBoolOr("migrate_on_gc", arm.device.ppb.migrate_on_gc);
+  }
+  arm.device.Validate();
+
+  if (const Json* h = merged.Get("host")) {
+    arm.host.num_queues =
+        static_cast<std::uint32_t>(h->GetUintOr("num_queues", arm.host.num_queues));
+    arm.host.queue_capacity = static_cast<std::uint32_t>(
+        h->GetUintOr("queue_capacity", arm.host.queue_capacity));
+    arm.host.device_slots = static_cast<std::uint32_t>(
+        h->GetUintOr("device_slots", arm.host.device_slots));
+    arm.host.gc_aging_limit = static_cast<std::uint32_t>(
+        h->GetUintOr("gc_aging_limit", arm.host.gc_aging_limit));
+    arm.host.write_aging_limit = static_cast<std::uint32_t>(
+        h->GetUintOr("write_aging_limit", arm.host.write_aging_limit));
+  }
+  arm.host.qos = ParseQos(merged);
+  arm.host.Validate();
+
+  const std::uint64_t prefill_pct = merged.GetUintOr("prefill_pct", 85);
+  if (prefill_pct > 100) {
+    throw std::runtime_error("campaign: prefill_pct must be <= 100, got " +
+                             std::to_string(prefill_pct));
+  }
+  arm.prefill_pct = static_cast<std::uint32_t>(prefill_pct);
+  arm.prefill_chunk_bytes = BytesOf(merged, "prefill_chunk", 256 * kKiB);
+  arm.seed = seed_overridden ? merged.GetUintOr("seed", default_seed)
+                             : default_seed + index;
+
+  const Json* workload = merged.Get("workload");
+  if (workload == nullptr || !workload->IsObject()) {
+    throw std::runtime_error("campaign: arm \"" + name +
+                             "\" has no workload object");
+  }
+  return arm;
+}
+
+}  // namespace
+
+Json ArmSpec::ConfigSummary() const {
+  Json summary;
+  summary["name"] = name;
+  summary["ftl"] = merged.GetStringOr("ftl", "conventional");
+  summary["gc_routing"] = merged.GetStringOr("gc_routing", "inline");
+  summary["timing_mode"] = merged.GetStringOr("timing_mode", "queued");
+  summary["device_bytes"] = BytesOf(merged, "device_bytes", 256 * kMiB);
+  summary["page_size"] = BytesOf(merged, "page_size", 16 * kKiB);
+  summary["write_frontiers"] = merged.GetUintOr("write_frontiers", 1);
+  summary["seed"] = seed;
+  if (const Json* w = merged.Get("workload")) {
+    summary["workload"] = *w;
+  }
+  return summary;
+}
+
+Json MergePatch(const Json& base, const Json& patch) {
+  if (!patch.IsObject() || !base.IsObject()) return patch;
+  Json out = base;
+  for (const auto& [key, value] : patch.AsObject()) {
+    if (value.IsNull()) {
+      out.AsObject().erase(key);
+    } else if (const Json* existing = out.Get(key)) {
+      Json merged = MergePatch(*existing, value);
+      out.AsObject()[key] = std::move(merged);
+    } else {
+      out.AsObject()[key] = value;
+    }
+  }
+  return out;
+}
+
+void SetJsonPath(Json& root, const std::string& path, const Json& value) {
+  Json* node = &root;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    const std::string part = path.substr(start, dot - start);
+    if (part.empty()) {
+      throw std::runtime_error("campaign: empty segment in path \"" + path + "\"");
+    }
+    if (dot == std::string::npos) {
+      (*node)[part] = value;
+      return;
+    }
+    node = &(*node)[part];
+    start = dot + 1;
+  }
+}
+
+std::string JsonValueLabel(const Json& value) {
+  if (value.IsString()) return value.AsString();
+  return value.Dump();
+}
+
+CampaignSpec CampaignSpec::Parse(const std::string& json_text) {
+  return Parse(Json::Parse(json_text));
+}
+
+CampaignSpec CampaignSpec::Parse(const Json& root) {
+  if (!root.IsObject()) {
+    throw std::runtime_error("campaign: spec must be a JSON object");
+  }
+  CampaignSpec spec;
+  spec.name = root.GetStringOr("campaign", "campaign");
+  spec.workers = static_cast<std::uint32_t>(root.GetUintOr("workers", 1));
+  if (spec.workers == 0) {
+    throw std::runtime_error("campaign: workers must be >= 1");
+  }
+  spec.share_prefill = root.GetBoolOr("share_prefill", true);
+
+  Json defaults;
+  if (const Json* d = root.Get("defaults")) {
+    if (!d->IsObject()) {
+      throw std::runtime_error("campaign: defaults must be an object");
+    }
+    defaults = *d;
+  } else {
+    defaults = Json(JsonObject{});
+  }
+  const std::uint64_t default_seed = defaults.GetUintOr("seed", 1);
+
+  // Expand the grid into (path, value) assignment lists, cartesian product
+  // in sorted-key odometer order (first key varies slowest).
+  struct Axis {
+    std::string path;
+    JsonArray values;
+  };
+  std::vector<Axis> axes;
+  if (const Json* grid = root.Get("grid")) {
+    for (const auto& [path, values] : grid->AsObject()) {
+      if (!values.IsArray() || values.AsArray().empty()) {
+        throw std::runtime_error("campaign: grid axis \"" + path +
+                                 "\" must be a non-empty array");
+      }
+      axes.push_back(Axis{path, values.AsArray()});
+    }
+  }
+
+  std::vector<Json> explicit_arms;
+  if (const Json* arms = root.Get("arms")) {
+    for (const Json& a : arms->AsArray()) {
+      if (!a.IsObject()) {
+        throw std::runtime_error("campaign: every arms[] entry must be an object");
+      }
+      explicit_arms.push_back(a);
+    }
+  }
+  if (explicit_arms.empty()) explicit_arms.emplace_back(JsonObject{});
+
+  std::vector<std::size_t> odometer(axes.size(), 0);
+  std::uint64_t index = 0;
+  while (true) {
+    // One grid combination: apply the axis assignments over the defaults.
+    Json grid_patch = Json(JsonObject{});
+    std::string grid_label;
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+      SetJsonPath(grid_patch, axes[i].path, axes[i].values[odometer[i]]);
+      if (!grid_label.empty()) grid_label += ",";
+      grid_label += axes[i].path + "=" + JsonValueLabel(axes[i].values[odometer[i]]);
+    }
+    for (const Json& arm_patch : explicit_arms) {
+      Json merged = MergePatch(defaults, grid_patch);
+      merged = MergePatch(merged, arm_patch);
+      std::string name = arm_patch.GetStringOr("name", "");
+      if (!name.empty() && !grid_label.empty()) {
+        name += ":" + grid_label;
+      } else if (name.empty()) {
+        name = grid_label.empty() ? "arm" + std::to_string(index) : grid_label;
+      }
+      // A seed set anywhere in the overrides pins the arm; otherwise arms
+      // decorrelate via defaults.seed + index.
+      const bool seed_overridden =
+          grid_patch.Get("seed") != nullptr || arm_patch.Get("seed") != nullptr;
+      spec.arms.push_back(
+          ResolveArm(merged, index, name, default_seed, seed_overridden));
+      ++index;
+    }
+    // Advance the odometer (last axis fastest).
+    std::size_t pos = axes.size();
+    while (pos > 0) {
+      --pos;
+      if (++odometer[pos] < axes[pos].values.size()) break;
+      odometer[pos] = 0;
+      if (pos == 0) return spec;
+    }
+    if (axes.empty()) return spec;
+  }
+}
+
+}  // namespace ctflash::campaign

@@ -1,0 +1,99 @@
+// Campaign specification: a JSON-declared grid of experiment arms.
+//
+// The spec follows the fleet-campaign config style: a `defaults` object
+// holds the full arm configuration once, a `grid` object maps dotted
+// override paths to value lists (expanded as a cartesian product), and an
+// optional `arms` list adds hand-written overrides; every grid combination
+// is crossed with every listed arm.  `workers: N` sizes the runner's thread
+// pool.  Example:
+//
+//   {
+//     "campaign": "ftl-sweep",
+//     "workers": 4,
+//     "defaults": {
+//       "device_bytes": "256MiB",
+//       "ftl": "conventional",
+//       "gc_routing": "inline",
+//       "prefill_pct": 85,
+//       "seed": 1,
+//       "workload": {"kind": "closed_loop", "requests": 20000,
+//                     "queue_depth": 16, "read_fraction": 0.5}
+//     },
+//     "grid": {"ftl": ["conventional", "ppb"],
+//              "gc_routing": ["inline", "scheduled"],
+//              "workload.queue_depth": [4, 32]}
+//   }
+//
+// expands to 2 x 2 x 2 = 8 arms named "ftl=conventional,gc_routing=inline,
+// workload.queue_depth=4" etc.  Arms that do not override `seed` get
+// `defaults.seed + arm_index` so replicated arms decorrelate by default.
+//
+// Workload kinds: "closed_loop" (fixed queue depth, uniform random),
+// "tenants" (multi-tenant closed/paced loops; requires a `qos` tenant list),
+// "synthetic" ("web" / "media" preset traces replayed open-loop), and
+// "trace" (an MSR-format CSV replayed open-loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/json.h"
+#include "host/host_interface.h"
+#include "host/load_generator.h"
+#include "ssd/ssd.h"
+#include "util/types.h"
+
+namespace ctflash::campaign {
+
+/// One fully resolved arm: the merged JSON plus the derived device/host
+/// configuration objects the runner needs.
+struct ArmSpec {
+  std::string name;
+  std::uint64_t index = 0;        ///< position in expansion order
+  Json merged;                    ///< defaults + grid + arm overrides
+  ssd::SsdConfig device;
+  host::HostConfig host;
+  /// Prefill share of the device's logical capacity (the runner resolves
+  /// bytes against the constructed device, which knows the true capacity
+  /// after over-provisioning adjustments).
+  std::uint32_t prefill_pct = 85;
+  std::uint64_t prefill_chunk_bytes = 0;
+  std::uint64_t seed = 0;
+
+  /// Canonical config echo for the result report (deterministic fields
+  /// only: name, ftl, gc_routing, device/workload shape, seed).
+  Json ConfigSummary() const;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::uint32_t workers = 1;
+  /// Share one prefill snapshot per device shape (default).  Disabled,
+  /// every arm prefills its own device — the straight-through mode the
+  /// campaign bench compares against.
+  bool share_prefill = true;
+  std::vector<ArmSpec> arms;
+
+  /// Parses and expands a spec; throws std::runtime_error /
+  /// std::invalid_argument naming the offending field.
+  static CampaignSpec Parse(const std::string& json_text);
+  static CampaignSpec Parse(const Json& root);
+  /// Disambiguates string literals (Json also converts from const char*).
+  static CampaignSpec Parse(const char* json_text) {
+    return Parse(std::string(json_text));
+  }
+};
+
+/// RFC 7386-style merge: object fields of `patch` merge recursively into
+/// `base`, everything else replaces.  Null patch fields delete.
+Json MergePatch(const Json& base, const Json& patch);
+
+/// Sets `root[path]` where `path` is dot-separated ("workload.queue_depth"),
+/// creating intermediate objects.
+void SetJsonPath(Json& root, const std::string& path, const Json& value);
+
+/// Renders a grid/override value for arm names ("ppb", "32", "2.5").
+std::string JsonValueLabel(const Json& value);
+
+}  // namespace ctflash::campaign

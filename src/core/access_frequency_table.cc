@@ -1,6 +1,10 @@
 #include "core/access_frequency_table.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace ctflash::core {
 
@@ -70,5 +74,28 @@ std::uint32_t AccessFrequencyTable::FrequencyOf(Lpn lpn) const {
 }
 
 void AccessFrequencyTable::Erase(Lpn lpn) { freq_.erase(lpn); }
+
+void AccessFrequencyTable::SaveState(util::StateWriter& w) const {
+  w.Tag("FREQ");
+  std::vector<std::pair<Lpn, std::uint32_t>> entries(freq_.begin(), freq_.end());
+  std::sort(entries.begin(), entries.end());
+  w.PutU64(entries.size());
+  for (const auto& [lpn, count] : entries) {
+    w.PutU64(lpn);
+    w.PutU32(count);
+  }
+  w.PutU64(decays_);
+}
+
+void AccessFrequencyTable::LoadState(util::StateReader& r) {
+  r.ExpectTag("FREQ");
+  const std::uint64_t n = r.GetCount();
+  freq_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Lpn lpn = r.GetU64();
+    freq_[lpn] = r.GetU32();
+  }
+  decays_ = r.GetU64();
+}
 
 }  // namespace ctflash::core

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace ctflash::core {
@@ -47,6 +48,11 @@ class AccessFrequencyTable {
   std::size_t capacity() const { return capacity_; }
   std::uint32_t promote_threshold() const { return promote_threshold_; }
   std::uint64_t decay_count() const { return decays_; }
+
+  /// Serializes entries sorted by lpn (the map is unordered; sorting makes
+  /// the encoding canonical so identical tables produce identical bytes).
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
 
  private:
   void MaybeDecay();

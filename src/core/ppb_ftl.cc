@@ -269,4 +269,46 @@ bool PpbFtl::CheckInvariants() const {
   return true;
 }
 
+void PpbFtl::SaveVariantState(util::StateWriter& w) const {
+  w.Tag("PPBF");
+  vbm_.SaveState(w);
+  lru_.SaveState(w);
+  freq_.SaveState(w);
+  w.PutU64(ppb_stats_.hot_area_writes);
+  w.PutU64(ppb_stats_.cold_area_writes);
+  w.PutU64(ppb_stats_.iron_promotions);
+  w.PutU64(ppb_stats_.cold_demotions);
+  w.PutU64(ppb_stats_.diverted_writes);
+  w.PutU64(ppb_stats_.fast_class_writes);
+  w.PutU64(ppb_stats_.slow_class_writes);
+  w.PutU64(ppb_stats_.gc_migrations);
+  w.PutU64(ppb_stats_.fast_reads);
+  w.PutU64(ppb_stats_.slow_reads);
+  for (std::uint64_t v : ppb_stats_.reads_at_level) w.PutU64(v);
+  for (double v : ppb_stats_.read_factor_sum) w.PutDouble(v);
+  for (std::uint64_t v : ppb_stats_.gc_victims_by_area) w.PutU64(v);
+  for (std::uint64_t v : ppb_stats_.gc_victim_valid_by_area) w.PutU64(v);
+}
+
+void PpbFtl::LoadVariantState(util::StateReader& r) {
+  r.ExpectTag("PPBF");
+  vbm_.LoadState(r);
+  lru_.LoadState(r);
+  freq_.LoadState(r);
+  ppb_stats_.hot_area_writes = r.GetU64();
+  ppb_stats_.cold_area_writes = r.GetU64();
+  ppb_stats_.iron_promotions = r.GetU64();
+  ppb_stats_.cold_demotions = r.GetU64();
+  ppb_stats_.diverted_writes = r.GetU64();
+  ppb_stats_.fast_class_writes = r.GetU64();
+  ppb_stats_.slow_class_writes = r.GetU64();
+  ppb_stats_.gc_migrations = r.GetU64();
+  ppb_stats_.fast_reads = r.GetU64();
+  ppb_stats_.slow_reads = r.GetU64();
+  for (std::uint64_t& v : ppb_stats_.reads_at_level) v = r.GetU64();
+  for (double& v : ppb_stats_.read_factor_sum) v = r.GetDouble();
+  for (std::uint64_t& v : ppb_stats_.gc_victims_by_area) v = r.GetU64();
+  for (std::uint64_t& v : ppb_stats_.gc_victim_valid_by_area) v = r.GetU64();
+}
+
 }  // namespace ctflash::core

@@ -134,6 +134,9 @@ class PpbFtl : public ftl::FtlBase {
   void OnGcVictimChosen(BlockId victim) override;
   void OnGcBlockErased(BlockId victim) override { vbm_.OnBlockErased(victim); }
 
+  void SaveVariantState(util::StateWriter& w) const override;
+  void LoadVariantState(util::StateReader& r) override;
+
  private:
   /// Places one logical page at `level`, running GC first when the free
   /// pool is exhausted.  Returns program completion time.

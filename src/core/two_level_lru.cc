@@ -1,6 +1,8 @@
 #include "core/two_level_lru.h"
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace ctflash::core {
 
@@ -85,6 +87,34 @@ bool TwoLevelLru::CheckInvariants() const {
     if (node->second.tier != Tier::kIronHot || node->second.it != it) return false;
   }
   return true;
+}
+
+void TwoLevelLru::SaveState(util::StateWriter& w) const {
+  w.Tag("2LRU");
+  w.PutU64Seq(hot_);
+  w.PutU64Seq(iron_);
+}
+
+void TwoLevelLru::LoadState(util::StateReader& r) {
+  r.ExpectTag("2LRU");
+  const std::vector<std::uint64_t> hot = r.GetU64Seq();
+  const std::vector<std::uint64_t> iron = r.GetU64Seq();
+  if (hot.size() > hot_capacity_ || iron.size() > iron_capacity_) {
+    throw std::runtime_error("snapshot: LRU list exceeds capacity (hot " +
+                             std::to_string(hot.size()) + "/" +
+                             std::to_string(hot_capacity_) + ", iron " +
+                             std::to_string(iron.size()) + "/" +
+                             std::to_string(iron_capacity_) + ")");
+  }
+  hot_.assign(hot.begin(), hot.end());
+  iron_.assign(iron.begin(), iron.end());
+  index_.clear();
+  for (auto it = hot_.begin(); it != hot_.end(); ++it) {
+    index_[*it] = Node{it, Tier::kHot};
+  }
+  for (auto it = iron_.begin(); it != iron_.end(); ++it) {
+    index_[*it] = Node{it, Tier::kIronHot};
+  }
 }
 
 }  // namespace ctflash::core

@@ -16,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace ctflash::core {
@@ -63,6 +64,11 @@ class TwoLevelLru {
   /// O(n) structural check: map entries and list nodes agree, sizes within
   /// capacity.
   bool CheckInvariants() const;
+
+  /// Serializes both recency lists in MRU->LRU order; the index is rebuilt
+  /// on load.  LoadState throws when a list exceeds this instance's capacity.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
 
  private:
   struct Node {

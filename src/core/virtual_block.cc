@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -289,6 +291,67 @@ bool VirtualBlockManager::CheckInvariants() const {
     if (fill_[b] != 0 && blocks_.UseOf(b) == ftl::BlockUse::kFree) return false;
   }
   return true;
+}
+
+void VirtualBlockManager::SaveState(util::StateWriter& w) const {
+  w.Tag("VBMG");
+  w.PutU64(area_of_block_.size());
+  for (std::size_t i = 0; i < area_of_block_.size(); ++i) {
+    w.PutU8(static_cast<std::uint8_t>(area_of_block_[i]));
+    w.PutU32(fill_[i]);
+    w.PutU8(slow_home_[i]);
+  }
+  for (const auto& list : slow_lists_) w.PutU64Seq(list);
+  for (const auto& list : fast_lists_) w.PutU64Seq(list);
+  for (std::size_t i = 0; i < kSlowListCount; ++i) {
+    w.PutU64(growth_fail_gen_[i]);
+    w.PutU64(growth_fail_size_[i]);
+  }
+  w.PutU64Seq(gc_dies_);
+  w.PutU64(stripers_.size());
+  for (const auto& striper : stripers_) striper.SaveState(w);
+}
+
+void VirtualBlockManager::LoadState(util::StateReader& r) {
+  r.ExpectTag("VBMG");
+  const std::uint64_t n = r.GetU64();
+  if (n != area_of_block_.size()) {
+    throw std::runtime_error("snapshot: virtual block count mismatch (have " +
+                             std::to_string(area_of_block_.size()) +
+                             ", state " + std::to_string(n) + ")");
+  }
+  for (std::size_t i = 0; i < area_of_block_.size(); ++i) {
+    const std::uint8_t area = r.GetU8();
+    if (area > static_cast<std::uint8_t>(Area::kCold)) {
+      throw std::runtime_error("snapshot: invalid area tag " +
+                               std::to_string(area));
+    }
+    area_of_block_[i] = static_cast<Area>(area);
+    fill_[i] = r.GetU32();
+    slow_home_[i] = r.GetU8();
+  }
+  for (auto& list : slow_lists_) {
+    const std::vector<std::uint64_t> v = r.GetU64Seq();
+    list.assign(v.begin(), v.end());
+  }
+  for (auto& list : fast_lists_) {
+    const std::vector<std::uint64_t> v = r.GetU64Seq();
+    list.assign(v.begin(), v.end());
+  }
+  for (std::size_t i = 0; i < kSlowListCount; ++i) {
+    growth_fail_gen_[i] = r.GetU64();
+    growth_fail_size_[i] = static_cast<std::size_t>(r.GetU64());
+  }
+  const std::vector<std::uint64_t> dies = r.GetU64Seq();
+  gc_dies_.clear();
+  gc_dies_.insert(dies.begin(), dies.end());
+  const std::uint64_t nstripers = r.GetU64();
+  if (nstripers != stripers_.size()) {
+    throw std::runtime_error("snapshot: striper count mismatch (have " +
+                             std::to_string(stripers_.size()) + ", state " +
+                             std::to_string(nstripers) + ")");
+  }
+  for (auto& striper : stripers_) striper.LoadState(r);
 }
 
 }  // namespace ctflash::core

@@ -169,6 +169,12 @@ class VirtualBlockManager {
   /// consistent.  O(blocks).
   bool CheckInvariants() const;
 
+  /// Serializes per-block area/fill/home tags, every VB list's order, the
+  /// growth memos, GC die coverage, and the striper rotation anchors.
+  /// LoadState throws when the block count mismatches.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
+
  private:
   /// Slow-list index: {hot-host, cold-host, hot-gc, cold-gc}.
   static constexpr std::size_t kSlowListCount = 4;

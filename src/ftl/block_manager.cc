@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace ctflash::ftl {
 
@@ -122,6 +123,41 @@ std::uint64_t BlockManager::TotalValid() const {
   std::uint64_t total = 0;
   for (const auto& i : info_) total += i.valid;
   return total;
+}
+
+void BlockManager::SaveState(util::StateWriter& w) const {
+  w.Tag("BLKM");
+  w.PutU64(info_.size());
+  for (const Info& i : info_) {
+    w.PutU32(i.valid);
+    w.PutU8(static_cast<std::uint8_t>(i.use));
+  }
+  w.PutU64Seq(free_list_);
+  w.PutU64(generation_);
+  w.PutU64(min_free_);
+}
+
+void BlockManager::LoadState(util::StateReader& r) {
+  r.ExpectTag("BLKM");
+  const std::uint64_t n = r.GetU64();
+  if (n != info_.size()) {
+    throw std::runtime_error("snapshot: block manager size mismatch (have " +
+                             std::to_string(info_.size()) + ", state " +
+                             std::to_string(n) + ")");
+  }
+  for (Info& i : info_) {
+    i.valid = r.GetU32();
+    const std::uint8_t use = r.GetU8();
+    if (use > static_cast<std::uint8_t>(BlockUse::kFull)) {
+      throw std::runtime_error("snapshot: invalid block use value " +
+                               std::to_string(use));
+    }
+    i.use = static_cast<BlockUse>(use);
+  }
+  const std::vector<std::uint64_t> fl = r.GetU64Seq();
+  free_list_.assign(fl.begin(), fl.end());
+  generation_ = r.GetU64();
+  min_free_ = r.GetU64();
 }
 
 }  // namespace ctflash::ftl

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace ctflash::ftl {
@@ -89,6 +90,12 @@ class BlockManager {
 
   /// Total valid pages across all blocks (O(n), for invariant checks).
   std::uint64_t TotalValid() const;
+
+  /// Serializes per-block info and the ordered free list (free-list order is
+  /// allocation order and therefore state).  The wear provider is runtime
+  /// wiring and is not serialized.  LoadState throws on size mismatch.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
 
  private:
   struct Info {

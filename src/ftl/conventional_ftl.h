@@ -56,6 +56,15 @@ class ConventionalFtl : public FtlBase {
   /// update, CopyPage timing.
   Us RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim, Us earliest) override;
 
+  void SaveVariantState(util::StateWriter& w) const override {
+    w.Tag("CFTL");
+    walloc_.SaveState(w);
+  }
+  void LoadVariantState(util::StateReader& r) override {
+    r.ExpectTag("CFTL");
+    walloc_.LoadState(r);
+  }
+
  private:
   /// Next programmable ppn on the host or GC write stream, opening new
   /// frontier blocks when needed.  Never runs GC.  Host and GC traffic use

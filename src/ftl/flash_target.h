@@ -97,6 +97,33 @@ class FlashTarget {
   bool ErrorModelArmed() const { return error_model_ != nullptr; }
   const ReadErrorStats& read_error_stats() const { return error_stats_; }
 
+  /// Serializes the NAND array, occupancy timelines, error RNG stream and
+  /// error counters.  Construction-derived values (transfer time, mode,
+  /// error-model config) are not serialized; LoadState assumes a target
+  /// built from the same configuration.
+  void SaveState(util::StateWriter& w) const {
+    w.Tag("FTGT");
+    nand_.SaveState(w);
+    chips_.SaveState(w);
+    channels_.SaveState(w);
+    dies_.SaveState(w);
+    error_rng_.SaveState(w);
+    w.PutU64(error_stats_.sampled_reads);
+    w.PutU64(error_stats_.total_bit_errors);
+    w.PutU64(error_stats_.uncorrectable_reads);
+  }
+  void LoadState(util::StateReader& r) {
+    r.ExpectTag("FTGT");
+    nand_.LoadState(r);
+    chips_.LoadState(r);
+    channels_.LoadState(r);
+    dies_.LoadState(r);
+    error_rng_.LoadState(r);
+    error_stats_.sampled_reads = r.GetU64();
+    error_stats_.total_bit_errors = r.GetU64();
+    error_stats_.uncorrectable_reads = r.GetU64();
+  }
+
  private:
   nand::NandDevice nand_;
   sim::ResourcePool chips_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include <stdexcept>
+#include <string>
 
 #include "util/logging.h"
 
@@ -246,6 +247,55 @@ Us FtlBase::ExecuteGcTransaction(const sched::FlashTransaction& txn,
   const Us done = EraseGcVictim(txn.gc_block, earliest);
   AccumulateGcTime(earliest, done);
   return done;
+}
+
+void FtlBase::SaveState(util::StateWriter& w) const {
+  if (gc_outstanding_ != 0) {
+    throw std::logic_error(
+        "FtlBase::SaveState: " + std::to_string(gc_outstanding_) +
+        " GC transactions drained but not executed; quiesce the scheduler "
+        "before snapshotting");
+  }
+  if (in_gc_) {
+    throw std::logic_error("FtlBase::SaveState: called from inside GC");
+  }
+  w.Tag("FTLB");
+  map_.SaveState(w);
+  blocks_.SaveState(w);
+  w.PutU64(stats_.host_read_pages);
+  w.PutU64(stats_.host_write_pages);
+  w.PutU64(stats_.gc_page_copies);
+  w.PutU64(stats_.gc_erases);
+  w.PutI64(stats_.gc_time_us);
+  w.PutU64(stats_.gc_stale_copies);
+  wear_leveler_.SaveState(w);
+  w.PutI64(gc_busy_until_);
+  w.PutBool(gc_active_);
+  w.PutU64(gc_txns_emitted_);
+  w.PutU64(gc_txns_executed_);
+  w.PutU64(next_gc_job_);
+  SaveVariantState(w);
+}
+
+void FtlBase::LoadState(util::StateReader& r) {
+  r.ExpectTag("FTLB");
+  map_.LoadState(r);
+  blocks_.LoadState(r);
+  stats_.host_read_pages = r.GetU64();
+  stats_.host_write_pages = r.GetU64();
+  stats_.gc_page_copies = r.GetU64();
+  stats_.gc_erases = r.GetU64();
+  stats_.gc_time_us = r.GetI64();
+  stats_.gc_stale_copies = r.GetU64();
+  wear_leveler_.LoadState(r);
+  gc_busy_until_ = r.GetI64();
+  gc_active_ = r.GetBool();
+  gc_txns_emitted_ = r.GetU64();
+  gc_txns_executed_ = r.GetU64();
+  next_gc_job_ = r.GetU64();
+  in_gc_ = false;
+  gc_outstanding_ = 0;
+  LoadVariantState(r);
 }
 
 }  // namespace ctflash::ftl

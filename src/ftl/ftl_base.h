@@ -240,6 +240,17 @@ class FtlBase {
   /// prefill-era dips don't contaminate a no-starvation assertion.
   void ResetFreePoolWatermark() { blocks_.ResetFreeWatermark(); }
 
+  // --- snapshot ------------------------------------------------------------
+
+  /// Serializes mapping/blocks/stats/wear/GC-planner state plus the
+  /// variant's own state (SaveVariantState).  The device must be quiesced:
+  /// throws std::logic_error when GC transactions are drained but not yet
+  /// executed (the in-flight plan references scheduler-held objects that a
+  /// snapshot cannot carry).  Scheduler attachment is runtime wiring and is
+  /// NOT serialized — restore, then attach a fresh scheduler.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
+
  protected:
   /// Inline-routed GC (called by the variant's write path before it claims
   /// pages): collects victims through the same variant hooks the scheduled
@@ -269,6 +280,11 @@ class FtlBase {
   virtual void OnGcVictimChosen(BlockId /*victim*/) {}
   /// Victim erased by a scheduled kGcErase (e.g. PPB resets its VB state).
   virtual void OnGcBlockErased(BlockId /*victim*/) {}
+
+  /// Variant-owned state appended to / read back from the base snapshot
+  /// (write allocators, PPB virtual-block + hotness structures).
+  virtual void SaveVariantState(util::StateWriter& w) const = 0;
+  virtual void LoadVariantState(util::StateReader& r) = 0;
 
   /// Bytes of page `lpn` covered by the request [offset, offset+size): the
   /// data-out transfer for a host read of that page.

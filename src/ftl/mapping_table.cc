@@ -1,6 +1,7 @@
 #include "ftl/mapping_table.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace ctflash::ftl {
 
@@ -76,6 +77,30 @@ bool MappingTable::CheckConsistent() const {
     if (forward_[lpn] != ppn) return false;
   }
   return true;
+}
+
+
+void MappingTable::SaveState(util::StateWriter& w) const {
+  w.Tag("MAPT");
+  w.PutU64Seq(forward_);
+  w.PutU64Seq(reverse_);
+  w.PutU64(mapped_);
+}
+
+void MappingTable::LoadState(util::StateReader& r) {
+  r.ExpectTag("MAPT");
+  const std::vector<std::uint64_t> fwd = r.GetU64Seq();
+  const std::vector<std::uint64_t> rev = r.GetU64Seq();
+  if (fwd.size() != forward_.size() || rev.size() != reverse_.size()) {
+    throw std::runtime_error("snapshot: mapping table size mismatch (have " +
+                             std::to_string(forward_.size()) + "/" +
+                             std::to_string(reverse_.size()) + ", state " +
+                             std::to_string(fwd.size()) + "/" +
+                             std::to_string(rev.size()) + ")");
+  }
+  forward_.assign(fwd.begin(), fwd.end());
+  reverse_.assign(rev.begin(), rev.end());
+  mapped_ = r.GetU64();
 }
 
 }  // namespace ctflash::ftl

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace ctflash::ftl {
@@ -45,6 +46,10 @@ class MappingTable {
 
   /// Full O(n) cross-check of forward/reverse consistency.
   bool CheckConsistent() const;
+
+  /// Serializes forward/reverse maps; LoadState throws on size mismatch.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
 
  private:
   std::vector<Ppn> forward_;

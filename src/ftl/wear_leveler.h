@@ -49,6 +49,19 @@ class WearLeveler {
   const WearLevelerConfig& config() const { return config_; }
   std::uint64_t override_count() const { return overrides_; }
 
+  void SaveState(util::StateWriter& w) const {
+    w.Tag("WEAR");
+    w.PutU64(overrides_);
+    w.PutU64(erases_);
+    w.PutU64(last_override_erase_);
+  }
+  void LoadState(util::StateReader& r) {
+    r.ExpectTag("WEAR");
+    overrides_ = r.GetU64();
+    erases_ = r.GetU64();
+    last_override_erase_ = r.GetU64();
+  }
+
  private:
   WearLevelerConfig config_;
   std::uint64_t overrides_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "util/logging.h"
 
@@ -247,6 +248,49 @@ bool WriteAllocator::CheckInvariants() const {
     }
   }
   return true;
+}
+
+void WriteAllocator::SaveState(util::StateWriter& w) const {
+  w.Tag("WALC");
+  w.PutU64(fill_.size());
+  for (std::uint32_t f : fill_) w.PutU32(f);
+  w.PutU64(streams_.size());
+  for (const Stream& s : streams_) {
+    w.PutU64Seq(s.frontiers);
+    w.PutU64Seq(s.dies_touched);
+    w.PutU64(s.reserve);
+    w.PutU64(s.growth_fail_generation);
+    w.PutU64(s.growth_fail_frontiers);
+    s.striper.SaveState(w);
+  }
+}
+
+void WriteAllocator::LoadState(util::StateReader& r) {
+  r.ExpectTag("WALC");
+  const std::uint64_t nfill = r.GetU64();
+  if (nfill != fill_.size()) {
+    throw std::runtime_error("snapshot: write allocator fill size mismatch (have " +
+                             std::to_string(fill_.size()) + ", state " +
+                             std::to_string(nfill) + ")");
+  }
+  for (std::uint32_t& f : fill_) f = r.GetU32();
+  const std::uint64_t nstreams = r.GetU64();
+  if (nstreams != streams_.size()) {
+    throw std::runtime_error("snapshot: write allocator stream count mismatch (have " +
+                             std::to_string(streams_.size()) + ", state " +
+                             std::to_string(nstreams) + ")");
+  }
+  for (Stream& s : streams_) {
+    const std::vector<std::uint64_t> fr = r.GetU64Seq();
+    s.frontiers.assign(fr.begin(), fr.end());
+    const std::vector<std::uint64_t> dies = r.GetU64Seq();
+    s.dies_touched.clear();
+    s.dies_touched.insert(dies.begin(), dies.end());
+    s.reserve = r.GetU64();
+    s.growth_fail_generation = r.GetU64();
+    s.growth_fail_frontiers = static_cast<std::size_t>(r.GetU64());
+    s.striper.LoadState(r);
+  }
 }
 
 }  // namespace ctflash::ftl

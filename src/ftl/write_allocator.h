@@ -86,6 +86,9 @@ class DieStriper {
   /// advances the rotation anchor to the chosen die.
   std::size_t Pick(const std::deque<BlockId>& candidates);
 
+  void SaveState(util::StateWriter& w) const { w.PutU64(last_die_); }
+  void LoadState(util::StateReader& r) { last_die_ = r.GetU64(); }
+
  private:
   std::function<std::uint64_t(BlockId)> die_of_;
   std::function<Us(BlockId)> die_free_at_;
@@ -168,6 +171,12 @@ class WriteAllocator {
   /// Structural invariants: frontier blocks are kOpen with in-range fill,
   /// and no stream holds two frontiers on one die.  O(streams * frontiers).
   bool CheckInvariants() const;
+
+  /// Serializes per-block fill counters and every stream's frontier set,
+  /// die coverage, reserves, growth memos, and striper rotation anchor.
+  /// LoadState throws when block or stream counts mismatch.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
 
  private:
   struct Stream {

@@ -194,6 +194,10 @@ std::size_t IoScheduler::PickNext(bool urgent, bool write_pressure) const {
     if (!Eligible(ready_[i], write_pressure)) continue;
     if (serve != qos::kNoTenant && ready_[i].txn.tenant != serve) continue;
     const int rank = RankOf(ready_[i], urgent);
+    // A strictly worse rank can never win, whatever its key — skip the key
+    // computation (KeyOf probes the mapping table per candidate, the hot
+    // cost of this scan at deep ready queues).
+    if (best != kNoPick && rank > best_rank) continue;
     DispatchKey key = KeyOf(ready_[i].txn, write_free_at);
     if (key.start < now) key.start = now;
     if (best == kNoPick || rank < best_rank ||

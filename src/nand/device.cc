@@ -1,6 +1,7 @@
 #include "nand/device.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace ctflash::nand {
 
@@ -100,6 +101,43 @@ std::uint32_t NandDevice::PeCycles(BlockId block) const {
 bool NandDevice::IsBlockBad(BlockId block) const {
   if (!ValidBlock(block)) throw std::out_of_range("IsBlockBad: block out of range");
   return blocks_[block].bad;
+}
+
+void NandDevice::SaveState(util::StateWriter& w) const {
+  w.Tag("NAND");
+  w.PutU64(blocks_.size());
+  for (const BlockState& b : blocks_) {
+    w.PutU32(b.next_page);
+    w.PutU32(b.pe_cycles);
+    w.PutBool(b.bad);
+  }
+  w.PutU64(counters_.reads);
+  w.PutU64(counters_.programs);
+  w.PutU64(counters_.erases);
+  w.PutI64(counters_.read_time_us);
+  w.PutI64(counters_.program_time_us);
+  w.PutI64(counters_.erase_time_us);
+}
+
+void NandDevice::LoadState(util::StateReader& r) {
+  r.ExpectTag("NAND");
+  const std::uint64_t n = r.GetU64();
+  if (n != blocks_.size()) {
+    throw std::runtime_error("snapshot: NAND block count mismatch (have " +
+                             std::to_string(blocks_.size()) + ", state " +
+                             std::to_string(n) + ")");
+  }
+  for (BlockState& b : blocks_) {
+    b.next_page = r.GetU32();
+    b.pe_cycles = r.GetU32();
+    b.bad = r.GetBool();
+  }
+  counters_.reads = r.GetU64();
+  counters_.programs = r.GetU64();
+  counters_.erases = r.GetU64();
+  counters_.read_time_us = r.GetI64();
+  counters_.program_time_us = r.GetI64();
+  counters_.erase_time_us = r.GetI64();
 }
 
 }  // namespace ctflash::nand

@@ -19,6 +19,7 @@
 
 #include "nand/geometry.h"
 #include "nand/latency_model.h"
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace ctflash::nand {
@@ -78,6 +79,11 @@ class NandDevice {
   const NandCounters& counters() const { return counters_; }
   /// Resets the counters but not the array state.
   void ResetCounters() { counters_ = NandCounters{}; }
+
+  /// Serializes per-block program pointers / P/E cycles / bad flags plus the
+  /// operation counters.  LoadState throws when the block count mismatches.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
 
  private:
   struct BlockState {

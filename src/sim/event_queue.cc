@@ -40,7 +40,10 @@ bool EventQueue::IsCancelled(std::uint64_t handle) const {
 
 bool EventQueue::Step() {
   while (!heap_.empty()) {
-    Entry top = heap_.top();
+    // Move the entry out instead of copying: the std::function payload owns
+    // heap storage, and this pop is the hottest line of the simulator.
+    // Mutating top() is safe because pop() immediately discards the slot.
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     if (IsCancelled(top.handle)) {
       cancelled_.erase(

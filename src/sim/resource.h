@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace ctflash::sim {
@@ -39,6 +41,17 @@ class ResourceTimeline {
   std::uint64_t ReservationCount() const { return reservations_; }
 
   void Reset();
+
+  void SaveState(util::StateWriter& w) const {
+    w.PutI64(free_at_);
+    w.PutI64(busy_time_);
+    w.PutU64(reservations_);
+  }
+  void LoadState(util::StateReader& r) {
+    free_at_ = r.GetI64();
+    busy_time_ = r.GetI64();
+    reservations_ = r.GetU64();
+  }
 
  private:
   Us free_at_ = 0;
@@ -73,6 +86,23 @@ class ResourcePool {
   Us TotalBusyTime() const;
 
   void Reset();
+
+  void SaveState(util::StateWriter& w) const {
+    w.Tag("RPOL");
+    w.PutU64(timelines_.size());
+    for (const auto& t : timelines_) t.SaveState(w);
+  }
+  /// Throws when the serialized pool size differs from this pool's.
+  void LoadState(util::StateReader& r) {
+    r.ExpectTag("RPOL");
+    const std::uint64_t n = r.GetU64();
+    if (n != timelines_.size()) {
+      throw std::runtime_error("snapshot: resource pool size mismatch (have " +
+                               std::to_string(timelines_.size()) + ", state " +
+                               std::to_string(n) + ")");
+    }
+    for (auto& t : timelines_) t.LoadState(r);
+  }
 
  private:
   std::vector<ResourceTimeline> timelines_;

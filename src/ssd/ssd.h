@@ -22,6 +22,10 @@
 #include "sim/event_queue.h"
 #include "util/types.h"
 
+namespace ctflash::campaign {
+struct DeviceState;
+}
+
 namespace ctflash::ssd {
 
 enum class FtlKind { kConventional = 0, kPpb = 1 };
@@ -103,6 +107,18 @@ class Ssd {
   /// Non-null only when configured with FtlKind::kPpb.
   core::PpbFtl* ppb() { return ppb_; }
   const core::PpbFtl* ppb() const { return ppb_; }
+
+  /// Captures the complete device state (campaign/snapshot.h) stamped with
+  /// `clock_us` (typically the prefill-end simulated time).  The device
+  /// must be quiesced: throws std::logic_error while scheduled-GC
+  /// transactions are in flight.  Implemented in campaign/snapshot.cc.
+  campaign::DeviceState Snapshot(Us clock_us = 0) const;
+
+  /// Restores state captured from a device of the same shape; throws
+  /// std::runtime_error when the shape key does not match this config or
+  /// the payload is malformed.  Counters and RNG streams resume exactly
+  /// where the producing device left off.
+  void Restore(const campaign::DeviceState& state);
 
  private:
   SsdConfig config_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serial.h"
 #include "util/types.h"
 
 namespace ctflash::util {
@@ -53,6 +54,13 @@ class Xoshiro256StarStar {
 
   /// Bernoulli draw with success probability p (clamped to [0,1]).
   bool Bernoulli(double p);
+
+  void SaveState(StateWriter& w) const {
+    for (std::uint64_t s : state_) w.PutU64(s);
+  }
+  void LoadState(StateReader& r) {
+    for (std::uint64_t& s : state_) s = r.GetU64();
+  }
 
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {

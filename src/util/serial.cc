@@ -1,0 +1,157 @@
+#include "util/serial.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace ctflash::util {
+
+namespace {
+
+std::string TagName(const char* tag) { return std::string(tag, 4); }
+
+}  // namespace
+
+void StateWriter::Tag(const char (&tag)[5]) { PutBytes(tag, 4); }
+
+void StateWriter::PutU8(std::uint8_t v) { bytes_.push_back(v); }
+
+void StateWriter::PutU32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void StateWriter::PutU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void StateWriter::PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+
+void StateWriter::PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+
+void StateWriter::PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+void StateWriter::PutString(const std::string& s) {
+  PutU64(s.size());
+  PutBytes(s.data(), s.size());
+}
+
+void StateWriter::PutBytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+void StateReader::Need(std::size_t n) const {
+  if (size_ - pos_ < n) {
+    throw std::runtime_error("snapshot: truncated state (need " +
+                             std::to_string(n) + " bytes at offset " +
+                             std::to_string(pos_) + ", have " +
+                             std::to_string(size_ - pos_) + ")");
+  }
+}
+
+void StateReader::ExpectTag(const char (&tag)[5]) {
+  Need(4);
+  if (std::memcmp(data_ + pos_, tag, 4) != 0) {
+    const std::string found(reinterpret_cast<const char*>(data_ + pos_), 4);
+    throw std::runtime_error("snapshot: expected section '" + TagName(tag) +
+                             "' but found '" + found + "' at offset " +
+                             std::to_string(pos_));
+  }
+  pos_ += 4;
+}
+
+std::uint8_t StateReader::GetU8() {
+  Need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t StateReader::GetU32() {
+  Need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t StateReader::GetU64() {
+  Need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t StateReader::GetI64() { return static_cast<std::int64_t>(GetU64()); }
+
+double StateReader::GetDouble() { return std::bit_cast<double>(GetU64()); }
+
+bool StateReader::GetBool() {
+  const std::uint8_t v = GetU8();
+  if (v > 1) {
+    throw std::runtime_error("snapshot: invalid bool value " + std::to_string(v));
+  }
+  return v != 0;
+}
+
+std::string StateReader::GetString() {
+  const std::uint64_t n = GetU64();
+  Need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void StateReader::GetBytes(void* out, std::size_t n) {
+  Need(n);
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+}
+
+std::vector<std::uint64_t> StateReader::GetU64Seq() {
+  const std::uint64_t n = GetCount();
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(GetU64());
+  return v;
+}
+
+std::uint64_t StateReader::GetCount() {
+  const std::uint64_t n = GetU64();
+  if (n > Remaining()) {
+    throw std::runtime_error("snapshot: sequence count " + std::to_string(n) +
+                             " exceeds remaining " + std::to_string(Remaining()) +
+                             " bytes");
+  }
+  return n;
+}
+
+void StateReader::ExpectEnd() const {
+  if (!AtEnd()) {
+    throw std::runtime_error("snapshot: " + std::to_string(Remaining()) +
+                             " trailing bytes after state payload");
+  }
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ctflash::util

@@ -1,0 +1,96 @@
+// Byte-level state serialization for device snapshots.
+//
+// StateWriter/StateReader implement a tiny fixed-width little-endian codec
+// with four-character section tags.  Every state-bearing component exposes
+// `SaveState(StateWriter&) const` / `LoadState(StateReader&)`; the snapshot
+// envelope (campaign/snapshot.h) adds versioning and a CRC on top.  The
+// format is deliberately dumb: no varints, no back-references — snapshots
+// are ephemeral experiment artifacts, and byte-for-byte determinism of the
+// encoding is itself a tested property (identical device state must always
+// produce identical bytes).
+//
+// Readers throw std::runtime_error with a "snapshot:" prefix on underrun,
+// tag mismatch, or trailing bytes so corrupt inputs fail loudly instead of
+// silently mis-restoring a device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctflash::util {
+
+class StateWriter {
+ public:
+  /// Appends a four-character section tag (e.g. "MAPT").
+  void Tag(const char (&tag)[5]);
+
+  void PutU8(std::uint8_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutI64(std::int64_t v);
+  /// IEEE-754 bit pattern; exact round-trip.
+  void PutDouble(double v);
+  void PutBool(bool v);
+  /// Length-prefixed (u64) raw bytes.
+  void PutString(const std::string& s);
+  void PutBytes(const void* data, std::size_t n);
+
+  /// Length-prefixed u64 sequence (vector/deque/array of uint64-convertible).
+  template <typename Container>
+  void PutU64Seq(const Container& c) {
+    PutU64(static_cast<std::uint64_t>(c.size()));
+    for (const auto& v : c) PutU64(static_cast<std::uint64_t>(v));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class StateReader {
+ public:
+  StateReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit StateReader(const std::vector<std::uint8_t>& bytes)
+      : StateReader(bytes.data(), bytes.size()) {}
+
+  /// Consumes and checks a section tag; throws on mismatch naming both the
+  /// expected and found tag.
+  void ExpectTag(const char (&tag)[5]);
+
+  std::uint8_t GetU8();
+  std::uint32_t GetU32();
+  std::uint64_t GetU64();
+  std::int64_t GetI64();
+  double GetDouble();
+  bool GetBool();
+  std::string GetString();
+  void GetBytes(void* out, std::size_t n);
+
+  /// Reads a u64 count followed by that many u64 values.
+  std::vector<std::uint64_t> GetU64Seq();
+
+  /// Reads the count of a length-prefixed sequence, validating it against
+  /// the number of u64 payload bytes remaining (cheap sanity bound).
+  std::uint64_t GetCount();
+
+  std::size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  /// Throws when trailing bytes remain (truncation/corruption guard).
+  void ExpectEnd() const;
+
+ private:
+  void Need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t n);
+
+}  // namespace ctflash::util

@@ -1,0 +1,180 @@
+// Campaign JSON module + spec expansion tests.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/json.h"
+#include "campaign/spec.h"
+#include "ssd/ssd.h"
+
+namespace ctflash::campaign {
+namespace {
+
+// --- Json ------------------------------------------------------------------
+
+TEST(CampaignJson, ParsesScalarsAndContainers) {
+  const Json v = Json::Parse(
+      R"({"a": 1, "b": -2.5, "c": "sA", "d": [true, false, null], "e": {}})");
+  EXPECT_EQ(v.Get("a")->AsUint(), 1u);
+  EXPECT_DOUBLE_EQ(v.Get("b")->AsDouble(), -2.5);
+  EXPECT_EQ(v.Get("c")->AsString(), "sA");
+  ASSERT_TRUE(v.Get("d")->IsArray());
+  EXPECT_EQ(v.Get("d")->AsArray().size(), 3u);
+  EXPECT_TRUE(v.Get("d")->AsArray()[2].IsNull());
+  EXPECT_TRUE(v.Get("e")->IsObject());
+}
+
+TEST(CampaignJson, DumpIsDeterministicSortedKeys) {
+  Json v;
+  v["zebra"] = 1;
+  v["alpha"] = 2;
+  v["mid"] = Json(JsonArray{Json(1), Json(2)});
+  EXPECT_EQ(v.Dump(), R"({"alpha":2,"mid":[1,2],"zebra":1})");
+}
+
+TEST(CampaignJson, NumbersRoundTripThroughDump) {
+  // Integers up to 2^53 print as integers; doubles print round-trippably.
+  Json v;
+  v["big"] = std::uint64_t{9'007'199'254'740'991};  // 2^53 - 1
+  v["frac"] = 0.1;
+  v["neg"] = -17;
+  const Json back = Json::Parse(v.Dump());
+  EXPECT_EQ(back.Get("big")->AsUint(), 9'007'199'254'740'991u);
+  EXPECT_DOUBLE_EQ(back.Get("frac")->AsDouble(), 0.1);
+  EXPECT_EQ(back.Get("neg")->AsInt(), -17);
+  EXPECT_EQ(Json::Parse(back.Dump()).Dump(), back.Dump());
+}
+
+TEST(CampaignJson, RejectsMalformedInputWithPosition) {
+  try {
+    Json::Parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+  try {
+    Json::Parse("{\"a\": }");
+    FAIL() << "malformed value accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+  }
+  EXPECT_THROW(Json::Parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::Parse(""), std::runtime_error);
+}
+
+TEST(CampaignJson, MergePatchFollowsRfc7386) {
+  const Json base = Json::Parse(R"({"a": {"x": 1, "y": 2}, "b": 3, "c": 4})");
+  const Json patch = Json::Parse(R"({"a": {"y": 9}, "b": null, "d": 5})");
+  const Json merged = MergePatch(base, patch);
+  EXPECT_EQ(merged.Get("a")->Get("x")->AsUint(), 1u);  // untouched sibling
+  EXPECT_EQ(merged.Get("a")->Get("y")->AsUint(), 9u);  // recursed override
+  EXPECT_EQ(merged.Get("b"), nullptr);                 // null deletes
+  EXPECT_EQ(merged.Get("c")->AsUint(), 4u);
+  EXPECT_EQ(merged.Get("d")->AsUint(), 5u);
+}
+
+TEST(CampaignJson, SetJsonPathCreatesIntermediates) {
+  Json root;
+  SetJsonPath(root, "workload.queue_depth", Json(std::uint64_t{16}));
+  SetJsonPath(root, "workload.read_fraction", Json(0.5));
+  EXPECT_EQ(root.Get("workload")->Get("queue_depth")->AsUint(), 16u);
+  EXPECT_DOUBLE_EQ(root.Get("workload")->Get("read_fraction")->AsDouble(), 0.5);
+  EXPECT_THROW(SetJsonPath(root, "a..b", Json(1)), std::runtime_error);
+}
+
+// --- CampaignSpec ----------------------------------------------------------
+
+constexpr const char* kBaseSpec = R"({
+  "campaign": "test",
+  "workers": 3,
+  "defaults": {
+    "device_bytes": "32MiB",
+    "seed": 100,
+    "workload": {"kind": "closed_loop", "requests": 50}
+  },
+  "grid": {
+    "ftl": ["conventional", "ppb"],
+    "workload.queue_depth": [2, 8]
+  }
+})";
+
+TEST(CampaignSpec, ExpandsGridInSortedOdometerOrder) {
+  const CampaignSpec spec = CampaignSpec::Parse(kBaseSpec);
+  EXPECT_EQ(spec.name, "test");
+  EXPECT_EQ(spec.workers, 3u);
+  ASSERT_EQ(spec.arms.size(), 4u);
+  // Sorted grid keys: "ftl" varies slowest, "workload.queue_depth" fastest.
+  EXPECT_EQ(spec.arms[0].name, "ftl=conventional,workload.queue_depth=2");
+  EXPECT_EQ(spec.arms[1].name, "ftl=conventional,workload.queue_depth=8");
+  EXPECT_EQ(spec.arms[2].name, "ftl=ppb,workload.queue_depth=2");
+  EXPECT_EQ(spec.arms[3].name, "ftl=ppb,workload.queue_depth=8");
+  EXPECT_EQ(spec.arms[0].device.kind, ssd::FtlKind::kConventional);
+  EXPECT_EQ(spec.arms[2].device.kind, ssd::FtlKind::kPpb);
+  EXPECT_EQ(spec.arms[1].merged.Get("workload")->Get("queue_depth")->AsUint(),
+            8u);
+}
+
+TEST(CampaignSpec, AutoSeedDecorrelatesArms) {
+  const CampaignSpec spec = CampaignSpec::Parse(kBaseSpec);
+  EXPECT_EQ(spec.arms[0].seed, 100u);
+  EXPECT_EQ(spec.arms[1].seed, 101u);
+  EXPECT_EQ(spec.arms[3].seed, 103u);
+}
+
+TEST(CampaignSpec, ExplicitSeedOverridePinsArm) {
+  const CampaignSpec spec = CampaignSpec::Parse(R"({
+    "defaults": {"seed": 7, "workload": {"kind": "closed_loop"}},
+    "grid": {"seed": [41, 42]}
+  })");
+  ASSERT_EQ(spec.arms.size(), 2u);
+  EXPECT_EQ(spec.arms[0].seed, 41u);
+  EXPECT_EQ(spec.arms[1].seed, 42u);
+}
+
+TEST(CampaignSpec, ExplicitArmsCrossWithGrid) {
+  const CampaignSpec spec = CampaignSpec::Parse(R"({
+    "defaults": {"workload": {"kind": "closed_loop"}},
+    "grid": {"ftl": ["conventional", "ppb"]},
+    "arms": [{"name": "base"}, {"name": "deep", "workload": {"queue_depth": 32}}]
+  })");
+  ASSERT_EQ(spec.arms.size(), 4u);
+  EXPECT_EQ(spec.arms[0].name, "base:ftl=conventional");
+  EXPECT_EQ(spec.arms[1].name, "deep:ftl=conventional");
+  EXPECT_EQ(spec.arms[1].merged.Get("workload")->Get("queue_depth")->AsUint(),
+            32u);
+  EXPECT_EQ(spec.arms[3].name, "deep:ftl=ppb");
+}
+
+TEST(CampaignSpec, RejectsBadFields) {
+  EXPECT_THROW(CampaignSpec::Parse(R"({"workers": 0})"), std::runtime_error);
+  EXPECT_THROW(
+      CampaignSpec::Parse(
+          R"({"defaults": {"ftl": "nvm", "workload": {"kind": "closed_loop"}}})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      CampaignSpec::Parse(
+          R"({"defaults": {"prefill_pct": 101, "workload": {"kind": "closed_loop"}}})"),
+      std::runtime_error);
+  // Workload object is mandatory per arm.
+  EXPECT_THROW(CampaignSpec::Parse(R"({"defaults": {}})"), std::runtime_error);
+  // Grid axes must be non-empty arrays.
+  EXPECT_THROW(
+      CampaignSpec::Parse(
+          R"({"defaults": {"workload": {"kind": "closed_loop"}}, "grid": {"ftl": []}})"),
+      std::runtime_error);
+}
+
+TEST(CampaignSpec, ByteSizesAcceptStringsAndNumbers) {
+  const CampaignSpec spec = CampaignSpec::Parse(R"({
+    "defaults": {"device_bytes": "64MiB", "page_size": 16384,
+                  "workload": {"kind": "closed_loop"}}
+  })");
+  ASSERT_EQ(spec.arms.size(), 1u);
+  EXPECT_EQ(spec.arms[0].merged.Get("device_bytes")->AsString(), "64MiB");
+  EXPECT_EQ(spec.arms[0].device.geometry.page_size_bytes, 16384u);
+}
+
+}  // namespace
+}  // namespace ctflash::campaign
