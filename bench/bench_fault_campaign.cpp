@@ -1,0 +1,348 @@
+// Fault-injection campaign bench: media errors the FTL must survive.
+//
+// Builds a durability grid — program-fail probability x read-disturb rate,
+// replicated across `--replicas` decorrelated seeds — over ONE aged prefill
+// snapshot, with the synthetic layer error model tuned so bottom-layer reads
+// routinely fail their first sense and recover through the read-retry
+// ladder.  SELF-ASSERTS the fault subsystem's core claims:
+//
+//   1. Zero aborts — every arm completes and is classified
+//      (masked / recovered / data-loss); an arm that throws is classified
+//      data-loss, never a crash.
+//   2. Determinism — the deterministic report (fault counters included) is
+//      byte-identical across worker counts.
+//   3. Durability — at the default ECC budget and retry ladder, >= 99 % of
+//      arms finish without data loss, and the injection is not vacuous
+//      (program failures and retried reads actually happened).
+//   4. Bounded degradation — the worst faulty read p99 stays within
+//      --p99-factor (default 3x) of the fault-free baseline arm.
+//   5. Die loss — a small kill-one-die sub-campaign completes with every
+//      arm classified (lost data is reported, not aborted on).
+//
+// Options:
+//   --replicas <n>    seeds per grid point           (default 500)
+//   --workers <n>     worker count for the main run  (default min(8, hw))
+//   --device <sz>     device bytes per arm           (default 64 MiB)
+//   --requests <n>    closed-loop requests per arm   (default 1500)
+//   --p99-factor <x>  tail-latency bound vs baseline (default 3.0)
+//   --quick           16 replicas + 1/2-length arms for smoke runs
+//   --json <path>     result file (default BENCH_fault_campaign.json)
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/json.h"
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+#include "util/config.h"
+
+namespace {
+
+using ctflash::campaign::ArmResult;
+using ctflash::campaign::CampaignResult;
+using ctflash::campaign::CampaignRunner;
+using ctflash::campaign::CampaignSpec;
+using ctflash::campaign::Json;
+using ctflash::campaign::JsonArray;
+using ctflash::campaign::JsonObject;
+
+struct Options {
+  std::uint64_t replicas = 500;
+  std::uint32_t workers = 0;  // 0 = min(8, hw_concurrency)
+  std::uint64_t device_bytes = 64ull << 20;
+  std::uint64_t requests = 1'500;
+  double p99_factor = 3.0;
+  std::string json_path = "BENCH_fault_campaign.json";
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value after " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--replicas") {
+      o.replicas = std::stoull(next());
+      if (o.replicas == 0) throw std::invalid_argument("--replicas must be >= 1");
+    } else if (arg == "--workers") {
+      o.workers = static_cast<std::uint32_t>(std::stoul(next()));
+      if (o.workers == 0) throw std::invalid_argument("--workers must be >= 1");
+    } else if (arg == "--device") {
+      o.device_bytes = ctflash::util::ParseByteSize(next());
+    } else if (arg == "--requests") {
+      o.requests = std::stoull(next());
+    } else if (arg == "--p99-factor") {
+      o.p99_factor = std::stod(next());
+    } else if (arg == "--quick") {
+      o.replicas = 16;
+      o.requests /= 2;
+    } else if (arg == "--json") {
+      o.json_path = next();
+    } else {
+      throw std::invalid_argument("unknown bench option: " + arg);
+    }
+  }
+  return o;
+}
+
+/// Shared arm skeleton: device, aged prefill, error model, workload.  The
+/// error model is deliberately aggressive (bottom-layer RBER past the ECC
+/// budget) so the retry ladder carries real traffic; the fault plan rides on
+/// top of it.
+Json Defaults(const Options& o) {
+  Json defaults;
+  defaults["device_bytes"] = o.device_bytes;
+  defaults["prefill_pct"] = std::uint64_t{85};
+  defaults["seed"] = std::uint64_t{11};
+  Json em;
+  em["base_rber"] = 7.5e-4;
+  em["layer_skew"] = 8.0;
+  defaults["error_model"] = em;
+  Json workload;
+  workload["kind"] = "closed_loop";
+  workload["requests"] = o.requests;
+  workload["queue_depth"] = std::uint64_t{8};
+  workload["read_fraction"] = 0.7;
+  defaults["workload"] = workload;
+  return defaults;
+}
+
+/// The durability grid: program-fail x read-disturb, `replicas` arms per
+/// grid point (empty patches; seeds decorrelate via defaults.seed + index,
+/// and the fault seed mixes from the arm seed).
+std::string DurabilitySpecText(const Options& o, std::uint64_t replicas) {
+  Json spec;
+  spec["campaign"] = "fault-durability";
+  spec["workers"] = std::uint64_t{1};
+  Json defaults = Defaults(o);
+  Json faults;
+  faults["program_fail_prob"] = 0.0;  // grid overrides
+  faults["erase_fail_prob"] = 1e-3;
+  defaults["faults"] = faults;
+  spec["defaults"] = defaults;
+  Json grid;
+  grid["faults.program_fail_prob"] = Json(JsonArray{Json(1e-4), Json(1e-3)});
+  grid["faults.read_disturb_per_read"] =
+      Json(JsonArray{Json(0.0), Json(5e-4)});
+  spec["grid"] = grid;
+  JsonArray arms;
+  for (std::uint64_t r = 0; r < replicas; ++r) arms.push_back(Json(JsonObject{}));
+  spec["arms"] = Json(std::move(arms));
+  return spec.Dump(2);
+}
+
+/// Fault-free baseline: same device/error-model/workload, no fault plan.
+std::string BaselineSpecText(const Options& o) {
+  Json spec;
+  spec["campaign"] = "fault-baseline";
+  spec["workers"] = std::uint64_t{1};
+  spec["defaults"] = Defaults(o);
+  return spec.Dump(2);
+}
+
+/// Kill-one-die sub-campaign: die 0 drops out mid-workload.
+std::string DieLossSpecText(const Options& o, std::uint64_t replicas) {
+  Json spec;
+  spec["campaign"] = "fault-die-loss";
+  spec["workers"] = std::uint64_t{1};
+  Json defaults = Defaults(o);
+  Json faults;
+  faults["fail_dies"] = Json(JsonArray{Json(std::uint64_t{0})});
+  faults["fail_at_us"] = std::uint64_t{1};
+  defaults["faults"] = faults;
+  spec["defaults"] = defaults;
+  JsonArray arms;
+  for (std::uint64_t r = 0; r < replicas; ++r) arms.push_back(Json(JsonObject{}));
+  spec["arms"] = Json(std::move(arms));
+  return spec.Dump(2);
+}
+
+int Fail(const std::string& what) {
+  std::cerr << "SELF-ASSERT FAILED: " << what << "\n";
+  return 1;
+}
+
+double ReadP99(const Json& metrics) {
+  const Json* lat = metrics.Get("read_latency");
+  if (lat == nullptr) return 0.0;
+  return lat->GetDoubleOr("p99_us", 0.0);
+}
+
+std::uint64_t FaultCounter(const Json& metrics, const char* section,
+                           const char* key) {
+  const Json* faults = metrics.Get("faults");
+  if (faults == nullptr) return 0;
+  const Json* node = section != nullptr ? faults->Get(section) : faults;
+  if (node == nullptr) return 0;
+  return node->GetUintOr(key, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t workers =
+      options.workers != 0 ? options.workers : std::min(8u, hw);
+
+  std::cout << "=== Fault-injection campaign: durability vs tail latency ===\n";
+  const CampaignSpec spec =
+      CampaignSpec::Parse(DurabilitySpecText(options, options.replicas));
+  std::cout << "Durability grid: " << spec.arms.size() << " arms ("
+            << options.replicas << " replicas x 4 grid points), device "
+            << (options.device_bytes >> 20) << " MiB, " << options.requests
+            << " requests/arm, " << workers << " workers\n";
+
+  // Baseline (fault-free) read p99 for the degradation bound.
+  const CampaignSpec baseline_spec =
+      CampaignSpec::Parse(BaselineSpecText(options));
+  const ArmResult baseline =
+      ctflash::campaign::RunCampaignArm(baseline_spec.arms[0], nullptr);
+  if (!baseline.ok) {
+    return Fail("fault-free baseline arm failed: " + baseline.error);
+  }
+  if (!baseline.outcome.empty()) {
+    return Fail("fault-free baseline arm was classified \"" +
+                baseline.outcome + "\" (outcomes are for fault arms only)");
+  }
+  const double baseline_p99 = ReadP99(baseline.metrics);
+  if (baseline_p99 <= 0.0) return Fail("baseline read p99 is zero");
+  std::cout << "baseline (fault-free) read p99: " << baseline_p99 << " us\n";
+
+  // Assert 2: worker count must not change a single report byte.  Run a
+  // small sub-grid twice rather than the full campaign (same code path).
+  {
+    const std::uint64_t det_replicas = std::min<std::uint64_t>(
+        options.replicas, 8);
+    CampaignRunner det(
+        CampaignSpec::Parse(DurabilitySpecText(options, det_replicas)));
+    const std::string one = det.Run(1).DeterministicJson().Dump(2);
+    const std::string many =
+        det.Run(std::max(2u, std::min(4u, hw))).DeterministicJson().Dump(2);
+    std::cout << "deterministic report across worker counts: "
+              << (one == many ? "IDENTICAL" : "DIFFER") << " (" << one.size()
+              << " bytes, " << det_replicas * 4 << " arms)\n";
+    if (one != many) {
+      return Fail("worker count changed the deterministic fault report");
+    }
+  }
+
+  // The main durability campaign.
+  CampaignRunner runner(spec);
+  CampaignResult result = runner.Run(workers);
+
+  std::uint64_t masked = 0, recovered = 0, data_loss = 0;
+  std::uint64_t failed_arms = 0;
+  std::uint64_t total_program_failures = 0, total_retired = 0;
+  std::uint64_t total_retried_reads = 0, total_recovered_reads = 0;
+  double worst_p99 = 0.0;
+  for (const ArmResult& arm : result.arms) {
+    if (arm.outcome == "masked") {
+      masked++;
+    } else if (arm.outcome == "recovered") {
+      recovered++;
+    } else if (arm.outcome == "data-loss") {
+      data_loss++;
+    } else {
+      return Fail("arm \"" + arm.name + "\" (index " +
+                  std::to_string(arm.index) + ") has no outcome class");
+    }
+    if (!arm.ok) {
+      failed_arms++;
+      continue;  // no metrics to harvest
+    }
+    total_program_failures += FaultCounter(arm.metrics, nullptr,
+                                           "program_failures");
+    total_retired += FaultCounter(arm.metrics, nullptr, "blocks_retired");
+    total_retried_reads += FaultCounter(arm.metrics, "host_reads",
+                                        "retried_reads");
+    total_recovered_reads += FaultCounter(arm.metrics, "host_reads",
+                                          "recovered_reads");
+    worst_p99 = std::max(worst_p99, ReadP99(arm.metrics));
+  }
+  const double survive_fraction =
+      1.0 - static_cast<double>(data_loss) /
+                static_cast<double>(result.arms.size());
+  std::cout << "\noutcomes: " << masked << " masked, " << recovered
+            << " recovered, " << data_loss << " data-loss (" << failed_arms
+            << " arms died mid-run) -> survival "
+            << 100.0 * survive_fraction << " %\n";
+  std::cout << "recovery activity: " << total_program_failures
+            << " program failures, " << total_retired
+            << " blocks retired, " << total_retried_reads
+            << " retried reads (" << total_recovered_reads
+            << " recovered)\n";
+
+  // Assert 3a: the injection must not be vacuous.
+  if (total_program_failures == 0) {
+    return Fail("no program failures injected across the whole campaign");
+  }
+  if (total_retried_reads == 0 || total_recovered_reads == 0) {
+    return Fail("the read-retry ladder never ran/recovered");
+  }
+  // Assert 3b: durability at the default ECC budget + retry ladder.
+  if (survive_fraction < 0.99) {
+    return Fail("survival " + std::to_string(100.0 * survive_fraction) +
+                " % below the 99 % durability bar");
+  }
+  // Assert 4: tail latency bounded even on the worst arm.
+  const double p99_bound = options.p99_factor * baseline_p99;
+  std::cout << "worst faulty read p99: " << worst_p99 << " us (bound "
+            << p99_bound << " us = " << options.p99_factor << "x baseline)\n";
+  if (worst_p99 > p99_bound) {
+    return Fail("faulty read p99 exceeded the degradation bound");
+  }
+
+  // Assert 5: die loss is reported, not aborted on.
+  const std::uint64_t die_loss_replicas =
+      std::min<std::uint64_t>(options.replicas, 8);
+  CampaignRunner die_runner(
+      CampaignSpec::Parse(DieLossSpecText(options, die_loss_replicas)));
+  CampaignResult die_result = die_runner.Run(workers);
+  std::uint64_t die_classified = 0, die_lost = 0;
+  for (const ArmResult& arm : die_result.arms) {
+    if (arm.outcome.empty()) {
+      return Fail("die-loss arm \"" + arm.name + "\" has no outcome class");
+    }
+    die_classified++;
+    if (arm.outcome == "data-loss") die_lost++;
+  }
+  std::cout << "die-loss sub-campaign: " << die_classified << " arms classified, "
+            << die_lost << " reported data loss\n";
+  if (die_lost == 0) {
+    return Fail("killing a die never cost data (injection vacuous?)");
+  }
+
+  Json report = result.Report();
+  Json checks;
+  checks["grid_arms"] = static_cast<std::uint64_t>(result.arms.size());
+  checks["masked"] = masked;
+  checks["recovered"] = recovered;
+  checks["data_loss"] = data_loss;
+  checks["failed_arms"] = failed_arms;
+  checks["survival_fraction"] = survive_fraction;
+  checks["program_failures"] = total_program_failures;
+  checks["blocks_retired"] = total_retired;
+  checks["retried_reads"] = total_retried_reads;
+  checks["recovered_reads"] = total_recovered_reads;
+  checks["baseline_read_p99_us"] = baseline_p99;
+  checks["worst_faulty_read_p99_us"] = worst_p99;
+  checks["p99_factor_bound"] = options.p99_factor;
+  checks["die_loss_arms"] = die_classified;
+  checks["die_loss_data_loss"] = die_lost;
+  report["self_check"] = checks;
+  std::ofstream out(options.json_path);
+  out << report.Dump(2) << "\n";
+  std::cout << "\nall self-asserts passed; wrote " << options.json_path << "\n";
+  return 0;
+}

@@ -203,6 +203,44 @@ Json DeviceCountersJson(const ssd::Ssd& ssd) {
   return out;
 }
 
+Json ReadErrorStatsJson(const ftl::ReadErrorStats& s) {
+  Json out;
+  out["sampled_reads"] = s.sampled_reads;
+  out["uncorrectable_reads"] = s.uncorrectable_reads;
+  out["retried_reads"] = s.retried_reads;
+  out["retry_rungs"] = s.retry_rungs;
+  out["recovered_reads"] = s.recovered_reads;
+  out["unrecovered_reads"] = s.unrecovered_reads;
+  out["lost_reads"] = s.lost_reads;
+  return out;
+}
+
+Json FaultMetricsJson(const ssd::Ssd& ssd) {
+  const ftl::FaultStats& fs = ssd.ftl().fault_stats();
+  Json out;
+  out["program_failures"] = fs.program_failures;
+  out["erase_failures"] = fs.erase_failures;
+  out["host_unreadable_pages"] = fs.host_unreadable_pages;
+  out["gc_lost_pages"] = fs.gc_lost_pages;
+  out["lost_pages"] = fs.LostPages();
+  out["blocks_retired"] = ssd.ftl().blocks().RetiredCount();
+  out["host_reads"] = ReadErrorStatsJson(ssd.target().read_error_stats());
+  out["gc_reads"] = ReadErrorStatsJson(ssd.target().gc_read_error_stats());
+  return out;
+}
+
+/// Per-arm outcome taxonomy (see ArmResult::outcome).
+std::string ClassifyFaultOutcome(const ssd::Ssd& ssd) {
+  const ftl::FaultStats& fs = ssd.ftl().fault_stats();
+  if (fs.LostPages() > 0) return "data-loss";
+  const ftl::ReadErrorStats& h = ssd.target().read_error_stats();
+  const ftl::ReadErrorStats& g = ssd.target().gc_read_error_stats();
+  const bool recovery_ran = fs.program_failures > 0 || fs.erase_failures > 0 ||
+                            h.recovered_reads > 0 || g.recovered_reads > 0 ||
+                            ssd.ftl().blocks().RetiredCount() > 0;
+  return recovery_ran ? "recovered" : "masked";
+}
+
 /// Shared-prefill key: device shape + prefill parameters.  gc_routing is
 /// deliberately absent from the shape key (see campaign/snapshot.h) so
 /// inline- and scheduled-GC arms share one prefill.
@@ -231,6 +269,13 @@ ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared) {
       ssd::ExperimentRunner prefiller(ssd);
       prefill_end = prefiller.Prefill(prefill_bytes, arm.prefill_chunk_bytes);
     }
+    // Faults arm after the restore/prefill: the aged snapshot is shared by
+    // every fault plan, and the prefill itself must stay fault-free so the
+    // arms diverge only through their injected schedules.
+    if (arm.inject_faults) {
+      ssd.target().ArmFaults(arm.fault_plan, arm.fault_handling,
+                             arm.fault_seed);
+    }
     host::HostInterface host(ssd, arm.host);
     host.AdvanceTo(prefill_end);
 
@@ -249,11 +294,18 @@ ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared) {
                                "\"");
     }
     out.metrics["device"] = DeviceCountersJson(ssd);
+    if (arm.inject_faults) {
+      out.metrics["faults"] = FaultMetricsJson(ssd);
+      out.outcome = ClassifyFaultOutcome(ssd);
+    }
     out.ok = true;
   } catch (const std::exception& e) {
     out.ok = false;
     out.error = e.what();
     out.metrics = Json();
+    // An arm that dies mid-run on an unrecoverable media error (e.g. the
+    // spare pool retired away) is a data-loss outcome, not a campaign bug.
+    if (arm.inject_faults) out.outcome = "data-loss";
   }
   return out;
 }
@@ -338,6 +390,7 @@ Json CampaignResult::DeterministicJson() const {
     entry["index"] = arm.index;
     entry["ok"] = arm.ok;
     if (!arm.ok) entry["error"] = arm.error;
+    if (!arm.outcome.empty()) entry["outcome"] = arm.outcome;
     entry["config"] = arm.config;
     entry["metrics"] = arm.metrics;
     arm_array.push_back(std::move(entry));

@@ -38,6 +38,12 @@ struct ArmResult {
   std::uint64_t index = 0;
   bool ok = false;
   std::string error;  ///< exception text when !ok
+  /// Fault-arm classification; empty for fault-free arms.
+  ///   "masked"    — faults armed but nothing visible happened,
+  ///   "recovered" — recovery machinery ran (retries, retirement, program
+  ///                 re-allocation) and no data was lost,
+  ///   "data-loss" — pages lost or the arm died on an unrecoverable error.
+  std::string outcome;
   Json config;        ///< ArmSpec::ConfigSummary()
   Json metrics;       ///< workload + device counters; deterministic
 };

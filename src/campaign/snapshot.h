@@ -34,7 +34,9 @@ namespace ctflash::campaign {
 
 struct DeviceState {
   /// Bump on any change to the payload encoding or the envelope layout.
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// v2: block-manager retirement fields, FTL fault counters, host/GC read
+  /// error stat split, optional fault-injector section.
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   /// Canonical description of the producing device's configuration; Restore
   /// refuses state whose shape key differs from the target device's.

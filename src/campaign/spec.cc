@@ -133,6 +133,56 @@ ArmSpec ResolveArm(const Json& merged, std::uint64_t index,
   arm.seed = seed_overridden ? merged.GetUintOr("seed", default_seed)
                              : default_seed + index;
 
+  // Reliability study knobs.  "error_model" arms the synthetic layer error
+  // model on the device (device config: part of the snapshot shape key);
+  // "faults" declares a per-arm injection plan + handling policy (armed
+  // after restore; NOT part of the shape key).
+  if (const Json* em = merged.Get("error_model"); em != nullptr && !em->IsNull()) {
+    arm.device.model_read_errors = true;
+    nand::ErrorModelConfig& m = arm.device.error_model;
+    m.base_rber = em->GetDoubleOr("base_rber", m.base_rber);
+    m.layer_skew = em->GetDoubleOr("layer_skew", m.layer_skew);
+    m.pe_scale = em->GetDoubleOr("pe_scale", m.pe_scale);
+    m.codeword_bytes = static_cast<std::uint32_t>(
+        em->GetUintOr("codeword_bytes", m.codeword_bytes));
+    m.correctable_bits_per_codeword = static_cast<std::uint32_t>(
+        em->GetUintOr("correctable_bits_per_codeword",
+                      m.correctable_bits_per_codeword));
+    m.Validate();
+    arm.device.error_model_seed =
+        em->GetUintOr("seed", arm.device.error_model_seed);
+  }
+  if (const Json* f = merged.Get("faults"); f != nullptr && !f->IsNull()) {
+    arm.inject_faults = true;
+    nand::FaultPlanConfig& p = arm.fault_plan;
+    p.program_fail_prob = f->GetDoubleOr("program_fail_prob", 0.0);
+    p.erase_fail_prob = f->GetDoubleOr("erase_fail_prob", 0.0);
+    p.read_disturb_per_read = f->GetDoubleOr("read_disturb_per_read", 0.0);
+    p.retention_rber_multiplier =
+        f->GetDoubleOr("retention_rber_multiplier", 1.0);
+    if (const Json* dies = f->Get("fail_dies"); dies != nullptr) {
+      for (const Json& d : dies->AsArray()) p.fail_dies.push_back(d.AsUint());
+    }
+    if (const Json* chans = f->Get("fail_channels"); chans != nullptr) {
+      for (const Json& c : chans->AsArray()) {
+        p.fail_channels.push_back(static_cast<std::uint32_t>(c.AsUint()));
+      }
+    }
+    p.fail_at_us = static_cast<Us>(f->GetUintOr("fail_at_us", 0));
+    p.Validate();
+    ftl::FaultHandlingConfig& h = arm.fault_handling;
+    h.max_read_retries = static_cast<std::uint32_t>(
+        f->GetUintOr("max_read_retries", h.max_read_retries));
+    h.retry_rber_scale = f->GetDoubleOr("retry_rber_scale", h.retry_rber_scale);
+    h.max_program_retries = static_cast<std::uint32_t>(
+        f->GetUintOr("max_program_retries", h.max_program_retries));
+    h.Validate();
+    // Golden-ratio mix keeps replica arms (seed + index) on well-separated
+    // fault streams even though their seeds differ by 1.
+    arm.fault_seed =
+        f->GetUintOr("seed", arm.seed * 0x9E3779B97F4A7C15ull + 0xFA17ull);
+  }
+
   const Json* workload = merged.Get("workload");
   if (workload == nullptr || !workload->IsObject()) {
     throw std::runtime_error("campaign: arm \"" + name +
@@ -155,6 +205,15 @@ Json ArmSpec::ConfigSummary() const {
   summary["seed"] = seed;
   if (const Json* w = merged.Get("workload")) {
     summary["workload"] = *w;
+  }
+  if (const Json* em = merged.Get("error_model"); em != nullptr && !em->IsNull()) {
+    summary["error_model"] = *em;
+  }
+  if (const Json* f = merged.Get("faults"); f != nullptr && !f->IsNull()) {
+    summary["faults"] = *f;
+    // As a string: the derived seed is a full 64-bit mix, beyond the 2^53
+    // integers Json numbers (doubles) represent exactly.
+    summary["fault_seed"] = std::to_string(fault_seed);
   }
   return summary;
 }

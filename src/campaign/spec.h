@@ -39,8 +39,10 @@
 #include <vector>
 
 #include "campaign/json.h"
+#include "ftl/flash_target.h"
 #include "host/host_interface.h"
 #include "host/load_generator.h"
+#include "nand/fault_plan.h"
 #include "ssd/ssd.h"
 #include "util/types.h"
 
@@ -60,6 +62,17 @@ struct ArmSpec {
   std::uint32_t prefill_pct = 85;
   std::uint64_t prefill_chunk_bytes = 0;
   std::uint64_t seed = 0;
+
+  /// Fault-injection settings, parsed from a top-level "faults" object
+  /// (absent or null -> fault-free arm).  The plan/handling are NOT device
+  /// configuration: they are armed *after* restore, so all fault arms of a
+  /// grid share one aged prefill snapshot.
+  bool inject_faults = false;
+  nand::FaultPlanConfig fault_plan;
+  ftl::FaultHandlingConfig fault_handling;
+  /// Fault-draw seed; "faults.seed" pins it, otherwise derived from the
+  /// arm seed so replicated arms draw decorrelated fault sequences.
+  std::uint64_t fault_seed = 0;
 
   /// Canonical config echo for the result report (deterministic fields
   /// only: name, ftl, gc_routing, device/workload shape, seed).

@@ -135,21 +135,53 @@ HotnessLevel PpbFtl::RelocationLevel(Lpn lpn, Area src_area) {
   return freq_.IsCold(lpn) ? HotnessLevel::kCold : HotnessLevel::kIcyCold;
 }
 
+PpbFtl::ProgramOutcome PpbFtl::ProgramWithRetry(Ppn ppn, Area area,
+                                                HotnessLevel level,
+                                                bool gc_stream, Us earliest) {
+  ftl::MediaOpResult pr = target_.ProgramPageChecked(ppn, earliest);
+  for (std::uint32_t attempt = 1; pr.failed; ++attempt) {
+    OnProgramFailure(ppn, pr.die_lost);
+    if (attempt >= target_.MaxProgramAttempts()) {
+      throw ftl::MediaError("PpbFtl: page program failed " +
+                            std::to_string(attempt) + " times");
+    }
+    auto alloc = vbm_.AllocatePage(area, level, gc_stream);
+    if (!alloc.has_value()) {
+      throw ftl::MediaError(
+          "PpbFtl: spare pool exhausted while retrying a failed program");
+    }
+    if (alloc->diverted) ppb_stats_.diverted_writes++;
+    if (alloc->fast_class) {
+      ppb_stats_.fast_class_writes++;
+    } else {
+      ppb_stats_.slow_class_writes++;
+    }
+    ppn = alloc->ppn;
+    pr = target_.ProgramPageChecked(ppn, pr.done);
+  }
+  return {ppn, pr.done};
+}
+
 Us PpbFtl::PlacePage(Lpn lpn, HotnessLevel level, Us earliest) {
   const Area area = AreaOf(level);
   auto alloc = vbm_.AllocatePage(area, level);
-  CTFLASH_CHECK(alloc.has_value());  // GC thresholds keep the free pool alive
+  if (!alloc.has_value()) {
+    // GC thresholds keep the free pool alive in the fault-free device;
+    // running dry means retirement ate the spare pool (e.g. a lost die).
+    throw ftl::MediaError("PpbFtl: spare pool exhausted on host write");
+  }
   if (alloc->diverted) ppb_stats_.diverted_writes++;
   if (alloc->fast_class) {
     ppb_stats_.fast_class_writes++;
   } else {
     ppb_stats_.slow_class_writes++;
   }
-  const Ppn ppn = alloc->ppn;
-  const Ppn old = map_.Update(lpn, ppn);
+  const ProgramOutcome out =
+      ProgramWithRetry(alloc->ppn, area, level, /*gc_stream=*/false, earliest);
+  const Ppn old = map_.Update(lpn, out.ppn);
   if (old != kInvalidPpn) blocks_.RemoveValid(target_.geometry().BlockOf(old));
-  blocks_.AddValid(target_.geometry().BlockOf(ppn));
-  return target_.ProgramPage(ppn, earliest);
+  blocks_.AddValid(target_.geometry().BlockOf(out.ppn));
+  return out.done;
 }
 
 void PpbFtl::OnGcVictimChosen(BlockId victim) {
@@ -172,7 +204,9 @@ Us PpbFtl::RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim, Us earliest) {
                 : (src_fast ? HotnessLevel::kCold : HotnessLevel::kIcyCold);
   }
   auto alloc = vbm_.AllocatePage(AreaOf(level), level, /*gc_stream=*/true);
-  CTFLASH_CHECK(alloc.has_value());
+  if (!alloc.has_value()) {
+    throw ftl::MediaError("PpbFtl: spare pool exhausted on GC relocation");
+  }
   const bool class_changed = alloc->fast_class != vbm_.IsFastClassPage(p) ||
                              AreaOf(level) != vbm_.AreaOfBlock(victim);
   if (class_changed) ppb_stats_.gc_migrations++;
@@ -181,14 +215,24 @@ Us PpbFtl::RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim, Us earliest) {
   } else {
     ppb_stats_.slow_class_writes++;
   }
-  const Us read_done = target_.ReadPage(src, earliest);
-  const Us done = target_.ProgramPage(alloc->ppn, read_done);
-  map_.ReleasePpn(src);
-  map_.Update(lpn, alloc->ppn);
-  blocks_.RemoveValid(victim);
-  blocks_.AddValid(geo.BlockOf(alloc->ppn));
+  const ftl::MediaReadResult rr =
+      target_.ReadPageChecked(src, earliest, 0, ftl::ReadKind::kGc);
+  // The destination page is programmed even when the source read failed:
+  // the VB fill pointer already advanced and NAND forbids holes in the
+  // program order.  A lost source just relocates garbage.
+  const ProgramOutcome out =
+      ProgramWithRetry(alloc->ppn, AreaOf(level), level, /*gc_stream=*/true,
+                       rr.done);
+  if (rr.DataLost()) {
+    OnGcReadLost(lpn, victim);
+  } else {
+    map_.ReleasePpn(src);
+    map_.Update(lpn, out.ppn);
+    blocks_.RemoveValid(victim);
+    blocks_.AddValid(geo.BlockOf(out.ppn));
+  }
   stats_.gc_page_copies++;
-  return done;
+  return out.done;
 }
 
 Us PpbFtl::DoWrite(Lpn lpn_first, std::uint32_t pages,
@@ -228,9 +272,10 @@ Us PpbFtl::DoRead(Lpn lpn_first, std::uint32_t pages,
     ppb_stats_.reads_at_level[level_idx]++;
     ppb_stats_.read_factor_sum[level_idx] +=
         target_.latency_model().SpeedFactor(page_in_block);
-    const Us done = target_.ReadPage(
+    const ftl::MediaReadResult rr = target_.ReadPageChecked(
         ppn, earliest, TransferBytesFor(lpn, offset_bytes, size_bytes));
-    if (done > completion) completion = done;
+    if (rr.DataLost()) OnHostReadLost(lpn);
+    if (rr.done > completion) completion = rr.done;
 
     // Progressive bookkeeping (no physical movement here).
     const auto tier_before = lru_.TierOf(lpn);

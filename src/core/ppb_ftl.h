@@ -142,6 +142,17 @@ class PpbFtl : public ftl::FtlBase {
   /// pool is exhausted.  Returns program completion time.
   Us PlacePage(Lpn lpn, HotnessLevel level, Us earliest);
 
+  /// Programs `ppn` (already allocated at area/level), re-allocating on
+  /// program failure until a program verifies (bounded by
+  /// FlashTarget::MaxProgramAttempts; throws MediaError on exhaustion).
+  /// Returns the page that finally took the data and its completion time.
+  struct ProgramOutcome {
+    Ppn ppn;
+    Us done;
+  };
+  ProgramOutcome ProgramWithRetry(Ppn ppn, Area area, HotnessLevel level,
+                                  bool gc_stream, Us earliest);
+
   /// Metadata updates for a host write; returns the placement level.
   HotnessLevel ClassifyWrite(Lpn lpn, std::uint64_t request_bytes);
 

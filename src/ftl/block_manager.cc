@@ -73,6 +73,48 @@ void BlockManager::Release(BlockId block) {
   generation_++;
 }
 
+void BlockManager::FlagForRetirement(BlockId block) {
+  CheckId(block);
+  info_[block].retire_pending = true;
+}
+
+bool BlockManager::RetirePending(BlockId block) const {
+  CheckId(block);
+  return info_[block].retire_pending;
+}
+
+void BlockManager::Retire(BlockId block) {
+  CheckId(block);
+  Info& i = info_[block];
+  if (i.use == BlockUse::kRetired) return;
+  if (i.valid != 0) {
+    throw std::logic_error("BlockManager::Retire: block still has valid pages");
+  }
+  if (i.use == BlockUse::kFree) {
+    const auto pos =
+        std::lower_bound(free_list_.begin(), free_list_.end(), block);
+    if (pos == free_list_.end() || *pos != block) {
+      throw std::logic_error("BlockManager::Retire: free block not in list");
+    }
+    free_list_.erase(pos);
+    generation_++;
+    if (free_list_.size() < min_free_) min_free_ = free_list_.size();
+  }
+  i.use = BlockUse::kRetired;
+  i.retire_pending = false;
+  retired_count_++;
+}
+
+std::uint64_t BlockManager::RetireFreeIf(
+    const std::function<bool(BlockId)>& pred) {
+  std::vector<BlockId> doomed;
+  for (const BlockId b : free_list_) {
+    if (pred(b)) doomed.push_back(b);
+  }
+  for (const BlockId b : doomed) Retire(b);
+  return doomed.size();
+}
+
 void BlockManager::AddValid(BlockId block) {
   CheckId(block);
   if (info_[block].valid >= pages_per_block_) {
@@ -131,10 +173,12 @@ void BlockManager::SaveState(util::StateWriter& w) const {
   for (const Info& i : info_) {
     w.PutU32(i.valid);
     w.PutU8(static_cast<std::uint8_t>(i.use));
+    w.PutBool(i.retire_pending);
   }
   w.PutU64Seq(free_list_);
   w.PutU64(generation_);
   w.PutU64(min_free_);
+  w.PutU64(retired_count_);
 }
 
 void BlockManager::LoadState(util::StateReader& r) {
@@ -148,16 +192,18 @@ void BlockManager::LoadState(util::StateReader& r) {
   for (Info& i : info_) {
     i.valid = r.GetU32();
     const std::uint8_t use = r.GetU8();
-    if (use > static_cast<std::uint8_t>(BlockUse::kFull)) {
+    if (use > static_cast<std::uint8_t>(BlockUse::kRetired)) {
       throw std::runtime_error("snapshot: invalid block use value " +
                                std::to_string(use));
     }
     i.use = static_cast<BlockUse>(use);
+    i.retire_pending = r.GetBool();
   }
   const std::vector<std::uint64_t> fl = r.GetU64Seq();
   free_list_.assign(fl.begin(), fl.end());
   generation_ = r.GetU64();
   min_free_ = r.GetU64();
+  retired_count_ = r.GetU64();
 }
 
 }  // namespace ctflash::ftl

@@ -22,6 +22,7 @@ enum class BlockUse : std::uint8_t {
   kFree = 0,   ///< erased, in the free list
   kOpen,       ///< taken by an allocator, still has unwritten pages
   kFull,       ///< every page programmed; GC candidate
+  kRetired,    ///< grown-bad: out of the free list and the victim pool
 };
 
 /// Free-block selection policy.  kById is the deterministic default ("free
@@ -74,6 +75,24 @@ class BlockManager {
   /// Returns an erased block to the free list (caller must have erased it).
   void Release(BlockId block);
 
+  // --- bad-block retirement (fault handling) ------------------------------
+
+  /// Flags a block so the GC erase path retires it instead of releasing it
+  /// (set when a page program in the block fails verify).
+  void FlagForRetirement(BlockId block);
+  bool RetirePending(BlockId block) const;
+
+  /// Permanently removes a block from service: any state -> kRetired.  The
+  /// block must hold no valid pages; a free block is unlinked from the free
+  /// list (spare-pool shrink counts against MinFreeWatermark).
+  void Retire(BlockId block);
+
+  /// Retires every FREE block `pred` approves (e.g. all spares on a lost
+  /// die); returns how many were retired.
+  std::uint64_t RetireFreeIf(const std::function<bool(BlockId)>& pred);
+
+  std::uint64_t RetiredCount() const { return retired_count_; }
+
   /// Valid-page accounting: one page of this block now holds live data.
   void AddValid(BlockId block);
   /// One page of this block was invalidated (update or trim).
@@ -101,6 +120,7 @@ class BlockManager {
   struct Info {
     std::uint32_t valid = 0;
     BlockUse use = BlockUse::kFree;
+    bool retire_pending = false;
   };
 
   void CheckId(BlockId block) const;
@@ -110,6 +130,7 @@ class BlockManager {
   std::uint32_t pages_per_block_;
   std::uint64_t generation_ = 0;
   std::uint64_t min_free_ = 0;  ///< see MinFreeWatermark (set in ctor)
+  std::uint64_t retired_count_ = 0;
   std::function<std::uint32_t(BlockId)> wear_provider_;
 };
 

@@ -38,9 +38,10 @@ Us ConventionalFtl::DoRead(Lpn lpn_first, std::uint32_t pages,
     const Lpn lpn = lpn_first + i;
     const Ppn ppn = map_.Lookup(lpn);
     if (ppn == kInvalidPpn) continue;  // never-written data: no flash work
-    const Us done = target_.ReadPage(
+    const MediaReadResult rr = target_.ReadPageChecked(
         ppn, earliest, TransferBytesFor(lpn, offset_bytes, size_bytes));
-    if (done > completion) completion = done;
+    if (rr.DataLost()) OnHostReadLost(lpn);
+    if (rr.done > completion) completion = rr.done;
   }
   return completion;
 }
@@ -53,28 +54,61 @@ Ppn ConventionalFtl::AllocatePage(bool for_gc) {
                                       : AllocPolicy::kLeastWorn;
   const auto a =
       walloc_.AllocatePage(for_gc ? kGcStream : kHostStream, policy);
-  CTFLASH_CHECK(a.has_value());  // GC thresholds guarantee spare blocks
+  if (!a.has_value()) {
+    // The GC thresholds guarantee spare blocks in the fault-free device;
+    // running dry means retirement ate the spare pool (e.g. a lost die).
+    throw MediaError("ConventionalFtl: spare pool exhausted on " +
+                     std::string(for_gc ? "GC" : "host") + " write stream");
+  }
   return a->ppn;
 }
 
+ConventionalFtl::ProgramOutcome ConventionalFtl::ProgramWithRetry(
+    Ppn ppn, bool for_gc, Us earliest) {
+  MediaOpResult pr = target_.ProgramPageChecked(ppn, earliest);
+  for (std::uint32_t attempt = 1; pr.failed; ++attempt) {
+    OnProgramFailure(ppn, pr.die_lost);
+    if (attempt >= target_.MaxProgramAttempts()) {
+      throw MediaError("ConventionalFtl: page program failed " +
+                       std::to_string(attempt) + " times");
+    }
+    ppn = AllocatePage(for_gc);
+    pr = target_.ProgramPageChecked(ppn, pr.done);
+  }
+  return {ppn, pr.done};
+}
+
 Us ConventionalFtl::WriteOnePage(Lpn lpn, Us earliest) {
-  const Ppn ppn = AllocatePage(/*for_gc=*/false);
-  const Ppn old = map_.Update(lpn, ppn);
+  const ProgramOutcome out =
+      ProgramWithRetry(AllocatePage(/*for_gc=*/false), /*for_gc=*/false,
+                       earliest);
+  const Ppn old = map_.Update(lpn, out.ppn);
   if (old != kInvalidPpn) blocks_.RemoveValid(target_.geometry().BlockOf(old));
-  blocks_.AddValid(target_.geometry().BlockOf(ppn));
-  return target_.ProgramPage(ppn, earliest);
+  blocks_.AddValid(target_.geometry().BlockOf(out.ppn));
+  return out.done;
 }
 
 Us ConventionalFtl::RelocatePageForGc(Lpn lpn, Ppn src, BlockId victim,
                                       Us earliest) {
+  // Destination allocation stays BEFORE the source read: the die striper
+  // consults die availability, which the read booking would shift.
   const Ppn dst = AllocatePage(/*for_gc=*/true);
-  const Us done = target_.CopyPage(src, dst, earliest);
-  map_.ReleasePpn(src);
-  map_.Update(lpn, dst);
-  blocks_.RemoveValid(victim);
-  blocks_.AddValid(target_.geometry().BlockOf(dst));
+  const MediaReadResult rr =
+      target_.ReadPageChecked(src, earliest, 0, ReadKind::kGc);
+  // The destination page is programmed even when the source read failed:
+  // the allocator already advanced the frontier and NAND forbids holes in
+  // the program order.  A lost source just relocates garbage.
+  const ProgramOutcome out = ProgramWithRetry(dst, /*for_gc=*/true, rr.done);
+  if (rr.DataLost()) {
+    OnGcReadLost(lpn, victim);
+  } else {
+    map_.ReleasePpn(src);
+    map_.Update(lpn, out.ppn);
+    blocks_.RemoveValid(victim);
+    blocks_.AddValid(target_.geometry().BlockOf(out.ppn));
+  }
   stats_.gc_page_copies++;
-  return done;
+  return out.done;
 }
 
 Us ConventionalFtl::DoWrite(Lpn lpn_first, std::uint32_t pages,

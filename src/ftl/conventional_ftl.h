@@ -73,6 +73,16 @@ class ConventionalFtl : public FtlBase {
   /// top-layer pages.
   Ppn AllocatePage(bool for_gc);
 
+  /// Programs `ppn` (already allocated on the matching stream),
+  /// re-allocating on program failure until a program verifies (bounded by
+  /// FlashTarget::MaxProgramAttempts; throws MediaError on exhaustion).
+  /// Returns the page that finally took the data and its completion time.
+  struct ProgramOutcome {
+    Ppn ppn;
+    Us done;
+  };
+  ProgramOutcome ProgramWithRetry(Ppn ppn, bool for_gc, Us earliest);
+
   /// Writes one logical page (mapping update + program).
   Us WriteOnePage(Lpn lpn, Us earliest);
 

@@ -20,13 +20,22 @@
 //    exclusivity — two dies on one chip interleave freely, which is what
 //    lets the host scheduler extract intra-chip parallelism; the chip
 //    timelines are kept as pure busy-time accounting in both modes.
+//
+// Fault injection (ArmFaults) layers seeded media failures on top: page
+// programs and block erases can fail verify, reads see read-disturb /
+// retention RBER inflation and a bounded read-retry ladder, and whole dies
+// or channels can drop out mid-run.  The *Checked operation variants report
+// these as typed MediaReadResult / MediaOpResult values the FTL handles;
+// NAND protocol violations (FTL bugs) throw MediaError instead of aborting.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "nand/device.h"
 #include "nand/error_model.h"
+#include "nand/fault_plan.h"
 #include "sim/resource.h"
 #include "util/random.h"
 #include "util/types.h"
@@ -35,11 +44,29 @@ namespace ctflash::ftl {
 
 enum class TimingMode { kServiceTime = 0, kQueued = 1 };
 
+/// Thrown on NAND protocol violations and unrecoverable media conditions
+/// (e.g. the spare pool retired away) so fault campaigns classify the arm
+/// instead of aborting the process.
+class MediaError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Who issued a read, for error attribution (host I/O vs GC relocation).
+enum class ReadKind : std::uint8_t { kHost = 0, kGc = 1 };
+
 /// Aggregate reliability counters (populated when an error model is armed).
+/// Kept separately for host and GC reads; retry/recovery fields advance
+/// only when fault handling is armed.
 struct ReadErrorStats {
   std::uint64_t sampled_reads = 0;
   std::uint64_t total_bit_errors = 0;
-  std::uint64_t uncorrectable_reads = 0;
+  std::uint64_t uncorrectable_reads = 0;  ///< first-sense ECC failures
+  std::uint64_t retried_reads = 0;        ///< reads that entered the ladder
+  std::uint64_t retry_rungs = 0;          ///< total extra senses booked
+  std::uint64_t recovered_reads = 0;      ///< ladder found a clean sense
+  std::uint64_t unrecovered_reads = 0;    ///< ladder exhausted: data lost
+  std::uint64_t lost_reads = 0;           ///< die/channel gone: data lost
 
   double MeanBitErrorsPerRead() const {
     return sampled_reads == 0
@@ -47,6 +74,40 @@ struct ReadErrorStats {
                : static_cast<double>(total_bit_errors) /
                      static_cast<double>(sampled_reads);
   }
+};
+
+/// Outcome of a checked page read.
+struct MediaReadResult {
+  Us done = 0;
+  bool uncorrectable = false;  ///< ECC failed after the whole retry ladder
+  bool die_lost = false;       ///< the die/channel no longer responds
+  std::uint32_t retries = 0;   ///< extra senses spent in the ladder
+
+  /// The stored data is gone (only ever true with fault handling armed).
+  bool DataLost() const { return uncorrectable || die_lost; }
+};
+
+/// Outcome of a checked program / erase.
+struct MediaOpResult {
+  Us done = 0;
+  bool failed = false;    ///< verify failed (or the die is lost)
+  bool die_lost = false;
+};
+
+/// Knobs for how armed devices *handle* injected faults.
+struct FaultHandlingConfig {
+  /// Read-retry ladder depth: extra senses (each a full cell-read latency)
+  /// tried after a first-sense ECC failure before declaring data loss.
+  std::uint32_t max_read_retries = 4;
+  /// Per-rung RBER multiplier (< 1): each retry shifts read thresholds and
+  /// re-feeds the LayerErrorModel::Correctable budget at the reduced rate.
+  double retry_rber_scale = 0.5;
+  /// Re-allocation attempts for a failed page program before the write is
+  /// abandoned as unrecoverable; 0 = auto (pages_per_block + 16, enough to
+  /// burn past a dead-die frontier block).
+  std::uint32_t max_program_retries = 0;
+
+  void Validate() const;
 };
 
 class FlashTarget {
@@ -58,18 +119,37 @@ class FlashTarget {
   /// Reads a programmed page; returns the completion time of the data-out
   /// transfer.  `transfer_bytes` is how much of the page crosses the bus
   /// (sub-page host reads move only the requested bytes); 0 means the whole
-  /// page.  Aborts on NAND protocol violations (FTL bugs).
+  /// page.  Bit errors are sampled over the codewords the transfer actually
+  /// decodes.  Throws MediaError on NAND protocol violations (FTL bugs).
   Us ReadPage(Ppn ppn, Us earliest, std::uint64_t transfer_bytes = 0);
+
+  /// ReadPage plus fault semantics: runs the read-retry ladder on ECC
+  /// failure (each rung books one extra cell sense) and reports data loss
+  /// instead of only counting it.  `kind` attributes the sample to the host
+  /// or GC error stats.
+  MediaReadResult ReadPageChecked(Ppn ppn, Us earliest,
+                                  std::uint64_t transfer_bytes = 0,
+                                  ReadKind kind = ReadKind::kHost);
 
   /// Programs the next page of a block (ppn must respect sequential order);
   /// returns cell-program completion time.
   Us ProgramPage(Ppn ppn, Us earliest);
 
+  /// ProgramPage plus fault semantics: reports injected verify failures and
+  /// die loss.  The page is consumed either way (a failed program still
+  /// burns the page), so block fill bookkeeping stays consistent.
+  MediaOpResult ProgramPageChecked(Ppn ppn, Us earliest);
+
   /// Erases a block; returns completion time.
   Us EraseBlock(BlockId block, Us earliest);
 
+  /// EraseBlock plus fault semantics: reports injected verify failures and
+  /// die loss (the FTL retires the block as grown-bad).
+  MediaOpResult EraseBlockChecked(BlockId block, Us earliest);
+
   /// Internal GC copy (read then program, no host transfer across the bus is
   /// saved because planes lack copy-back here): returns program completion.
+  /// The read is attributed to the GC error stats.
   Us CopyPage(Ppn from, Ppn to, Us earliest);
 
   nand::NandDevice& nand() { return nand_; }
@@ -89,42 +169,49 @@ class FlashTarget {
 
   /// Arms the synthetic layer error model: every subsequent page read
   /// samples bit errors at the page's layer/wear and checks the ECC budget.
-  /// Uncorrectable reads are counted, not failed — the FTL study is about
-  /// performance; reliability consumers inspect read_error_stats().
+  /// Without fault handling armed, uncorrectable reads are counted, not
+  /// failed — the FTL study is about performance; reliability consumers
+  /// inspect read_error_stats().  Must be called before any state restore:
+  /// arming reseeds the error RNG and zeroes the stats, so arming *after*
+  /// LoadState would silently discard restored state (throws
+  /// std::logic_error instead).
   void ArmErrorModel(const nand::ErrorModelConfig& config,
                      std::uint64_t seed = 0x5EED);
 
-  bool ErrorModelArmed() const { return error_model_ != nullptr; }
-  const ReadErrorStats& read_error_stats() const { return error_stats_; }
+  /// Arms seeded fault injection plus the handling policy.  Unlike
+  /// ArmErrorModel this is safe (and typical) *after* a restore: fault
+  /// campaigns restore one aged snapshot, then arm a per-arm fault plan.
+  void ArmFaults(const nand::FaultPlanConfig& plan,
+                 const FaultHandlingConfig& handling, std::uint64_t seed);
 
-  /// Serializes the NAND array, occupancy timelines, error RNG stream and
-  /// error counters.  Construction-derived values (transfer time, mode,
-  /// error-model config) are not serialized; LoadState assumes a target
-  /// built from the same configuration.
-  void SaveState(util::StateWriter& w) const {
-    w.Tag("FTGT");
-    nand_.SaveState(w);
-    chips_.SaveState(w);
-    channels_.SaveState(w);
-    dies_.SaveState(w);
-    error_rng_.SaveState(w);
-    w.PutU64(error_stats_.sampled_reads);
-    w.PutU64(error_stats_.total_bit_errors);
-    w.PutU64(error_stats_.uncorrectable_reads);
-  }
-  void LoadState(util::StateReader& r) {
-    r.ExpectTag("FTGT");
-    nand_.LoadState(r);
-    chips_.LoadState(r);
-    channels_.LoadState(r);
-    dies_.LoadState(r);
-    error_rng_.LoadState(r);
-    error_stats_.sampled_reads = r.GetU64();
-    error_stats_.total_bit_errors = r.GetU64();
-    error_stats_.uncorrectable_reads = r.GetU64();
-  }
+  bool ErrorModelArmed() const { return error_model_ != nullptr; }
+  bool FaultsArmed() const { return faults_ != nullptr; }
+  const nand::FaultInjector* fault_injector() const { return faults_.get(); }
+  const FaultHandlingConfig& fault_handling() const { return handling_; }
+  /// Total attempts (first + re-allocations) the FTL should spend on a page
+  /// program before declaring the write unrecoverable; 1 when unarmed.
+  std::uint32_t MaxProgramAttempts() const;
+
+  /// Host-attributed read error counters.
+  const ReadErrorStats& read_error_stats() const { return error_stats_; }
+  /// GC-relocation-attributed read error counters.
+  const ReadErrorStats& gc_read_error_stats() const { return gc_error_stats_; }
+
+  /// Serializes the NAND array, occupancy timelines, error RNG stream,
+  /// host/GC error counters, and (when armed) the fault injector + handling
+  /// policy.  Construction-derived values (transfer time, mode, error-model
+  /// config) are not serialized; LoadState assumes a target built from the
+  /// same configuration and re-arms fault state to match the snapshot.
+  void SaveState(util::StateWriter& w) const;
+  void LoadState(util::StateReader& r);
 
  private:
+  ReadErrorStats& StatsFor(ReadKind kind) {
+    return kind == ReadKind::kGc ? gc_error_stats_ : error_stats_;
+  }
+  static void SaveReadStats(util::StateWriter& w, const ReadErrorStats& s);
+  static void LoadReadStats(util::StateReader& r, ReadErrorStats& s);
+
   nand::NandDevice nand_;
   sim::ResourcePool chips_;
   sim::ResourcePool channels_;
@@ -133,7 +220,11 @@ class FlashTarget {
   TimingMode mode_;
   std::unique_ptr<nand::LayerErrorModel> error_model_;
   util::Xoshiro256StarStar error_rng_;
-  ReadErrorStats error_stats_;
+  ReadErrorStats error_stats_;     // host-attributed
+  ReadErrorStats gc_error_stats_;  // GC-attributed
+  std::unique_ptr<nand::FaultInjector> faults_;
+  FaultHandlingConfig handling_;
+  bool state_restored_ = false;
 };
 
 }  // namespace ctflash::ftl

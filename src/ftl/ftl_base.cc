@@ -156,12 +156,50 @@ Us FtlBase::MaybeRunGc(Us earliest) {
 }
 
 Us FtlBase::EraseGcVictim(BlockId victim, Us earliest) {
-  const Us done = target_.EraseBlock(victim, earliest);
-  blocks_.Release(victim);
+  const MediaOpResult er = target_.EraseBlockChecked(victim, earliest);
+  if (er.failed || blocks_.RetirePending(victim)) {
+    // Grown-bad: the erase failed verify (or an earlier program failure
+    // flagged the block).  Retire it — out of the free list and the victim
+    // pool — and mark it bad in the array so any stale access fails loudly.
+    if (er.failed) fault_stats_.erase_failures++;
+    target_.nand().MarkBad(victim);
+    blocks_.Retire(victim);
+  } else {
+    blocks_.Release(victim);
+  }
   OnGcBlockErased(victim);
   stats_.gc_erases++;
   wear_leveler_.OnErase();
-  return done;
+  return er.done;
+}
+
+void FtlBase::OnProgramFailure(Ppn failed_ppn, bool die_lost) {
+  const auto& geo = target_.geometry();
+  const BlockId block = geo.BlockOf(failed_ppn);
+  fault_stats_.program_failures++;
+  blocks_.FlagForRetirement(block);
+  if (die_lost) {
+    // The whole die is gone: retire its spare blocks so allocators stop
+    // claiming them.  Idempotent (an already-swept die has no free blocks
+    // left), so no extra state to carry through snapshots.
+    const std::uint64_t die = geo.DieOfBlock(block);
+    blocks_.RetireFreeIf(
+        [&](BlockId b) { return geo.DieOfBlock(b) == die; });
+  }
+}
+
+void FtlBase::OnHostReadLost(Lpn lpn) {
+  const Ppn old = map_.Unmap(lpn);
+  if (old != kInvalidPpn) {
+    blocks_.RemoveValid(target_.geometry().BlockOf(old));
+  }
+  fault_stats_.host_unreadable_pages++;
+}
+
+void FtlBase::OnGcReadLost(Lpn lpn, BlockId victim) {
+  map_.Unmap(lpn);
+  blocks_.RemoveValid(victim);
+  fault_stats_.gc_lost_pages++;
 }
 
 void FtlBase::PlanGcVictim(std::vector<sched::FlashTransaction>& out) {
@@ -268,6 +306,10 @@ void FtlBase::SaveState(util::StateWriter& w) const {
   w.PutU64(stats_.gc_erases);
   w.PutI64(stats_.gc_time_us);
   w.PutU64(stats_.gc_stale_copies);
+  w.PutU64(fault_stats_.program_failures);
+  w.PutU64(fault_stats_.erase_failures);
+  w.PutU64(fault_stats_.host_unreadable_pages);
+  w.PutU64(fault_stats_.gc_lost_pages);
   wear_leveler_.SaveState(w);
   w.PutI64(gc_busy_until_);
   w.PutBool(gc_active_);
@@ -287,6 +329,10 @@ void FtlBase::LoadState(util::StateReader& r) {
   stats_.gc_erases = r.GetU64();
   stats_.gc_time_us = r.GetI64();
   stats_.gc_stale_copies = r.GetU64();
+  fault_stats_.program_failures = r.GetU64();
+  fault_stats_.erase_failures = r.GetU64();
+  fault_stats_.host_unreadable_pages = r.GetU64();
+  fault_stats_.gc_lost_pages = r.GetU64();
   wear_leveler_.LoadState(r);
   gc_busy_until_ = r.GetI64();
   gc_active_ = r.GetBool();

@@ -99,6 +99,20 @@ struct FtlStats {
   }
 };
 
+/// Media-fault handling counters (advance only when the target has a fault
+/// plan armed; see FlashTarget::ArmFaults).  Block retirement totals live in
+/// BlockManager::RetiredCount().
+struct FaultStats {
+  std::uint64_t program_failures = 0;     ///< page programs that failed verify
+  std::uint64_t erase_failures = 0;       ///< block erases that failed verify
+  std::uint64_t host_unreadable_pages = 0;  ///< host reads whose data is gone
+  std::uint64_t gc_lost_pages = 0;        ///< GC relocations whose source died
+
+  std::uint64_t LostPages() const {
+    return host_unreadable_pages + gc_lost_pages;
+  }
+};
+
 struct RequestResult {
   Us arrival_us = 0;
   Us completion_us = 0;
@@ -146,6 +160,7 @@ class FtlBase {
   }
 
   const FtlStats& stats() const { return stats_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
   void ResetStats() { stats_ = FtlStats{}; }
 
   FlashTarget& target() { return target_; }
@@ -296,12 +311,28 @@ class FtlBase {
   /// wear_leveler_.OnErase() after each erase so its cooldown advances.
   std::optional<BlockId> PickVictim(const BlockManager& blocks);
 
+  // --- fault handling (variant write/read paths call these) ----------------
+
+  /// One failed page program: counts it and flags the block so its next GC
+  /// erase retires it.  On die loss also retires the lost die's remaining
+  /// spare blocks so the allocators stop claiming them.
+  void OnProgramFailure(Ppn failed_ppn, bool die_lost);
+
+  /// A host read found its data gone (retry ladder exhausted or die lost):
+  /// the page is unmapped — the stored copy no longer exists — and counted.
+  void OnHostReadLost(Lpn lpn);
+
+  /// A GC relocation read found the source page gone: the mapping is
+  /// dropped instead of relocated, and the loss counted.
+  void OnGcReadLost(Lpn lpn, BlockId victim);
+
   FlashTarget& target_;
   FtlConfig config_;
   std::uint64_t logical_pages_;
   MappingTable map_;
   BlockManager blocks_;
   FtlStats stats_;
+  FaultStats fault_stats_;
   WearLeveler wear_leveler_;
 
  private:
@@ -313,8 +344,10 @@ class FtlBase {
   void PlanGcVictim(std::vector<sched::FlashTransaction>& out);
 
   /// Erase + release a fully-relocated victim (shared tail of the inline
-  /// loop and the scheduled kGcErase): books the erase, frees the block,
-  /// fires OnGcBlockErased, bumps counters.  Returns erase completion.
+  /// loop and the scheduled kGcErase): books the erase, frees the block —
+  /// or retires it as grown-bad when the erase fails verify or a program
+  /// failure flagged it — fires OnGcBlockErased, bumps counters.  Returns
+  /// erase completion.
   Us EraseGcVictim(BlockId victim, Us earliest);
 
   /// Adds the [start, done] busy interval to stats_.gc_time_us, merged

@@ -73,6 +73,11 @@ NandStatus NandDevice::Erase(BlockId block, Us* op_us) {
   return NandStatus::kOk;
 }
 
+void NandDevice::MarkBad(BlockId block) {
+  if (!ValidBlock(block)) throw std::out_of_range("MarkBad: block out of range");
+  blocks_[block].bad = true;
+}
+
 std::uint32_t NandDevice::NextProgramPage(BlockId block) const {
   if (!ValidBlock(block)) {
     throw std::out_of_range("NextProgramPage: block out of range");

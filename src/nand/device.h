@@ -63,6 +63,10 @@ class NandDevice {
   /// Erases a block, resetting all its pages to free and bumping P/E.
   NandStatus Erase(BlockId block, Us* op_us = nullptr);
 
+  /// Marks a block bad out-of-band (grown bad block: failed program/erase
+  /// verify under fault injection).  Every later op on it returns kBlockBad.
+  void MarkBad(BlockId block);
+
   // --- state queries ------------------------------------------------------
   /// Next page index the block's program pointer allows (== pages_per_block
   /// when the block is full).

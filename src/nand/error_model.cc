@@ -35,19 +35,34 @@ double LayerErrorModel::Rber(std::uint32_t page_in_block,
                              std::uint32_t pe_cycles) const {
   const std::uint32_t layer = geometry_.LayerOfPage(page_in_block);
   const std::uint32_t layers = geometry_.num_layers;
+  // A single-layer geometry has no vertical etch gradient: its one layer is
+  // the top of the (degenerate) stack, so depth is 0, not 1 — otherwise a
+  // 1-layer device would eat the full bottom-layer `layer_skew` while the
+  // top layer of every multi-layer device gets skew^0.
   const double depth =
-      layers == 1 ? 1.0
+      layers == 1 ? 0.0
                   : static_cast<double>(layer) / static_cast<double>(layers - 1);
   const double rber = config_.base_rber * std::pow(config_.layer_skew, depth) *
                       std::exp(static_cast<double>(pe_cycles) / config_.pe_scale);
   return rber >= 1.0 ? 1.0 : rber;
 }
 
+std::uint64_t LayerErrorModel::DecodedBytes(std::uint64_t transfer_bytes) const {
+  const std::uint64_t page = geometry_.page_size_bytes;
+  if (transfer_bytes == 0 || transfer_bytes >= page) return page;
+  const std::uint64_t cw = config_.codeword_bytes;
+  const std::uint64_t rounded = (transfer_bytes + cw - 1) / cw * cw;
+  return rounded < page ? rounded : page;
+}
+
 std::uint64_t LayerErrorModel::SampleBitErrors(
     std::uint32_t page_in_block, std::uint32_t pe_cycles,
-    util::Xoshiro256StarStar& rng) const {
-  const double bits = static_cast<double>(geometry_.page_size_bytes) * 8.0;
-  const double lambda = bits * Rber(page_in_block, pe_cycles);
+    util::Xoshiro256StarStar& rng, std::uint64_t transfer_bytes,
+    double rber_scale) const {
+  const double bits = static_cast<double>(DecodedBytes(transfer_bytes)) * 8.0;
+  double lambda = bits * Rber(page_in_block, pe_cycles);
+  lambda *= rber_scale;
+  if (lambda > bits) lambda = bits;
   if (lambda <= 0.0) return 0;
   if (lambda < 30.0) {
     // Knuth's method.
@@ -73,8 +88,10 @@ std::uint64_t LayerErrorModel::CodewordsPerPage() const {
   return geometry_.page_size_bytes / config_.codeword_bytes;
 }
 
-bool LayerErrorModel::Correctable(std::uint64_t bit_errors) const {
-  const std::uint64_t codewords = CodewordsPerPage();
+bool LayerErrorModel::Correctable(std::uint64_t bit_errors,
+                                  std::uint64_t transfer_bytes) const {
+  const std::uint64_t codewords =
+      DecodedBytes(transfer_bytes) / config_.codeword_bytes;
   // Worst-case packing: ceil(bit_errors / codewords) errors in one codeword.
   const std::uint64_t worst = (bit_errors + codewords - 1) / codewords;
   return worst <= config_.correctable_bits_per_codeword;

@@ -40,15 +40,24 @@ class LayerErrorModel {
   /// Raw bit error rate for a page at a given wear level.
   double Rber(std::uint32_t page_in_block, std::uint32_t pe_cycles) const;
 
-  /// Samples the number of bit errors in one whole page read (Poisson
+  /// Samples the number of bit errors in one page read (Poisson
   /// approximation of the binomial; exact enough for RBER << 1).
+  /// `transfer_bytes` = 0 (or >= page size) samples the whole page;
+  /// smaller transfers sample only the codewords the ECC engine actually
+  /// decodes (rounded up to whole codewords).  `rber_scale` multiplies the
+  /// modeled RBER — the fault injector uses it for read-disturb/retention
+  /// inflation and the read-retry ladder for threshold-shift recovery.
   std::uint64_t SampleBitErrors(std::uint32_t page_in_block,
                                 std::uint32_t pe_cycles,
-                                util::Xoshiro256StarStar& rng) const;
+                                util::Xoshiro256StarStar& rng,
+                                std::uint64_t transfer_bytes = 0,
+                                double rber_scale = 1.0) const;
 
-  /// True when `bit_errors` spread over the page's codewords stays within
-  /// the ECC budget in the worst-case uniform packing (ceil split).
-  bool Correctable(std::uint64_t bit_errors) const;
+  /// True when `bit_errors` spread over the transfer's codewords stays
+  /// within the ECC budget in the worst-case uniform packing (ceil split).
+  /// `transfer_bytes` = 0 means the whole page.
+  bool Correctable(std::uint64_t bit_errors,
+                   std::uint64_t transfer_bytes = 0) const;
 
   /// Expected number of P/E cycles after which the mean bit errors per
   /// codeword of the given page exceed the ECC budget (analytic endurance).
@@ -59,6 +68,9 @@ class LayerErrorModel {
 
  private:
   std::uint64_t CodewordsPerPage() const;
+  /// Bytes the ECC engine decodes for a `transfer_bytes` transfer: the
+  /// transfer rounded up to whole codewords, clamped to the page.
+  std::uint64_t DecodedBytes(std::uint64_t transfer_bytes) const;
 
   NandGeometry geometry_;
   ErrorModelConfig config_;

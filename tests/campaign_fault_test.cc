@@ -1,0 +1,171 @@
+// Fault-campaign integration tests: spec parsing of the "faults" section,
+// end-to-end fault arms that complete without aborting, per-arm outcome
+// classification, worker-count determinism, and die-loss arms.  Full-scale
+// durability sweeps live in bench_fault_campaign.
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/runner.h"
+#include "campaign/spec.h"
+
+namespace ctflash::campaign {
+namespace {
+
+// Lower layers of the default skew-8 stack fail first sense at this RBER;
+// the retry ladder recovers them, so fault arms exercise the whole path.
+constexpr const char* kFaultGrid = R"({
+  "campaign": "fault-unit",
+  "defaults": {
+    "device_bytes": "32MiB",
+    "prefill_pct": 80,
+    "seed": 11,
+    "error_model": {"base_rber": 1e-3, "layer_skew": 8.0},
+    "faults": {"program_fail_prob": 0.001, "erase_fail_prob": 0.001,
+                "read_disturb_per_read": 1e-4},
+    "workload": {"kind": "closed_loop", "requests": 400,
+                  "read_fraction": 0.7, "queue_depth": 4}
+  },
+  "grid": {
+    "ftl": ["conventional", "ppb"],
+    "faults.program_fail_prob": [0.0005, 0.002]
+  }
+})";
+
+TEST(FaultCampaignSpec, ParsesFaultSection) {
+  const CampaignSpec spec = CampaignSpec::Parse(R"({
+    "defaults": {
+      "device_bytes": "32MiB",
+      "seed": 7,
+      "error_model": {"base_rber": 2e-3, "seed": 99},
+      "faults": {"program_fail_prob": 0.01, "erase_fail_prob": 0.02,
+                  "read_disturb_per_read": 1e-5,
+                  "retention_rber_multiplier": 1.5,
+                  "fail_dies": [1], "fail_channels": [0], "fail_at_us": 500,
+                  "max_read_retries": 6, "retry_rber_scale": 0.4,
+                  "max_program_retries": 3},
+      "workload": {"kind": "closed_loop", "requests": 10}
+    }
+  })");
+  ASSERT_EQ(spec.arms.size(), 1u);
+  const ArmSpec& arm = spec.arms[0];
+  EXPECT_TRUE(arm.inject_faults);
+  EXPECT_TRUE(arm.device.model_read_errors);
+  EXPECT_DOUBLE_EQ(arm.device.error_model.base_rber, 2e-3);
+  EXPECT_EQ(arm.device.error_model_seed, 99u);
+  EXPECT_DOUBLE_EQ(arm.fault_plan.program_fail_prob, 0.01);
+  EXPECT_DOUBLE_EQ(arm.fault_plan.erase_fail_prob, 0.02);
+  EXPECT_DOUBLE_EQ(arm.fault_plan.read_disturb_per_read, 1e-5);
+  EXPECT_DOUBLE_EQ(arm.fault_plan.retention_rber_multiplier, 1.5);
+  ASSERT_EQ(arm.fault_plan.fail_dies.size(), 1u);
+  EXPECT_EQ(arm.fault_plan.fail_dies[0], 1u);
+  ASSERT_EQ(arm.fault_plan.fail_channels.size(), 1u);
+  EXPECT_EQ(arm.fault_plan.fail_channels[0], 0u);
+  EXPECT_EQ(arm.fault_plan.fail_at_us, 500);
+  EXPECT_EQ(arm.fault_handling.max_read_retries, 6u);
+  EXPECT_DOUBLE_EQ(arm.fault_handling.retry_rber_scale, 0.4);
+  EXPECT_EQ(arm.fault_handling.max_program_retries, 3u);
+  // Unpinned fault seed: golden-ratio mix of the arm seed (7 + index 0).
+  EXPECT_EQ(arm.fault_seed, 7u * 0x9E3779B97F4A7C15ull + 0xFA17ull);
+  // The config echo carries the fault block so reports are self-describing.
+  const Json summary = arm.ConfigSummary();
+  ASSERT_NE(summary.Get("faults"), nullptr);
+  ASSERT_NE(summary.Get("fault_seed"), nullptr);
+  // Echoed as a string: the 64-bit mix exceeds Json's exact-double range.
+  EXPECT_EQ(summary.Get("fault_seed")->AsString(),
+            std::to_string(arm.fault_seed));
+}
+
+TEST(FaultCampaignSpec, PinnedFaultSeedAndInvalidPlanRejected) {
+  const CampaignSpec spec = CampaignSpec::Parse(R"({
+    "defaults": {
+      "device_bytes": "32MiB",
+      "faults": {"seed": 42},
+      "workload": {"kind": "closed_loop", "requests": 10}
+    }
+  })");
+  EXPECT_EQ(spec.arms[0].fault_seed, 42u);
+  EXPECT_THROW(CampaignSpec::Parse(R"({
+    "defaults": {
+      "device_bytes": "32MiB",
+      "faults": {"program_fail_prob": 1.5},
+      "workload": {"kind": "closed_loop", "requests": 10}
+    }
+  })"),
+               std::invalid_argument);
+}
+
+TEST(FaultCampaign, RunsWithoutAbortingAndClassifiesEveryArm) {
+  CampaignRunner runner(CampaignSpec::Parse(kFaultGrid));
+  const CampaignResult result = runner.Run(2);
+  ASSERT_EQ(result.arms.size(), 4u);
+  std::uint64_t recovered_arms = 0;
+  for (const ArmResult& arm : result.arms) {
+    EXPECT_TRUE(arm.ok) << arm.name << ": " << arm.error;
+    // Every fault arm gets a classification.
+    ASSERT_FALSE(arm.outcome.empty()) << arm.name;
+    EXPECT_TRUE(arm.outcome == "masked" || arm.outcome == "recovered" ||
+                arm.outcome == "data-loss")
+        << arm.outcome;
+    // The fault metrics block is present and internally consistent.
+    const Json* faults = arm.metrics.Get("faults");
+    ASSERT_NE(faults, nullptr) << arm.name;
+    ASSERT_NE(faults->Get("host_reads"), nullptr);
+    ASSERT_NE(faults->Get("gc_reads"), nullptr);
+    EXPECT_EQ(faults->Get("lost_pages")->AsUint(),
+              faults->Get("host_unreadable_pages")->AsUint() +
+                  faults->Get("gc_lost_pages")->AsUint());
+    if (arm.outcome == "recovered") ++recovered_arms;
+  }
+  // The skew-8 bottom layers + retry ladder guarantee visible recoveries.
+  EXPECT_GT(recovered_arms, 0u);
+}
+
+TEST(FaultCampaign, DeterministicAcrossWorkerCounts) {
+  CampaignRunner runner(CampaignSpec::Parse(kFaultGrid));
+  const CampaignResult serial = runner.Run(1);
+  const CampaignResult parallel = runner.Run(3);
+  EXPECT_EQ(serial.DeterministicJson().Dump(2),
+            parallel.DeterministicJson().Dump(2));
+  // The outcome is part of the deterministic report.
+  EXPECT_NE(serial.DeterministicJson().Dump(2).find("\"outcome\""),
+            std::string::npos);
+}
+
+TEST(FaultCampaign, DieLossArmIsDataLoss) {
+  CampaignRunner runner(CampaignSpec::Parse(R"({
+    "defaults": {
+      "device_bytes": "32MiB",
+      "prefill_pct": 80,
+      "seed": 5,
+      "faults": {"fail_dies": [0], "fail_at_us": 1},
+      "workload": {"kind": "closed_loop", "requests": 300,
+                    "read_fraction": 0.7, "queue_depth": 4}
+    }
+  })"));
+  const CampaignResult result = runner.Run(1);
+  ASSERT_EQ(result.arms.size(), 1u);
+  // Whether the arm limps through (reads of die-0 residents lost) or dies
+  // on an unrecoverable error, it must classify as data loss — and the
+  // campaign itself must not abort.
+  EXPECT_EQ(result.arms[0].outcome, "data-loss") << result.arms[0].error;
+}
+
+TEST(FaultCampaign, FaultFreeArmsCarryNoFaultState) {
+  CampaignRunner runner(CampaignSpec::Parse(R"({
+    "defaults": {
+      "device_bytes": "32MiB",
+      "workload": {"kind": "closed_loop", "requests": 100}
+    }
+  })"));
+  const CampaignResult result = runner.Run(1);
+  ASSERT_EQ(result.arms.size(), 1u);
+  EXPECT_TRUE(result.arms[0].ok) << result.arms[0].error;
+  EXPECT_TRUE(result.arms[0].outcome.empty());
+  EXPECT_EQ(result.arms[0].metrics.Get("faults"), nullptr);
+  EXPECT_EQ(result.arms[0].config.Get("faults"), nullptr);
+}
+
+}  // namespace
+}  // namespace ctflash::campaign

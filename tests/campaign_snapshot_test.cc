@@ -253,6 +253,54 @@ TEST(CampaignSnapshot, GcRoutingSharesShapeKey) {
   EXPECT_NO_THROW(target.Restore(source.Snapshot(end)));
 }
 
+TEST(CampaignSnapshot, ArmErrorModelAfterRestoreRejected) {
+  // Arming the error model reseeds the RNG and zeroes the error stats — on
+  // a restored device that would silently discard the snapshot's restored
+  // state, so it must be rejected loudly.
+  const auto cfg = SmallConfig(ssd::FtlKind::kConventional,
+                               ftl::GcRouting::kInline);
+  ssd::Ssd source(cfg);
+  const campaign::DeviceState state = source.Snapshot(0);
+  ssd::Ssd target(cfg);
+  target.Restore(state);
+  EXPECT_THROW(target.target().ArmErrorModel(nand::ErrorModelConfig{}),
+               std::logic_error);
+}
+
+TEST(CampaignSnapshot, ContinuationWithFaultsArmedAfterRestore) {
+  // The fault-campaign protocol: prefill fault-free, snapshot, restore,
+  // THEN arm the per-arm fault plan.  Continuation equivalence must hold
+  // with the error model sampling and the injector drawing throughout the
+  // burst (both round-trip through the snapshot).
+  auto cfg = SmallConfig(ssd::FtlKind::kPpb, ftl::GcRouting::kInline);
+  cfg.model_read_errors = true;
+  cfg.error_model.base_rber = 1e-3;  // skew-8 bottom layers enter the ladder
+  nand::FaultPlanConfig plan;
+  plan.program_fail_prob = 0.002;
+  plan.erase_fail_prob = 0.001;
+  plan.read_disturb_per_read = 1e-4;
+
+  ssd::Ssd a(cfg);
+  ssd::ExperimentRunner prefill_a(a);
+  const Us end_a = prefill_a.Prefill(a.LogicalBytes() / 100 * 85);
+  a.target().ArmFaults(plan, ftl::FaultHandlingConfig{}, 77);
+  RunBurst(a, end_a, {});
+  const auto final_a = a.Snapshot(0).Serialize();
+
+  ssd::Ssd b0(cfg);
+  ssd::ExperimentRunner prefill_b(b0);
+  const Us end_b = prefill_b.Prefill(b0.LogicalBytes() / 100 * 85);
+  ASSERT_EQ(end_a, end_b);
+  const campaign::DeviceState mid = b0.Snapshot(end_b);
+
+  ssd::Ssd b(cfg);
+  b.Restore(mid);
+  b.target().ArmFaults(plan, ftl::FaultHandlingConfig{}, 77);
+  RunBurst(b, static_cast<Us>(mid.clock_us), {});
+  EXPECT_EQ(final_a, b.Snapshot(0).Serialize())
+      << "fault-armed continuation after restore diverged";
+}
+
 TEST(CampaignSnapshot, DistinctFtlKindsGetDistinctKeys) {
   EXPECT_NE(campaign::SnapshotShapeKey(SmallConfig(ssd::FtlKind::kConventional,
                                                    ftl::GcRouting::kInline)),

@@ -1,0 +1,207 @@
+// FTL fault-handling tests: the read-retry ladder, bad-block retirement on
+// program/erase verify failures, spare-pool accounting, and whole-die loss
+// survival through the conventional FTL.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "ftl/conventional_ftl.h"
+#include "util/random.h"
+
+namespace ctflash::ftl {
+namespace {
+
+nand::NandGeometry Geo(std::uint32_t blocks_per_plane = 32,
+                       std::uint32_t dies_per_chip = 1) {
+  nand::NandGeometry g;
+  g.channels = 1;
+  g.chips_per_channel = 1;
+  g.dies_per_chip = dies_per_chip;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = blocks_per_plane;
+  g.pages_per_block = 16;
+  g.page_size_bytes = 4096;
+  g.num_layers = 16;
+  return g;
+}
+
+FtlConfig SmallCfg() {
+  FtlConfig cfg;
+  cfg.op_ratio = 0.25;
+  cfg.gc_threshold_low = 3;
+  cfg.gc_threshold_high = 5;
+  return cfg;
+}
+
+TEST(FaultHandling, RetryLadderRecoversMarginalReads) {
+  // ~60 first-sense errors per 1 KiB codeword against a budget of 40: the
+  // first sense always fails ECC, the first/second retry rung (RBER halved
+  // per rung) recovers.  Flat layer skew keeps every page identical.
+  nand::ErrorModelConfig em;
+  em.base_rber = 8e-3;
+  em.layer_skew = 1.0;
+
+  FlashTarget plain(Geo(), nand::NandTiming{});
+  ConventionalFtl plain_ftl(plain, SmallCfg());
+  const Us w0 = plain_ftl.Write(0, 4096, 0).completion_us;
+  const Us plain_lat = plain_ftl.Read(0, 4096, w0).LatencyUs();
+
+  FlashTarget target(Geo(), nand::NandTiming{});
+  target.ArmErrorModel(em);
+  target.ArmFaults(nand::FaultPlanConfig{}, FaultHandlingConfig{}, 1);
+  ConventionalFtl ftl(target, SmallCfg());
+  const Us w1 = ftl.Write(0, 4096, 0).completion_us;
+  const Us armed_lat = ftl.Read(0, 4096, w1).LatencyUs();
+
+  const ReadErrorStats& es = target.read_error_stats();
+  EXPECT_EQ(es.uncorrectable_reads, 1u);  // first sense failed...
+  EXPECT_EQ(es.retried_reads, 1u);        // ...entered the ladder...
+  EXPECT_EQ(es.recovered_reads, 1u);      // ...and a rung recovered it.
+  EXPECT_EQ(es.unrecovered_reads, 0u);
+  EXPECT_GE(es.retry_rungs, 1u);
+  // The data survived: mapping intact, nothing charged as lost.
+  EXPECT_NE(ftl.ProbePpn(0), kInvalidPpn);
+  EXPECT_EQ(ftl.fault_stats().LostPages(), 0u);
+  // Each rung books one extra full cell sense.
+  EXPECT_GT(armed_lat, plain_lat);
+}
+
+TEST(FaultHandling, LadderExhaustionLosesThePage) {
+  nand::ErrorModelConfig em;
+  em.base_rber = 0.05;  // hopeless medium
+  em.layer_skew = 1.0;
+  FaultHandlingConfig handling;
+  handling.max_read_retries = 0;  // no ladder: first ECC failure is final
+  FlashTarget target(Geo(), nand::NandTiming{});
+  target.ArmErrorModel(em);
+  target.ArmFaults(nand::FaultPlanConfig{}, handling, 1);
+  ConventionalFtl ftl(target, SmallCfg());
+  Us now = ftl.Write(0, 4096, 0).completion_us;
+  now = ftl.Read(0, 4096, now).completion_us;
+  EXPECT_EQ(target.read_error_stats().unrecovered_reads, 1u);
+  EXPECT_EQ(ftl.fault_stats().host_unreadable_pages, 1u);
+  // The dead mapping is dropped: a re-read is unmapped (and free).
+  EXPECT_EQ(ftl.ProbePpn(0), kInvalidPpn);
+  ftl.Read(0, 4096, now);
+  EXPECT_EQ(target.read_error_stats().sampled_reads, 1u);
+  EXPECT_EQ(ftl.fault_stats().host_unreadable_pages, 1u);
+}
+
+TEST(FaultHandling, ProgramFailuresRetireBlocksWithoutLosingData) {
+  nand::FaultPlanConfig plan;
+  plan.program_fail_prob = 0.002;
+  FlashTarget target(Geo(/*blocks_per_plane=*/64), nand::NandTiming{});
+  target.ArmFaults(plan, FaultHandlingConfig{}, 3);
+  ConventionalFtl ftl(target, SmallCfg());
+  Us now = 0;
+  for (std::uint64_t off = 0; off + 4096 <= ftl.LogicalBytes(); off += 4096) {
+    now = ftl.Write(off, 4096, now).completion_us;
+  }
+  util::Xoshiro256StarStar rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    now = ftl.Write(rng.UniformBelow(64) * 4096, 4096, now).completion_us;
+  }
+  // Failed programs re-allocated (no data lost), their blocks flagged and
+  // retired once GC erased them.
+  EXPECT_GT(ftl.fault_stats().program_failures, 0u);
+  EXPECT_GT(ftl.blocks().RetiredCount(), 0u);
+  EXPECT_EQ(ftl.fault_stats().LostPages(), 0u);
+  for (Lpn lpn = 0; lpn < ftl.LogicalPages(); ++lpn) {
+    ASSERT_NE(ftl.ProbePpn(lpn), kInvalidPpn);
+  }
+  // Spare-pool accounting: per-block states agree with the retired total.
+  std::uint64_t retired = 0;
+  for (BlockId b = 0; b < ftl.blocks().total_blocks(); ++b) {
+    if (ftl.blocks().UseOf(b) == BlockUse::kRetired) ++retired;
+  }
+  EXPECT_EQ(retired, ftl.blocks().RetiredCount());
+}
+
+TEST(FaultHandling, ProgramRetryExhaustionThrowsMediaError) {
+  nand::FaultPlanConfig plan;
+  plan.program_fail_prob = 0.99;
+  FaultHandlingConfig handling;
+  handling.max_program_retries = 2;
+  FlashTarget target(Geo(), nand::NandTiming{});
+  target.ArmFaults(plan, handling, 5);
+  ConventionalFtl ftl(target, SmallCfg());
+  bool threw = false;
+  try {
+    Us now = 0;
+    for (int i = 0; i < 50; ++i) {
+      now = ftl.Write(static_cast<std::uint64_t>(i) * 4096, 4096, now)
+                .completion_us;
+    }
+  } catch (const MediaError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(FaultHandling, EraseFailuresRetireVictims) {
+  nand::FaultPlanConfig plan;
+  plan.erase_fail_prob = 0.3;
+  FlashTarget target(Geo(/*blocks_per_plane=*/64), nand::NandTiming{});
+  target.ArmFaults(plan, FaultHandlingConfig{}, 7);
+  ConventionalFtl ftl(target, SmallCfg());
+  // Churn until erase failures have eaten the spare pool (MediaError) or
+  // the workload ends — either way failures must be counted and retired.
+  try {
+    Us now = 0;
+    for (std::uint64_t off = 0; off + 4096 <= ftl.LogicalBytes(); off += 4096) {
+      now = ftl.Write(off, 4096, now).completion_us;
+    }
+    util::Xoshiro256StarStar rng(8);
+    for (int i = 0; i < 4000; ++i) {
+      now = ftl.Write(rng.UniformBelow(64) * 4096, 4096, now).completion_us;
+    }
+  } catch (const MediaError&) {
+  }
+  EXPECT_GT(ftl.fault_stats().erase_failures, 0u);
+  EXPECT_GT(ftl.blocks().RetiredCount(), 0u);
+}
+
+TEST(FaultHandling, SurvivesWholeDieLoss) {
+  // 2 dies; die 0 drops out at t=10s.  Prefill (fault-free window) spreads
+  // data across both dies; after the loss, writes must burn past the dead
+  // frontier onto die 1 and reads of die-0 residents are reported lost.
+  nand::FaultPlanConfig plan;
+  plan.fail_dies = {0};
+  plan.fail_at_us = 10'000'000;
+  FtlConfig cfg = SmallCfg();
+  cfg.op_ratio = 0.5;  // logical space fits in the surviving die
+  FlashTarget target(Geo(/*blocks_per_plane=*/32, /*dies_per_chip=*/2),
+                     nand::NandTiming{});
+  target.ArmFaults(plan, FaultHandlingConfig{}, 9);
+  ConventionalFtl ftl(target, cfg);
+  const std::uint64_t prefill_bytes = ftl.LogicalBytes() / 2;
+  Us now = 0;
+  for (std::uint64_t off = 0; off + 4096 <= prefill_bytes; off += 4096) {
+    now = ftl.Write(off, 4096, now).completion_us;
+    ASSERT_LT(now, plan.fail_at_us) << "prefill ran into the failure window";
+  }
+  // Jump past the die loss and keep writing: allocations on die 0 fail with
+  // die_lost, its spares are swept retired, and the writes land on die 1.
+  now = 20'000'000;
+  for (int i = 0; i < 40; ++i) {
+    now = ftl.Write(prefill_bytes + static_cast<std::uint64_t>(i) * 4096, 4096,
+                    now)
+              .completion_us;
+  }
+  EXPECT_GT(ftl.fault_stats().program_failures, 0u);
+  EXPECT_GT(ftl.blocks().RetiredCount(), 0u);
+  // Post-loss writes all readable (they landed on the surviving die).
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_NE(ftl.ProbePpn(prefill_bytes / 4096 + i), kInvalidPpn);
+  }
+  // Reading the prefill back loses exactly the die-0 residents.
+  for (std::uint64_t off = 0; off + 4096 <= prefill_bytes; off += 4096) {
+    now = ftl.Read(off, 4096, now).completion_us;
+  }
+  EXPECT_GT(ftl.fault_stats().host_unreadable_pages, 0u);
+  EXPECT_GT(target.read_error_stats().lost_reads, 0u);
+  EXPECT_LT(ftl.fault_stats().host_unreadable_pages, prefill_bytes / 4096);
+}
+
+}  // namespace
+}  // namespace ctflash::ftl

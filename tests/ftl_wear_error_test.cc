@@ -160,6 +160,30 @@ TEST(ReadErrorModel, DeterministicForSeed) {
   EXPECT_GT(bits[0], 0u);
 }
 
+TEST(ReadErrorModel, SplitsHostAndGcAttribution) {
+  // Host-issued reads and GC relocation source reads land in separate
+  // counters, and together they account for every page the stack read.
+  auto cfg = ssd::ScaledConfig(ssd::FtlKind::kPpb, 1ull << 28, 16 * 1024, 2.0);
+  cfg.model_read_errors = true;
+  ssd::Ssd ssd(cfg);
+  ssd::ExperimentRunner runner(ssd);
+  // Map every LPN so each host read page samples the medium exactly once.
+  runner.Prefill(ssd.LogicalBytes());
+  const auto wl = trace::WebServerWorkload(ssd.LogicalBytes(), 20000);
+  const auto recs = trace::SyntheticTraceGenerator(wl).Generate();
+  runner.Replay(recs, wl.name);
+  const auto& host = ssd.target().read_error_stats();
+  const auto& gc = ssd.target().gc_read_error_stats();
+  const auto& st = ssd.ftl().stats();
+  // Overwrite churn on a 100%-full device must have forced relocations.
+  ASSERT_GT(st.gc_page_copies, 0u);
+  // Conservation: one host sample per host read page, one GC sample per
+  // relocation — nothing double-counted, nothing dropped.
+  EXPECT_EQ(host.sampled_reads, st.host_read_pages);
+  EXPECT_EQ(gc.sampled_reads, st.gc_page_copies);
+  EXPECT_GT(host.sampled_reads, 0u);
+}
+
 TEST(ReadErrorModel, ValidationThroughSsdConfig) {
   auto cfg = ssd::ScaledConfig(ssd::FtlKind::kConventional, 1ull << 28,
                                16 * 1024, 2.0);

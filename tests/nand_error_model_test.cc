@@ -100,6 +100,72 @@ TEST(ErrorModel, LargeLambdaUsesNormalApprox) {
   EXPECT_NEAR(sum / n, expected, expected * 0.05);
 }
 
+TEST(ErrorModel, SingleLayerDeviceHasFlatRber) {
+  // depth(layer) must be 0 when num_layers == 1 — the old
+  // layer / (num_layers - 1) formula divided by zero here.
+  NandGeometry g = Geo();
+  g.num_layers = 1;
+  const ErrorModelConfig c;
+  const LayerErrorModel m(g, c);
+  for (std::uint32_t p = 0; p < 64; p += 21) {
+    EXPECT_DOUBLE_EQ(m.Rber(p, 0), c.base_rber);
+  }
+}
+
+TEST(ErrorModel, RberEndpointsLocked) {
+  // depth must hit exactly 0 at the top layer and exactly 1 at the bottom.
+  const ErrorModelConfig c;
+  const LayerErrorModel m(Geo(), c);
+  EXPECT_DOUBLE_EQ(m.Rber(0, 0), c.base_rber);
+  EXPECT_DOUBLE_EQ(m.Rber(63, 0), c.base_rber * c.layer_skew);
+}
+
+TEST(ErrorModel, SubPageTransferSamplesOnlyDecodedCodewords) {
+  ErrorModelConfig c;
+  c.base_rber = 1e-4;
+  const LayerErrorModel m(Geo(), c);
+  util::Xoshiro256StarStar rng(5);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // A 512-byte transfer decodes one whole 1 KiB codeword, not the page.
+    sum += static_cast<double>(m.SampleBitErrors(0, 0, rng, 512));
+  }
+  const double expected = 1024.0 * 8 * 1e-4;
+  EXPECT_NEAR(sum / n, expected, expected * 0.05);
+}
+
+TEST(ErrorModel, FullPageTransferDrawsIdenticallyToDefault) {
+  const LayerErrorModel m(Geo(), ErrorModelConfig{});
+  util::Xoshiro256StarStar a(3), b(3), c(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto whole = m.SampleBitErrors(10, 100, a);
+    EXPECT_EQ(whole, m.SampleBitErrors(10, 100, b, 16 * 1024));
+    EXPECT_EQ(whole, m.SampleBitErrors(10, 100, c, 32 * 1024));  // clamped
+  }
+}
+
+TEST(ErrorModel, RberScaleInflatesSampling) {
+  ErrorModelConfig c;
+  c.base_rber = 1e-4;
+  const LayerErrorModel m(Geo(), c);
+  util::Xoshiro256StarStar rng(9);
+  const int n = 20000;
+  double base = 0.0, scaled = 0.0;
+  for (int i = 0; i < n; ++i) {
+    base += static_cast<double>(m.SampleBitErrors(0, 0, rng, 0, 1.0));
+    scaled += static_cast<double>(m.SampleBitErrors(0, 0, rng, 0, 3.0));
+  }
+  EXPECT_NEAR(scaled / base, 3.0, 0.15);
+}
+
+TEST(ErrorModel, CorrectableBudgetScalesWithTransfer) {
+  const LayerErrorModel m(Geo(), ErrorModelConfig{});  // 40 bits/codeword
+  EXPECT_TRUE(m.Correctable(40, 1024));    // one codeword: exactly at budget
+  EXPECT_FALSE(m.Correctable(41, 100));    // rounds up to one codeword
+  EXPECT_TRUE(m.Correctable(41, 2048));    // two codewords absorb it
+}
+
 TEST(ErrorModel, SamplingDeterministicForSeed) {
   const LayerErrorModel m(Geo(), ErrorModelConfig{});
   util::Xoshiro256StarStar a(1), b(1);
