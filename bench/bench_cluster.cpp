@@ -1,0 +1,375 @@
+// Storage-cluster scenario bench: a shard router over a simulated device
+// fleet, with failure-driven rebalancing.  Three arms over the same fleet
+// shape, all fed by the same Zipf-skewed million-user population:
+//
+//   healthy    no faults — reports cluster p50/p99 vs the per-device p99
+//              spread under skew and checks placement keeps load bounded;
+//   rebalance  one device dies mid-run, the director detects it, a spare
+//              adopts its shards, and rebuild traffic re-replicates them
+//              through the low-weight rebuild tenant;
+//   control    same failure, policy "none" — the router keeps routing to
+//              the corpse and every such request burns the SLA timeout.
+//
+// SELF-ASSERTS the cluster subsystem's core claims:
+//
+//   1. Determinism — the deterministic report is byte-identical across
+//      worker counts (epoch-lockstep contract).
+//   2. Balance — under Zipf skew, no ring device serves more than
+//      --imbalance x the fair share of completed requests.
+//   3. Healthy service — the fault-free arm completes every arrival with
+//      zero timeouts.
+//   4. Bounded failover — with rebalancing, cluster read p99 over the
+//      epochs after detection stays within --p99-factor (default 3x) of
+//      the pre-failure epoch's p99, and the rebuild is not vacuous
+//      (spare adopted, shards moved, rebuild tenant dispatched real I/O).
+//   5. Control blowout — without rebalancing the final epoch's read p99
+//      exceeds the same bound (the timeouts dominate the tail).
+//
+// Options:
+//   --devices <n>     ring devices                  (default 8)
+//   --device <sz>     device bytes                  (default 64 MiB)
+//   --rate <iops>     cluster arrival rate          (default 40000)
+//   --epochs <n>      epochs per arm                (default 8)
+//   --epoch-us <us>   epoch length                  (default 250000)
+//   --users <n>       user population               (default 1000000)
+//   --theta <t>       Zipf skew                     (default 0.9)
+//   --workers <n>     worker count                  (default min(8, hw))
+//   --p99-factor <x>  failover tail bound           (default 3.0)
+//   --imbalance <x>   per-device load bound         (default 2.5)
+//   --quick           4 devices, 32 MiB, 6 x 100 ms epochs, 100k users
+//   --json <path>     result file (default BENCH_cluster.json)
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/json.h"
+#include "cluster/cluster_sim.h"
+#include "cluster/spec.h"
+#include "util/config.h"
+
+namespace {
+
+using ctflash::campaign::Json;
+using ctflash::campaign::JsonArray;
+using ctflash::cluster::ClusterResult;
+using ctflash::cluster::ClusterSim;
+using ctflash::cluster::ClusterSpec;
+using ctflash::cluster::DeviceSummary;
+using ctflash::cluster::EpochSummary;
+
+struct Options {
+  std::uint64_t devices = 8;
+  std::uint64_t device_bytes = 64ull << 20;
+  double rate_iops = 40'000.0;
+  std::uint64_t epochs = 8;
+  std::uint64_t epoch_us = 250'000;
+  std::uint64_t users = 1'000'000;
+  double theta = 0.9;
+  std::uint32_t workers = 0;  // 0 = min(8, hw_concurrency)
+  double p99_factor = 3.0;
+  double imbalance = 2.5;
+  std::string json_path = "BENCH_cluster.json";
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value after " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--devices") {
+      o.devices = std::stoull(next());
+      if (o.devices < 3) throw std::invalid_argument("--devices must be >= 3");
+    } else if (arg == "--device") {
+      o.device_bytes = ctflash::util::ParseByteSize(next());
+    } else if (arg == "--rate") {
+      o.rate_iops = std::stod(next());
+    } else if (arg == "--epochs") {
+      o.epochs = std::stoull(next());
+      if (o.epochs < 4) throw std::invalid_argument("--epochs must be >= 4");
+    } else if (arg == "--epoch-us") {
+      o.epoch_us = std::stoull(next());
+    } else if (arg == "--users") {
+      o.users = std::stoull(next());
+    } else if (arg == "--theta") {
+      o.theta = std::stod(next());
+    } else if (arg == "--workers") {
+      o.workers = static_cast<std::uint32_t>(std::stoul(next()));
+      if (o.workers == 0) throw std::invalid_argument("--workers must be >= 1");
+    } else if (arg == "--p99-factor") {
+      o.p99_factor = std::stod(next());
+    } else if (arg == "--imbalance") {
+      o.imbalance = std::stod(next());
+    } else if (arg == "--quick") {
+      o.devices = 4;
+      o.device_bytes = 32ull << 20;
+      o.rate_iops = 8'000.0;
+      o.epochs = 6;
+      o.epoch_us = 100'000;
+      o.users = 100'000;
+    } else if (arg == "--json") {
+      o.json_path = next();
+    } else {
+      throw std::invalid_argument("unknown bench option: " + arg);
+    }
+  }
+  return o;
+}
+
+/// The shared fleet scenario; the fault + policy differ per arm.
+Json BaseSpec(const Options& o, const std::string& name) {
+  Json spec;
+  spec["cluster"] = name;
+  spec["seed"] = std::uint64_t{17};
+  Json fleet;
+  fleet["devices"] = o.devices;
+  fleet["spares"] = std::uint64_t{1};
+  spec["fleet"] = fleet;
+  Json router;
+  router["shards"] = std::uint64_t{16} * o.devices;
+  router["replicas"] = std::uint64_t{2};
+  router["vnodes"] = std::uint64_t{64};
+  spec["router"] = router;
+  Json device;
+  device["device_bytes"] = o.device_bytes;
+  device["prefill_pct"] = std::uint64_t{75};
+  spec["device"] = device;
+  Json users;
+  users["count"] = o.users;
+  users["zipf_theta"] = o.theta;
+  spec["users"] = users;
+  Json workload;
+  workload["rate_iops"] = o.rate_iops;
+  workload["read_fraction"] = 0.9;
+  workload["request_bytes"] = std::uint64_t{16} * 1024;
+  workload["epochs"] = o.epochs;
+  workload["epoch_us"] = o.epoch_us;
+  workload["timeout_us"] = std::uint64_t{1'000'000};
+  spec["workload"] = workload;
+  return spec;
+}
+
+/// Kill one mid-ring device a bit into epoch 1 (epoch 0 stays the clean
+/// pre-failure baseline).
+Json WithDeviceLoss(Json spec, const Options& o, const std::string& policy) {
+  Json fault;
+  fault["device"] = std::uint64_t{1};
+  fault["kind"] = "device";
+  fault["at_us"] = o.epoch_us + o.epoch_us / 5;
+  JsonArray faults;
+  faults.push_back(std::move(fault));
+  spec["faults"] = Json(std::move(faults));
+  Json rebalance;
+  rebalance["policy"] = policy;
+  // Small chunks avoid head-of-line blocking behind multi-page rebuild
+  // transactions; the byte cap keeps rebuild-driven GC on the adopting
+  // spare from owning the serving tail.
+  rebalance["migration_chunk"] = std::uint64_t{16} * 1024;
+  rebalance["rebuild_bytes_per_sec"] =
+      static_cast<double>(o.device_bytes) / 8.0;
+  spec["rebalance"] = rebalance;
+  return spec;
+}
+
+int Fail(const std::string& what) {
+  std::cerr << "SELF-ASSERT FAILED: " << what << "\n";
+  return 1;
+}
+
+ClusterResult RunArm(const Json& spec_json, std::uint32_t workers) {
+  ClusterSim sim(ClusterSpec::Parse(spec_json));
+  return sim.Run(workers);
+}
+
+/// Epoch the director logged the (first) failure in; -1 when none.
+std::int64_t DetectionEpoch(const ClusterResult& r) {
+  if (r.events.empty()) return -1;
+  return static_cast<std::int64_t>(r.events[0].GetUintOr("epoch", 0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+  const std::uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::uint32_t workers =
+      options.workers != 0 ? options.workers : std::min(8u, hw);
+
+  std::cout << "=== Cluster scenario: shard router over a device fleet ===\n";
+  std::cout << "fleet: " << options.devices << " devices + 1 spare x "
+            << (options.device_bytes >> 20) << " MiB, "
+            << options.users << " users (zipf " << options.theta << "), "
+            << options.rate_iops << " IOPS, " << options.epochs << " x "
+            << options.epoch_us << " us epochs, " << workers << " workers\n";
+
+  // Assert 1: worker count must not change a single report byte.  The
+  // failure arm exercises every code path (faults, director, migration).
+  {
+    const Json det_spec =
+        WithDeviceLoss(BaseSpec(options, "cluster-det"), options, "on_failure");
+    const std::string one = RunArm(det_spec, 1).DeterministicJson().Dump(2);
+    const std::string many =
+        RunArm(det_spec, std::max(2u, std::min(4u, hw)))
+            .DeterministicJson()
+            .Dump(2);
+    std::cout << "deterministic report across worker counts: "
+              << (one == many ? "IDENTICAL" : "DIFFER") << " (" << one.size()
+              << " bytes)\n";
+    if (one != many) {
+      return Fail("worker count changed the deterministic cluster report");
+    }
+  }
+
+  // --- healthy arm ---------------------------------------------------------
+  const ClusterResult healthy =
+      RunArm(BaseSpec(options, "cluster-healthy"), workers);
+  std::uint64_t arrivals = 0, timeouts = 0;
+  for (const EpochSummary& e : healthy.epochs) {
+    arrivals += e.arrivals;
+    timeouts += e.timeouts;
+  }
+  std::uint64_t completed = 0, ring_devices = 0, max_load = 0;
+  double worst_device_p99 = 0.0;
+  for (const DeviceSummary& d : healthy.devices) {
+    completed += d.completed;
+    if (d.primary_shards == 0) continue;  // idle spare
+    ++ring_devices;
+    max_load = std::max(max_load, d.completed);
+    worst_device_p99 = std::max(worst_device_p99, d.read.p99_us());
+  }
+  const double cluster_p50 = healthy.epochs[0].read.p50_us();
+  const double cluster_p99 = healthy.epochs[0].read.p99_us();
+  const double mean_load =
+      static_cast<double>(completed) / static_cast<double>(ring_devices);
+  std::cout << "\nhealthy: " << arrivals << " arrivals, " << completed
+            << " completed, cluster read p50/p99 " << cluster_p50 << "/"
+            << cluster_p99 << " us, worst device p99 " << worst_device_p99
+            << " us, load max/mean " << (static_cast<double>(max_load) /
+                                         mean_load)
+            << "\n";
+  if (healthy.devices_failed != 0 || timeouts != 0) {
+    return Fail("healthy arm saw failures/timeouts");
+  }
+  if (completed != arrivals) {
+    return Fail("healthy arm dropped requests: " + std::to_string(arrivals) +
+                " arrivals vs " + std::to_string(completed) + " completed");
+  }
+  if (cluster_p99 <= 0.0) return Fail("healthy cluster read p99 is zero");
+  // Assert 2: placement keeps Zipf load bounded across the ring.
+  if (static_cast<double>(max_load) > options.imbalance * mean_load) {
+    return Fail("device load imbalance " +
+                std::to_string(static_cast<double>(max_load) / mean_load) +
+                " exceeds bound " + std::to_string(options.imbalance));
+  }
+
+  // --- device-loss arms ----------------------------------------------------
+  const ClusterResult rebalanced = RunArm(
+      WithDeviceLoss(BaseSpec(options, "cluster-rebalance"), options,
+                     "on_failure"),
+      workers);
+  const ClusterResult control = RunArm(
+      WithDeviceLoss(BaseSpec(options, "cluster-control"), options, "none"),
+      workers);
+
+  auto epoch_tails = [](const ClusterResult& r) {
+    std::string line;
+    for (const EpochSummary& e : r.epochs) {
+      if (!line.empty()) line += " ";
+      line += std::to_string(static_cast<std::uint64_t>(e.read.p99_us()));
+    }
+    return line;
+  };
+  std::cout << "per-epoch read p99 (us): rebalance [" << epoch_tails(rebalanced)
+            << "], control [" << epoch_tails(control) << "]\n";
+
+  const std::int64_t detect = DetectionEpoch(rebalanced);
+  if (detect < 0) return Fail("rebalance arm never detected the failure");
+  const double pre_p99 = rebalanced.epochs[0].read.p99_us();
+  if (pre_p99 <= 0.0) return Fail("pre-failure read p99 is zero");
+  double post_p99 = 0.0;
+  for (std::size_t e = static_cast<std::size_t>(detect) + 1;
+       e < rebalanced.epochs.size(); ++e) {
+    post_p99 = std::max(post_p99, rebalanced.epochs[e].read.p99_us());
+  }
+  std::uint64_t rebuild_io = 0;
+  for (const DeviceSummary& d : rebalanced.devices) {
+    rebuild_io += d.rebuild_reads + d.rebuild_writes;
+  }
+  const double bound = options.p99_factor * pre_p99;
+  std::cout << "rebalance: detected epoch " << detect << ", "
+            << rebalanced.shards_moved << " shards -> spare, "
+            << rebalanced.migration_bytes << " rebuild bytes ("
+            << rebuild_io << " rebuild dispatches), post-failover read p99 "
+            << post_p99 << " us (bound " << bound << " = "
+            << options.p99_factor << "x pre-failure " << pre_p99 << ")\n";
+
+  // Assert 4: rebalancing restores the tail and actually did work.
+  if (rebalanced.devices_failed != 1 || rebalanced.spares_used != 1) {
+    return Fail("rebalance arm did not fail+adopt exactly one device");
+  }
+  if (rebalanced.shards_moved == 0 || rebalanced.migration_ops == 0 ||
+      rebuild_io == 0) {
+    return Fail("rebalance arm moved no shards / issued no rebuild I/O");
+  }
+  if (post_p99 > bound) {
+    return Fail("post-failover read p99 " + std::to_string(post_p99) +
+                " us exceeds " + std::to_string(bound) + " us");
+  }
+
+  // Assert 5: the un-rebalanced control blows through the same bound.
+  const double control_final_p99 = control.epochs.back().read.p99_us();
+  std::uint64_t control_timeouts = 0;
+  for (const EpochSummary& e : control.epochs) control_timeouts += e.timeouts;
+  std::cout << "control: " << control_timeouts
+            << " timeouts, final-epoch read p99 " << control_final_p99
+            << " us\n";
+  if (control.shards_moved != 0 || control.migration_ops != 0) {
+    return Fail("control arm must not rebalance");
+  }
+  if (control_timeouts == 0) {
+    return Fail("control arm never timed out (device loss vacuous?)");
+  }
+  if (control_final_p99 <= bound) {
+    return Fail("control final read p99 " + std::to_string(control_final_p99) +
+                " us did not exceed the bound " + std::to_string(bound) +
+                " us — the failure arm is not stressing the router");
+  }
+
+  Json report;
+  report["bench"] = std::string("cluster");
+  report["healthy"] = healthy.Report();
+  report["rebalance"] = rebalanced.Report();
+  report["control"] = control.Report();
+  Json checks;
+  checks["arrivals"] = arrivals;
+  checks["completed"] = completed;
+  checks["cluster_read_p50_us"] = cluster_p50;
+  checks["cluster_read_p99_us"] = cluster_p99;
+  checks["worst_device_read_p99_us"] = worst_device_p99;
+  checks["load_max_over_mean"] = static_cast<double>(max_load) / mean_load;
+  checks["imbalance_bound"] = options.imbalance;
+  checks["detect_epoch"] = static_cast<std::uint64_t>(detect);
+  checks["pre_failure_read_p99_us"] = pre_p99;
+  checks["post_failover_read_p99_us"] = post_p99;
+  checks["p99_factor_bound"] = options.p99_factor;
+  checks["shards_moved"] = rebalanced.shards_moved;
+  checks["rebuild_dispatches"] = rebuild_io;
+  checks["rebuild_bytes"] = rebalanced.migration_bytes;
+  checks["control_timeouts"] = control_timeouts;
+  checks["control_final_read_p99_us"] = control_final_p99;
+  report["self_check"] = checks;
+  std::ofstream out(options.json_path);
+  out << report.Dump(2) << "\n";
+  std::cout << "\nall self-asserts passed; wrote " << options.json_path
+            << "\n";
+  return 0;
+}

@@ -1,16 +1,13 @@
 #include "campaign/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,6 +19,7 @@
 #include "trace/synthetic.h"
 #include "trace/trace.h"
 #include "util/config.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/types.h"
 
@@ -42,30 +40,7 @@ std::uint64_t BytesOf(const Json& parent, const std::string& key,
   return util::ParseByteSize(v->AsString());
 }
 
-/// Shards [0, count) over up to `workers` threads.  `fn(i)` must not throw;
-/// arm/prefill bodies catch internally.
-void RunSharded(std::size_t count, std::uint32_t workers,
-                const std::function<void(std::size_t)>& fn) {
-  const std::size_t n_threads =
-      std::min<std::size_t>(workers == 0 ? 1 : workers, count);
-  if (n_threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (std::size_t t = 0; t < n_threads; ++t) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= count) return;
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-}
+using util::ParallelFor;
 
 Json LatencyJson(const util::LatencyStats& stats) {
   Json out;
@@ -341,7 +316,7 @@ CampaignResult CampaignRunner::Run(std::uint32_t workers_override) {
       }
       arm_group[i] = it->second;
     }
-    RunSharded(groups.size(), workers, [&](std::size_t g) {
+    ParallelFor(groups.size(), workers, [&](std::size_t g) {
       PrefillGroup& group = groups[g];
       try {
         const ArmSpec& arm = *group.representative;
@@ -364,7 +339,7 @@ CampaignResult CampaignRunner::Run(std::uint32_t workers_override) {
   const auto t1 = std::chrono::steady_clock::now();
 
   // Phase 2: arms.
-  RunSharded(spec_.arms.size(), workers, [&](std::size_t i) {
+  ParallelFor(spec_.arms.size(), workers, [&](std::size_t i) {
     const DeviceState* shared =
         spec_.share_prefill ? groups[arm_group[i]].state.get() : nullptr;
     result.arms[i] = RunCampaignArm(spec_.arms[i], shared);
@@ -413,6 +388,19 @@ Json CampaignResult::Report() const {
   return out;
 }
 
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (const char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 std::string CampaignResult::Csv() const {
   std::string csv =
       "arm,ok,requests,iops,read_mean_us,read_p99_us,write_mean_us,"
@@ -424,7 +412,7 @@ std::string CampaignResult::Csv() const {
     return v == nullptr ? std::string("0") : v->Dump();
   };
   for (const ArmResult& arm : arms) {
-    csv += "\"" + arm.name + "\"," + (arm.ok ? "1" : "0") + ",";
+    csv += CsvField(arm.name) + "," + (arm.ok ? "1" : "0") + ",";
     if (arm.ok) {
       const Json* requests = arm.metrics.Get("requests");
       const Json* iops = arm.metrics.Get("iops");

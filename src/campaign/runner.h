@@ -92,4 +92,11 @@ class CampaignRunner {
 /// restores that snapshot instead of prefilling.
 ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared);
 
+/// RFC 4180 CSV field encoding: fields containing a comma, double quote,
+/// CR or LF are wrapped in double quotes with embedded quotes doubled;
+/// anything else passes through unquoted.  Shared by the campaign and
+/// cluster report exporters (arm names and config summaries embed commas
+/// and, in hostile specs, quotes/newlines).
+std::string CsvField(const std::string& value);
+
 }  // namespace ctflash::campaign

@@ -1,6 +1,7 @@
 #include "campaign/spec.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/config.h"
 
@@ -76,82 +77,16 @@ ArmSpec ResolveArm(const Json& merged, std::uint64_t index,
   arm.index = index;
   arm.merged = merged;
 
-  const std::uint64_t device_bytes = BytesOf(merged, "device_bytes", 256 * kMiB);
-  const auto page_size =
-      static_cast<std::uint32_t>(BytesOf(merged, "page_size", 16 * kKiB));
-  const double speed_ratio = merged.GetDoubleOr("speed_ratio", 2.0);
-  const auto channels =
-      static_cast<std::uint32_t>(merged.GetUintOr("channels", 0));
-
-  nand::NandGeometry base_shape;  // defaults = the paper's Table 1 shape
-  if (channels != 0) base_shape.channels = channels;
-  const ssd::FtlKind kind = ParseFtlKind(merged.GetStringOr("ftl", "conventional"));
-  arm.device = ssd::ScaledConfig(kind, device_bytes, page_size, speed_ratio,
-                                 base_shape);
-  arm.device.timing_mode =
-      ParseTimingMode(merged.GetStringOr("timing_mode", "queued"));
-  arm.device.ftl.gc_routing =
-      ParseGcRouting(merged.GetStringOr("gc_routing", "inline"));
-  arm.device.ftl.write_frontiers =
-      static_cast<std::uint32_t>(merged.GetUintOr("write_frontiers", 1));
-  arm.device.ftl.stripe_policy =
-      ParseStripePolicy(merged.GetStringOr("stripe_policy", "round_robin"));
-  if (const Json* ppb = merged.Get("ppb")) {
-    arm.device.ppb.vb_split =
-        static_cast<std::uint32_t>(ppb->GetUintOr("vb_split", arm.device.ppb.vb_split));
-    arm.device.ppb.max_open_fast_vbs = static_cast<std::uint32_t>(
-        ppb->GetUintOr("max_open_fast_vbs", arm.device.ppb.max_open_fast_vbs));
-    arm.device.ppb.migrate_on_update =
-        ppb->GetBoolOr("migrate_on_update", arm.device.ppb.migrate_on_update);
-    arm.device.ppb.migrate_on_gc =
-        ppb->GetBoolOr("migrate_on_gc", arm.device.ppb.migrate_on_gc);
-  }
-  arm.device.Validate();
-
-  if (const Json* h = merged.Get("host")) {
-    arm.host.num_queues =
-        static_cast<std::uint32_t>(h->GetUintOr("num_queues", arm.host.num_queues));
-    arm.host.queue_capacity = static_cast<std::uint32_t>(
-        h->GetUintOr("queue_capacity", arm.host.queue_capacity));
-    arm.host.device_slots = static_cast<std::uint32_t>(
-        h->GetUintOr("device_slots", arm.host.device_slots));
-    arm.host.gc_aging_limit = static_cast<std::uint32_t>(
-        h->GetUintOr("gc_aging_limit", arm.host.gc_aging_limit));
-    arm.host.write_aging_limit = static_cast<std::uint32_t>(
-        h->GetUintOr("write_aging_limit", arm.host.write_aging_limit));
-  }
-  arm.host.qos = ParseQos(merged);
-  arm.host.Validate();
-
-  const std::uint64_t prefill_pct = merged.GetUintOr("prefill_pct", 85);
-  if (prefill_pct > 100) {
-    throw std::runtime_error("campaign: prefill_pct must be <= 100, got " +
-                             std::to_string(prefill_pct));
-  }
-  arm.prefill_pct = static_cast<std::uint32_t>(prefill_pct);
-  arm.prefill_chunk_bytes = BytesOf(merged, "prefill_chunk", 256 * kKiB);
+  DeviceSectionSpec section = ResolveDeviceSection(merged);
+  arm.device = std::move(section.device);
+  arm.host = std::move(section.host);
+  arm.prefill_pct = section.prefill_pct;
+  arm.prefill_chunk_bytes = section.prefill_chunk_bytes;
   arm.seed = seed_overridden ? merged.GetUintOr("seed", default_seed)
                              : default_seed + index;
 
-  // Reliability study knobs.  "error_model" arms the synthetic layer error
-  // model on the device (device config: part of the snapshot shape key);
-  // "faults" declares a per-arm injection plan + handling policy (armed
-  // after restore; NOT part of the shape key).
-  if (const Json* em = merged.Get("error_model"); em != nullptr && !em->IsNull()) {
-    arm.device.model_read_errors = true;
-    nand::ErrorModelConfig& m = arm.device.error_model;
-    m.base_rber = em->GetDoubleOr("base_rber", m.base_rber);
-    m.layer_skew = em->GetDoubleOr("layer_skew", m.layer_skew);
-    m.pe_scale = em->GetDoubleOr("pe_scale", m.pe_scale);
-    m.codeword_bytes = static_cast<std::uint32_t>(
-        em->GetUintOr("codeword_bytes", m.codeword_bytes));
-    m.correctable_bits_per_codeword = static_cast<std::uint32_t>(
-        em->GetUintOr("correctable_bits_per_codeword",
-                      m.correctable_bits_per_codeword));
-    m.Validate();
-    arm.device.error_model_seed =
-        em->GetUintOr("seed", arm.device.error_model_seed);
-  }
+  // Per-arm fault-injection plan + handling policy (armed after restore;
+  // NOT part of the snapshot shape key, unlike "error_model" above).
   if (const Json* f = merged.Get("faults"); f != nullptr && !f->IsNull()) {
     arm.inject_faults = true;
     nand::FaultPlanConfig& p = arm.fault_plan;
@@ -192,6 +127,84 @@ ArmSpec ResolveArm(const Json& merged, std::uint64_t index,
 }
 
 }  // namespace
+
+DeviceSectionSpec ResolveDeviceSection(const Json& merged) {
+  DeviceSectionSpec out;
+
+  const std::uint64_t device_bytes = BytesOf(merged, "device_bytes", 256 * kMiB);
+  const auto page_size =
+      static_cast<std::uint32_t>(BytesOf(merged, "page_size", 16 * kKiB));
+  const double speed_ratio = merged.GetDoubleOr("speed_ratio", 2.0);
+  const auto channels =
+      static_cast<std::uint32_t>(merged.GetUintOr("channels", 0));
+
+  nand::NandGeometry base_shape;  // defaults = the paper's Table 1 shape
+  if (channels != 0) base_shape.channels = channels;
+  const ssd::FtlKind kind = ParseFtlKind(merged.GetStringOr("ftl", "conventional"));
+  out.device = ssd::ScaledConfig(kind, device_bytes, page_size, speed_ratio,
+                                 base_shape);
+  out.device.timing_mode =
+      ParseTimingMode(merged.GetStringOr("timing_mode", "queued"));
+  out.device.ftl.gc_routing =
+      ParseGcRouting(merged.GetStringOr("gc_routing", "inline"));
+  out.device.ftl.write_frontiers =
+      static_cast<std::uint32_t>(merged.GetUintOr("write_frontiers", 1));
+  out.device.ftl.stripe_policy =
+      ParseStripePolicy(merged.GetStringOr("stripe_policy", "round_robin"));
+  if (const Json* ppb = merged.Get("ppb")) {
+    out.device.ppb.vb_split =
+        static_cast<std::uint32_t>(ppb->GetUintOr("vb_split", out.device.ppb.vb_split));
+    out.device.ppb.max_open_fast_vbs = static_cast<std::uint32_t>(
+        ppb->GetUintOr("max_open_fast_vbs", out.device.ppb.max_open_fast_vbs));
+    out.device.ppb.migrate_on_update =
+        ppb->GetBoolOr("migrate_on_update", out.device.ppb.migrate_on_update);
+    out.device.ppb.migrate_on_gc =
+        ppb->GetBoolOr("migrate_on_gc", out.device.ppb.migrate_on_gc);
+  }
+  out.device.Validate();
+
+  if (const Json* h = merged.Get("host")) {
+    out.host.num_queues =
+        static_cast<std::uint32_t>(h->GetUintOr("num_queues", out.host.num_queues));
+    out.host.queue_capacity = static_cast<std::uint32_t>(
+        h->GetUintOr("queue_capacity", out.host.queue_capacity));
+    out.host.device_slots = static_cast<std::uint32_t>(
+        h->GetUintOr("device_slots", out.host.device_slots));
+    out.host.gc_aging_limit = static_cast<std::uint32_t>(
+        h->GetUintOr("gc_aging_limit", out.host.gc_aging_limit));
+    out.host.write_aging_limit = static_cast<std::uint32_t>(
+        h->GetUintOr("write_aging_limit", out.host.write_aging_limit));
+  }
+  out.host.qos = ParseQos(merged);
+  out.host.Validate();
+
+  const std::uint64_t prefill_pct = merged.GetUintOr("prefill_pct", 85);
+  if (prefill_pct > 100) {
+    throw std::runtime_error("campaign: prefill_pct must be <= 100, got " +
+                             std::to_string(prefill_pct));
+  }
+  out.prefill_pct = static_cast<std::uint32_t>(prefill_pct);
+  out.prefill_chunk_bytes = BytesOf(merged, "prefill_chunk", 256 * kKiB);
+
+  // "error_model" arms the synthetic layer error model on the device
+  // (device configuration: part of the snapshot shape key).
+  if (const Json* em = merged.Get("error_model"); em != nullptr && !em->IsNull()) {
+    out.device.model_read_errors = true;
+    nand::ErrorModelConfig& m = out.device.error_model;
+    m.base_rber = em->GetDoubleOr("base_rber", m.base_rber);
+    m.layer_skew = em->GetDoubleOr("layer_skew", m.layer_skew);
+    m.pe_scale = em->GetDoubleOr("pe_scale", m.pe_scale);
+    m.codeword_bytes = static_cast<std::uint32_t>(
+        em->GetUintOr("codeword_bytes", m.codeword_bytes));
+    m.correctable_bits_per_codeword = static_cast<std::uint32_t>(
+        em->GetUintOr("correctable_bits_per_codeword",
+                      m.correctable_bits_per_codeword));
+    m.Validate();
+    out.device.error_model_seed =
+        em->GetUintOr("seed", out.device.error_model_seed);
+  }
+  return out;
+}
 
 Json ArmSpec::ConfigSummary() const {
   Json summary;

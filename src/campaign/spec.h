@@ -98,6 +98,23 @@ struct CampaignSpec {
   }
 };
 
+/// The device/host/prefill subset of an arm configuration, resolved from a
+/// merged campaign-style object ("device_bytes", "page_size", "ftl",
+/// "gc_routing", "host", "qos", "error_model", "prefill_pct", ...).  The
+/// cluster layer (src/cluster/) reuses this to stamp out a whole fleet of
+/// devices from one device template, so cluster specs read exactly like
+/// campaign specs.
+struct DeviceSectionSpec {
+  ssd::SsdConfig device;
+  host::HostConfig host;
+  std::uint32_t prefill_pct = 85;
+  std::uint64_t prefill_chunk_bytes = 0;
+};
+
+/// Parses and validates the device/host/prefill fields of `merged`; throws
+/// std::runtime_error naming the offending field.
+DeviceSectionSpec ResolveDeviceSection(const Json& merged);
+
 /// RFC 7386-style merge: object fields of `patch` merge recursively into
 /// `base`, everything else replaces.  Null patch fields delete.
 Json MergePatch(const Json& base, const Json& patch);

@@ -1,0 +1,204 @@
+#include "cluster/shard_router.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ctflash::cluster {
+
+namespace {
+
+/// splitmix64 finalizer: the ring/user hash.  Streams are separated by
+/// mixing a salt into the seed before the value.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashOf(std::uint64_t seed, std::uint64_t salt,
+                     std::uint64_t value) {
+  return Mix64(Mix64(seed ^ salt) ^ value);
+}
+
+constexpr std::uint64_t kVnodeSalt = 0x76AEull;
+constexpr std::uint64_t kShardSalt = 0x5AADull;
+constexpr std::uint64_t kUserSalt = 0x05E2ull;
+
+}  // namespace
+
+void RouterConfig::Validate() const {
+  if (num_devices == 0) {
+    throw std::invalid_argument("router: num_devices must be >= 1");
+  }
+  if (num_shards == 0) {
+    throw std::invalid_argument("router: num_shards must be >= 1");
+  }
+  if (vnodes == 0) {
+    throw std::invalid_argument("router: vnodes must be >= 1");
+  }
+  if (replicas == 0 || replicas > num_devices) {
+    throw std::invalid_argument(
+        "router: replicas must be in [1, num_devices]");
+  }
+}
+
+ShardRouter::ShardRouter(const RouterConfig& config) : config_(config) {
+  config_.Validate();
+  const std::uint32_t total = config_.TotalDevices();
+  alive_.assign(total, true);
+  in_ring_.assign(total, false);
+  ring_.reserve(static_cast<std::size_t>(config_.num_devices) * config_.vnodes);
+  for (DeviceId d = 0; d < config_.num_devices; ++d) {
+    in_ring_[d] = true;
+    for (std::uint32_t v = 0; v < config_.vnodes; ++v) {
+      ring_.emplace_back(
+          HashOf(config_.seed, kVnodeSalt,
+                 (static_cast<std::uint64_t>(d) << 32) | v),
+          d);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  shard_hash_.resize(config_.num_shards);
+  placements_.resize(config_.num_shards);
+  for (ShardId s = 0; s < config_.num_shards; ++s) {
+    shard_hash_[s] = HashOf(config_.seed, kShardSalt, s);
+    placements_[s] = PlaceShard(s);
+  }
+}
+
+ShardId ShardRouter::ShardOfUser(std::uint64_t user) const {
+  return static_cast<ShardId>(HashOf(config_.seed, kUserSalt, user) %
+                              config_.num_shards);
+}
+
+std::uint32_t ShardRouter::RingDevices() const {
+  std::uint32_t n = 0;
+  for (DeviceId d = 0; d < in_ring_.size(); ++d) {
+    if (in_ring_[d] && alive_[d]) ++n;
+  }
+  return n;
+}
+
+std::uint32_t ShardRouter::SparesLeft() const {
+  return config_.spare_devices - next_spare_;
+}
+
+std::uint64_t ShardRouter::PrimaryShardsOn(DeviceId device) const {
+  std::uint64_t n = 0;
+  for (const std::vector<DeviceId>& p : placements_) {
+    if (p[0] == device) ++n;
+  }
+  return n;
+}
+
+std::uint64_t ShardRouter::PlacementSlotsOn(DeviceId device) const {
+  std::uint64_t n = 0;
+  for (const std::vector<DeviceId>& p : placements_) {
+    n += static_cast<std::uint64_t>(
+        std::count(p.begin(), p.end(), device));
+  }
+  return n;
+}
+
+std::vector<DeviceId> ShardRouter::PlaceShard(ShardId shard) const {
+  std::vector<DeviceId> placement;
+  placement.reserve(config_.replicas);
+  // First ring point at or after the shard's hash, wrapping.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(shard_hash_[shard], DeviceId{0}));
+  for (std::size_t step = 0;
+       step < ring_.size() && placement.size() < config_.replicas; ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    const DeviceId d = it->second;
+    if (alive_[d] &&
+        std::find(placement.begin(), placement.end(), d) == placement.end()) {
+      placement.push_back(d);
+    }
+    ++it;
+  }
+  if (placement.empty()) {
+    throw std::runtime_error("router: no alive device left to place shards");
+  }
+  return placement;
+}
+
+DeviceId ShardRouter::NextAliveOnRing(
+    std::uint64_t from_hash, const std::vector<DeviceId>& exclude) const {
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(from_hash, DeviceId{0}));
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    const DeviceId d = it->second;
+    if (alive_[d] &&
+        std::find(exclude.begin(), exclude.end(), d) == exclude.end()) {
+      return d;
+    }
+    ++it;
+  }
+  return kNoDevice;
+}
+
+std::vector<ShardMove> ShardRouter::MarkFailed(DeviceId device) {
+  if (device >= alive_.size()) {
+    throw std::invalid_argument("router: MarkFailed device out of range");
+  }
+  if (!alive_[device]) return {};
+  alive_[device] = false;
+
+  // A spare adopts the failed device's ring points wholesale: the ring
+  // geometry is unchanged, so exactly the failed device's slots move.
+  DeviceId adopter = kNoDevice;
+  if (in_ring_[device] && next_spare_ < config_.spare_devices) {
+    adopter = config_.num_devices + next_spare_;
+    ++next_spare_;
+    in_ring_[adopter] = true;
+    for (auto& [hash, d] : ring_) {
+      if (d == device) d = adopter;
+    }
+  } else if (in_ring_[device]) {
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [device](const auto& point) {
+                                 return point.second == device;
+                               }),
+                ring_.end());
+    if (ring_.empty()) {
+      throw std::runtime_error("router: last ring device failed");
+    }
+  }
+  in_ring_[device] = false;
+
+  std::vector<ShardMove> moves;
+  for (ShardId s = 0; s < config_.num_shards; ++s) {
+    std::vector<DeviceId>& placement = placements_[s];
+    for (std::uint32_t slot = 0; slot < placement.size(); ++slot) {
+      if (placement[slot] != device) continue;
+      ShardMove move;
+      move.shard = s;
+      move.slot = slot;
+      move.from = device;
+      // Rebuild source: the first surviving member of the old placement.
+      for (const DeviceId member : placement) {
+        if (member != device && alive_[member]) {
+          move.source = member;
+          break;
+        }
+      }
+      const DeviceId replacement =
+          adopter != kNoDevice ? adopter
+                               : NextAliveOnRing(shard_hash_[s], placement);
+      if (replacement == kNoDevice) {
+        throw std::runtime_error(
+            "router: no alive replacement device for shard " +
+            std::to_string(s));
+      }
+      placement[slot] = replacement;
+      move.to = replacement;
+      moves.push_back(move);
+    }
+  }
+  return moves;
+}
+
+}  // namespace ctflash::cluster

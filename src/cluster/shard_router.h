@@ -1,0 +1,123 @@
+// ShardRouter: deterministic user -> shard -> device placement over a
+// simulated device fleet.
+//
+// Users (millions of opaque 64-bit ids) hash onto a fixed set of shards;
+// shards place onto devices through a consistent-hash ring (every active
+// device contributes `vnodes` seeded points).  Each shard's placement is
+// the first `replicas` DISTINCT devices clockwise from the shard's own ring
+// position: placement[0] is the primary that serves the shard's traffic,
+// the rest are standby copies used as rebuild sources when the primary
+// fails.  Everything derives from one seed, so two routers built from the
+// same RouterConfig agree on every placement bit-for-bit.
+//
+// Failure handling (MarkFailed) preserves the consistent-hashing
+// minimal-disruption property: only shards whose placement involved the
+// failed device move.
+//
+//  * With a spare available (devices [num_devices, num_devices +
+//    spare_devices) start outside the ring), the spare ADOPTS the failed
+//    device's ring points, so exactly the failed device's placement slots
+//    transfer to the spare and nothing else changes.
+//  * With no spare left, the failed device's points leave the ring and each
+//    affected shard replaces it with the next distinct alive device
+//    clockwise — other placements again stay untouched.
+//
+// MarkFailed reports the moved shards with their rebuild source (a
+// surviving placement member), which the ClusterDirector turns into real
+// migration traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ctflash::cluster {
+
+using DeviceId = std::uint32_t;
+using ShardId = std::uint32_t;
+
+inline constexpr DeviceId kNoDevice = static_cast<DeviceId>(-1);
+
+struct RouterConfig {
+  std::uint32_t num_devices = 8;    ///< ring-active devices at t=0
+  std::uint32_t spare_devices = 0;  ///< standby devices (join on failure)
+  std::uint32_t num_shards = 256;
+  std::uint32_t replicas = 2;       ///< placement width (primary + standbys)
+  std::uint32_t vnodes = 64;        ///< ring points per device
+  std::uint64_t seed = 1;
+
+  std::uint32_t TotalDevices() const { return num_devices + spare_devices; }
+
+  /// Throws std::invalid_argument on nonsensical shapes (no devices, zero
+  /// shards/vnodes, replicas exceeding the device count).
+  void Validate() const;
+};
+
+/// One shard displaced by a device failure: placement slot `slot` moved
+/// from `from` to `to`; `source` is a surviving member of the old placement
+/// to rebuild from (kNoDevice when the shard had no surviving copy —
+/// unrecoverable without external redundancy).
+struct ShardMove {
+  ShardId shard = 0;
+  std::uint32_t slot = 0;
+  DeviceId from = kNoDevice;
+  DeviceId to = kNoDevice;
+  DeviceId source = kNoDevice;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(const RouterConfig& config);
+
+  const RouterConfig& config() const { return config_; }
+
+  /// User -> shard hash; stable under the config seed.
+  ShardId ShardOfUser(std::uint64_t user) const;
+
+  /// The shard's current placement (size replicas, distinct devices).
+  const std::vector<DeviceId>& PlacementOf(ShardId shard) const {
+    return placements_[shard];
+  }
+  /// The device serving the shard's traffic (placement slot 0).
+  DeviceId PrimaryOf(ShardId shard) const { return placements_[shard][0]; }
+  /// Convenience: PrimaryOf(ShardOfUser(user)).
+  DeviceId DeviceOfUser(std::uint64_t user) const {
+    return PrimaryOf(ShardOfUser(user));
+  }
+
+  bool IsAlive(DeviceId device) const { return alive_[device]; }
+  /// Devices currently holding ring points (spares join on adoption).
+  std::uint32_t RingDevices() const;
+  /// Unused spares remaining.
+  std::uint32_t SparesLeft() const;
+  /// Shards whose primary is `device`.
+  std::uint64_t PrimaryShardsOn(DeviceId device) const;
+  /// Placement slots (any replica rank) on `device`.
+  std::uint64_t PlacementSlotsOn(DeviceId device) const;
+
+  /// Fails `device`: removes it from the ring (or hands its ring points to
+  /// the next unused spare) and repairs every placement that contained it.
+  /// Returns the displaced shards with rebuild sources, in shard order.
+  /// Failing an already-failed device returns an empty list.  Throws
+  /// std::runtime_error when no alive replacement device exists.
+  std::vector<ShardMove> MarkFailed(DeviceId device);
+
+ private:
+  /// First `replicas` distinct alive devices clockwise from the shard's
+  /// ring position, skipping devices in `exclude` (repair keeps surviving
+  /// members and fills the hole).
+  std::vector<DeviceId> PlaceShard(ShardId shard) const;
+  DeviceId NextAliveOnRing(std::uint64_t from_hash,
+                           const std::vector<DeviceId>& exclude) const;
+
+  RouterConfig config_;
+  /// Sorted (hash, device) ring over ring-active devices.
+  std::vector<std::pair<std::uint64_t, DeviceId>> ring_;
+  std::vector<std::uint64_t> shard_hash_;      ///< ring position per shard
+  std::vector<std::vector<DeviceId>> placements_;
+  std::vector<bool> alive_;
+  std::vector<bool> in_ring_;
+  std::uint32_t next_spare_ = 0;  ///< next unused spare (absolute id offset)
+};
+
+}  // namespace ctflash::cluster

@@ -1,0 +1,263 @@
+#include "cluster/spec.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/config.h"
+
+namespace ctflash::cluster {
+
+namespace {
+
+/// Byte sizes may be JSON numbers or strings like "64MiB".
+std::uint64_t BytesOf(const Json& parent, const std::string& key,
+                      std::uint64_t fallback) {
+  const Json* v = parent.Get(key);
+  if (v == nullptr || v->IsNull()) return fallback;
+  if (v->IsNumber()) return v->AsUint();
+  return util::ParseByteSize(v->AsString());
+}
+
+RebalancePolicy ParsePolicy(const std::string& s) {
+  if (s == "on_failure") return RebalancePolicy::kOnFailure;
+  if (s == "none") return RebalancePolicy::kNone;
+  throw std::runtime_error("cluster: unknown rebalance policy \"" + s +
+                           "\" (expected \"on_failure\" or \"none\")");
+}
+
+/// The fleet-wide two-tenant QoS table: user traffic on all but the last
+/// queue, rebuild traffic alone on the last so migration never starves
+/// serving I/O of submission slots.
+qos::QosConfig DefaultQos(std::uint32_t num_queues, std::uint32_t user_weight,
+                          std::uint32_t rebuild_weight) {
+  if (num_queues < 2) {
+    throw std::runtime_error(
+        "cluster: device host.num_queues must be >= 2 (user + rebuild "
+        "tenants need disjoint queues)");
+  }
+  qos::QosConfig qos;
+  qos::TenantConfig users;
+  users.name = "users";
+  users.weight = user_weight;
+  for (std::uint32_t q = 0; q + 1 < num_queues; ++q) users.queues.push_back(q);
+  qos::TenantConfig rebuild;
+  rebuild.name = "rebuild";
+  rebuild.weight = rebuild_weight;
+  rebuild.queues.push_back(num_queues - 1);
+  qos.tenants.push_back(std::move(users));
+  qos.tenants.push_back(std::move(rebuild));
+  return qos;
+}
+
+}  // namespace
+
+ClusterSpec ClusterSpec::Parse(const std::string& json_text) {
+  return Parse(Json::Parse(json_text));
+}
+
+ClusterSpec ClusterSpec::Parse(const Json& root) {
+  if (!root.IsObject()) {
+    throw std::runtime_error("cluster: spec must be a JSON object");
+  }
+  ClusterSpec spec;
+  spec.name = root.GetStringOr("cluster", "cluster");
+  spec.workers = static_cast<std::uint32_t>(root.GetUintOr("workers", 1));
+  spec.seed = root.GetUintOr("seed", 1);
+
+  if (const Json* fleet = root.Get("fleet"); fleet != nullptr) {
+    spec.router.num_devices =
+        static_cast<std::uint32_t>(fleet->GetUintOr("devices", 8));
+    spec.router.spare_devices =
+        static_cast<std::uint32_t>(fleet->GetUintOr("spares", 0));
+  }
+  if (const Json* r = root.Get("router"); r != nullptr) {
+    spec.router.num_shards =
+        static_cast<std::uint32_t>(r->GetUintOr("shards", 256));
+    spec.router.replicas =
+        static_cast<std::uint32_t>(r->GetUintOr("replicas", 2));
+    spec.router.vnodes = static_cast<std::uint32_t>(r->GetUintOr("vnodes", 64));
+    spec.router.seed = r->GetUintOr("seed", spec.seed);
+  } else {
+    spec.router.seed = spec.seed;
+  }
+
+  // Device template (campaign-style section shared by the whole fleet).
+  spec.device_json = Json(campaign::JsonObject{});
+  if (const Json* d = root.Get("device"); d != nullptr && !d->IsNull()) {
+    if (!d->IsObject()) {
+      throw std::runtime_error("cluster: device must be an object");
+    }
+    spec.device_json = *d;
+  }
+  spec.device = campaign::ResolveDeviceSection(spec.device_json);
+
+  std::uint32_t user_weight = 8;
+  std::uint32_t rebuild_weight = 1;
+  if (const Json* q = root.Get("qos"); q != nullptr) {
+    user_weight = static_cast<std::uint32_t>(q->GetUintOr("user_weight", 8));
+    rebuild_weight =
+        static_cast<std::uint32_t>(q->GetUintOr("rebuild_weight", 1));
+  }
+  spec.user_weight = user_weight;
+  spec.rebuild_weight = rebuild_weight;
+  // A qos list inside the device template wins; otherwise install the
+  // standard users/rebuild split.
+  if (spec.device.host.qos.tenants.empty()) {
+    spec.device.host.qos =
+        DefaultQos(spec.device.host.num_queues, user_weight, rebuild_weight);
+    spec.device.host.Validate();
+  } else if (spec.device.host.qos.tenants.size() < 2) {
+    throw std::runtime_error(
+        "cluster: a device-template qos list needs >= 2 tenants "
+        "(user + rebuild)");
+  }
+
+  if (const Json* u = root.Get("users"); u != nullptr) {
+    spec.user_count = u->GetUintOr("count", 1'000'000);
+    spec.zipf_theta = u->GetDoubleOr("zipf_theta", 0.9);
+  }
+  if (const Json* w = root.Get("workload"); w != nullptr) {
+    spec.rate_iops = w->GetDoubleOr("rate_iops", 20'000.0);
+    spec.read_fraction = w->GetDoubleOr("read_fraction", 0.9);
+    spec.request_bytes = BytesOf(*w, "request_bytes", 16 * kKiB);
+    spec.epochs = static_cast<std::uint32_t>(w->GetUintOr("epochs", 6));
+    spec.epoch_us = static_cast<Us>(w->GetUintOr("epoch_us", 250'000));
+    spec.timeout_us = static_cast<Us>(w->GetUintOr("timeout_us", 1'000'000));
+  }
+  if (const Json* r = root.Get("rebalance"); r != nullptr) {
+    spec.policy = ParsePolicy(r->GetStringOr("policy", "on_failure"));
+    spec.fail_on_lost_pages = r->GetUintOr("fail_on_lost_pages", 1);
+    spec.migration_chunk_bytes = BytesOf(*r, "migration_chunk", 64 * kKiB);
+    spec.rebuild_epochs =
+        static_cast<std::uint32_t>(r->GetUintOr("rebuild_epochs", 0));
+    spec.rebuild_bytes_per_sec = r->GetDoubleOr("rebuild_bytes_per_sec", 0.0);
+    if (spec.rebuild_bytes_per_sec < 0.0) {
+      throw std::runtime_error(
+          "cluster: rebalance.rebuild_bytes_per_sec must be >= 0");
+    }
+    if (spec.rebuild_bytes_per_sec > 0.0) {
+      spec.device.host.qos.tenants[kRebuildTenant].bytes_per_sec_limit =
+          spec.rebuild_bytes_per_sec;
+    }
+    if (const Json* sb = r->Get("shard_bytes");
+        sb != nullptr && !(sb->IsString() && sb->AsString() == "auto")) {
+      spec.shard_bytes = BytesOf(*r, "shard_bytes", 0);
+    }
+  }
+  if (const Json* faults = root.Get("faults"); faults != nullptr &&
+                                               !faults->IsNull()) {
+    for (const Json& f : faults->AsArray()) {
+      DeviceFaultSpec fault;
+      fault.device = static_cast<DeviceId>(f.GetUintOr("device", 0));
+      fault.kind = f.GetStringOr("kind", "channel");
+      fault.at_us = static_cast<Us>(f.GetUintOr("at_us", 0));
+      if (fault.kind != "die" && fault.kind != "channel" &&
+          fault.kind != "device") {
+        throw std::runtime_error("cluster: unknown fault kind \"" +
+                                 fault.kind +
+                                 "\" (expected die/channel/device)");
+      }
+      spec.faults.push_back(std::move(fault));
+    }
+  }
+  spec.Validate();
+  return spec;
+}
+
+void ClusterSpec::Validate() const {
+  router.Validate();
+  if (workers == 0) throw std::runtime_error("cluster: workers must be >= 1");
+  if (user_count == 0) {
+    throw std::runtime_error("cluster: users.count must be >= 1");
+  }
+  if (zipf_theta < 0.0) {
+    throw std::runtime_error("cluster: users.zipf_theta must be >= 0");
+  }
+  if (rate_iops <= 0.0) {
+    throw std::runtime_error("cluster: workload.rate_iops must be > 0");
+  }
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    throw std::runtime_error(
+        "cluster: workload.read_fraction must be in [0, 1]");
+  }
+  if (request_bytes == 0) {
+    throw std::runtime_error("cluster: workload.request_bytes must be > 0");
+  }
+  if (epochs == 0) throw std::runtime_error("cluster: epochs must be >= 1");
+  if (epoch_us <= 0) throw std::runtime_error("cluster: epoch_us must be > 0");
+  if (timeout_us <= 0) {
+    throw std::runtime_error("cluster: timeout_us must be > 0");
+  }
+  for (const DeviceFaultSpec& f : faults) {
+    if (f.device >= router.TotalDevices()) {
+      throw std::runtime_error("cluster: fault device " +
+                               std::to_string(f.device) +
+                               " outside the fleet");
+    }
+  }
+}
+
+nand::FaultPlanConfig ClusterSpec::FaultPlanFor(DeviceId device,
+                                                Us run_start_us) const {
+  nand::FaultPlanConfig plan;
+  bool any = false;
+  for (const DeviceFaultSpec& f : faults) {
+    if (f.device != device) continue;
+    if (f.kind == "die") {
+      plan.fail_dies.push_back(0);
+    } else if (f.kind == "channel") {
+      plan.fail_channels.push_back(0);
+    } else {  // "device": every channel goes dark
+      for (std::uint32_t c = 0; c < this->device.device.geometry.channels;
+           ++c) {
+        plan.fail_channels.push_back(c);
+      }
+    }
+    // One schedule per injector: overlapping faults hit at the earliest.
+    const Us at = run_start_us + f.at_us;
+    plan.fail_at_us = any ? std::min(plan.fail_at_us, at) : at;
+    any = true;
+  }
+  if (any) plan.Validate();
+  return plan;
+}
+
+Json ClusterSpec::ConfigSummary() const {
+  Json summary;
+  summary["cluster"] = name;
+  summary["devices"] = static_cast<std::uint64_t>(router.num_devices);
+  summary["spares"] = static_cast<std::uint64_t>(router.spare_devices);
+  summary["shards"] = static_cast<std::uint64_t>(router.num_shards);
+  summary["replicas"] = static_cast<std::uint64_t>(router.replicas);
+  summary["vnodes"] = static_cast<std::uint64_t>(router.vnodes);
+  summary["seed"] = seed;
+  summary["users"] = user_count;
+  summary["zipf_theta"] = zipf_theta;
+  summary["rate_iops"] = rate_iops;
+  summary["read_fraction"] = read_fraction;
+  summary["request_bytes"] = request_bytes;
+  summary["epochs"] = static_cast<std::uint64_t>(epochs);
+  summary["epoch_us"] = static_cast<std::uint64_t>(epoch_us);
+  summary["timeout_us"] = static_cast<std::uint64_t>(timeout_us);
+  summary["policy"] =
+      std::string(policy == RebalancePolicy::kOnFailure ? "on_failure"
+                                                        : "none");
+  summary["user_weight"] = static_cast<std::uint64_t>(user_weight);
+  summary["rebuild_weight"] = static_cast<std::uint64_t>(rebuild_weight);
+  summary["device"] = device_json;
+  if (!faults.empty()) {
+    campaign::JsonArray list;
+    for (const DeviceFaultSpec& f : faults) {
+      Json entry;
+      entry["device"] = static_cast<std::uint64_t>(f.device);
+      entry["kind"] = f.kind;
+      entry["at_us"] = static_cast<std::uint64_t>(f.at_us);
+      list.push_back(std::move(entry));
+    }
+    summary["faults"] = Json(std::move(list));
+  }
+  return summary;
+}
+
+}  // namespace ctflash::cluster

@@ -1,0 +1,45 @@
+// Deterministic work sharding over a thread pool.
+//
+// ParallelFor runs `fn(i)` for every i in [0, count) on up to `workers`
+// threads pulling indices from a shared atomic counter.  Callers that need
+// bit-identical results for any worker count must keep each fn(i) free of
+// shared mutable state (write only to slot i of pre-sized result vectors)
+// — the campaign runner and the cluster simulator both follow that rule.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ctflash::util {
+
+/// Shards [0, count) over up to `workers` threads.  `fn(i)` must not throw
+/// (capture exceptions inside and surface them from slot state); workers of
+/// 0 or 1 run inline on the calling thread.
+inline void ParallelFor(std::size_t count, std::uint32_t workers,
+                        const std::function<void(std::size_t)>& fn) {
+  const std::size_t n_threads =
+      std::min<std::size_t>(workers == 0 ? 1 : workers, count);
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace ctflash::util

@@ -125,5 +125,34 @@ TEST(CampaignRunner, ReportAndCsvShape) {
   EXPECT_EQ(rows, 4u);
 }
 
+TEST(CampaignCsv, FieldEncodingFollowsRfc4180) {
+  EXPECT_EQ(CsvField("plain"), "plain");
+  EXPECT_EQ(CsvField(""), "");
+  EXPECT_EQ(CsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvField("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvField("cr\rhere"), "\"cr\rhere\"");
+}
+
+// Regression: an arm name containing quotes, commas, AND a newline must
+// come out as one valid RFC 4180 field, not a row that sheds columns.
+TEST(CampaignCsv, HostileArmNameStaysOneField) {
+  CampaignRunner runner(CampaignSpec::Parse(R"({
+    "defaults": {
+      "device_bytes": "32MiB",
+      "prefill_pct": 50,
+      "workload": {"kind": "closed_loop", "requests": 50}
+    },
+    "arms": [{"name": "evil\"arm\",\nname"}]
+  })"));
+  const CampaignResult result = runner.Run(1);
+  ASSERT_EQ(result.arms.size(), 1u);
+  EXPECT_TRUE(result.arms[0].ok) << result.arms[0].error;
+  const std::string csv = result.Csv();
+  // The name is quoted, embedded quotes doubled, newline kept verbatim.
+  EXPECT_NE(csv.find("\"evil\"\"arm\"\",\nname\","), std::string::npos)
+      << csv;
+}
+
 }  // namespace
 }  // namespace ctflash::campaign

@@ -1,0 +1,180 @@
+// ShardRouter invariants: seed-deterministic placement, bounded load
+// imbalance under a million hashed users, and minimal-disruption remapping
+// on device failure (only the failed device's shards move; a spare adopts
+// them wholesale).
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/shard_router.h"
+
+namespace ctflash::cluster {
+namespace {
+
+RouterConfig SmallConfig() {
+  RouterConfig cfg;
+  cfg.num_devices = 8;
+  cfg.spare_devices = 1;
+  cfg.num_shards = 256;
+  cfg.replicas = 2;
+  cfg.vnodes = 64;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(ShardRouter, PlacementIsDeterministic) {
+  const RouterConfig cfg = SmallConfig();
+  ShardRouter a(cfg);
+  ShardRouter b(cfg);
+  for (ShardId s = 0; s < cfg.num_shards; ++s) {
+    EXPECT_EQ(a.PlacementOf(s), b.PlacementOf(s)) << "shard " << s;
+  }
+  for (std::uint64_t user = 0; user < 10'000; ++user) {
+    ASSERT_EQ(a.ShardOfUser(user), b.ShardOfUser(user)) << "user " << user;
+    ASSERT_EQ(a.DeviceOfUser(user), b.DeviceOfUser(user)) << "user " << user;
+  }
+  // A different seed reshuffles the world.
+  RouterConfig other = cfg;
+  other.seed = 43;
+  ShardRouter c(other);
+  std::uint32_t moved = 0;
+  for (ShardId s = 0; s < cfg.num_shards; ++s) {
+    if (a.PrimaryOf(s) != c.PrimaryOf(s)) ++moved;
+  }
+  EXPECT_GT(moved, cfg.num_shards / 2);
+}
+
+TEST(ShardRouter, PlacementsAreDistinctAliveDevices) {
+  ShardRouter router(SmallConfig());
+  for (ShardId s = 0; s < router.config().num_shards; ++s) {
+    const std::vector<DeviceId>& p = router.PlacementOf(s);
+    ASSERT_EQ(p.size(), router.config().replicas);
+    const std::set<DeviceId> distinct(p.begin(), p.end());
+    EXPECT_EQ(distinct.size(), p.size()) << "shard " << s;
+    for (const DeviceId d : p) {
+      EXPECT_LT(d, router.config().num_devices);  // spares start outside
+      EXPECT_TRUE(router.IsAlive(d));
+    }
+  }
+}
+
+TEST(ShardRouter, MillionUsersBalanceAcrossDevices) {
+  const RouterConfig cfg = SmallConfig();
+  ShardRouter router(cfg);
+  std::vector<std::uint64_t> per_device(cfg.num_devices, 0);
+  constexpr std::uint64_t kUsers = 1'000'000;
+  for (std::uint64_t user = 0; user < kUsers; ++user) {
+    ++per_device[router.DeviceOfUser(user)];
+  }
+  const double mean = static_cast<double>(kUsers) / cfg.num_devices;
+  std::uint64_t max_load = 0, min_load = kUsers;
+  for (const std::uint64_t n : per_device) {
+    max_load = std::max(max_load, n);
+    min_load = std::min(min_load, n);
+  }
+  // Consistent hashing with 64 vnodes/device keeps the hot/cold spread
+  // bounded: no device sees more than 2x the fair share or less than a
+  // quarter of it.
+  EXPECT_LT(static_cast<double>(max_load), 2.0 * mean)
+      << "max " << max_load << " vs mean " << mean;
+  EXPECT_GT(static_cast<double>(min_load), 0.25 * mean)
+      << "min " << min_load << " vs mean " << mean;
+}
+
+TEST(ShardRouter, SpareAdoptsExactlyTheFailedDevicesShards) {
+  ShardRouter router(SmallConfig());
+  const DeviceId failed = 3;
+  const DeviceId spare = router.config().num_devices;  // first spare id
+
+  std::map<ShardId, std::vector<DeviceId>> before;
+  for (ShardId s = 0; s < router.config().num_shards; ++s) {
+    before[s] = router.PlacementOf(s);
+  }
+  ASSERT_EQ(router.SparesLeft(), 1u);
+  const std::vector<ShardMove> moves = router.MarkFailed(failed);
+  EXPECT_EQ(router.SparesLeft(), 0u);
+  EXPECT_FALSE(router.IsAlive(failed));
+  EXPECT_FALSE(moves.empty());
+
+  std::set<ShardId> moved_shards;
+  for (const ShardMove& m : moves) {
+    EXPECT_EQ(m.from, failed);
+    EXPECT_EQ(m.to, spare);  // spare adoption: every slot lands on the spare
+    EXPECT_NE(m.source, kNoDevice);  // replicas=2 -> a survivor exists
+    EXPECT_NE(m.source, failed);
+    moved_shards.insert(m.shard);
+  }
+  for (ShardId s = 0; s < router.config().num_shards; ++s) {
+    const std::vector<DeviceId>& now = router.PlacementOf(s);
+    if (std::find(before[s].begin(), before[s].end(), failed) ==
+        before[s].end()) {
+      // Minimal disruption: untouched placements are bit-identical.
+      EXPECT_EQ(now, before[s]) << "shard " << s;
+      EXPECT_EQ(moved_shards.count(s), 0u);
+    } else {
+      // The failed member was replaced in place; survivors kept their slots.
+      EXPECT_EQ(moved_shards.count(s), 1u);
+      ASSERT_EQ(now.size(), before[s].size());
+      for (std::size_t slot = 0; slot < now.size(); ++slot) {
+        if (before[s][slot] == failed) {
+          EXPECT_EQ(now[slot], spare);
+        } else {
+          EXPECT_EQ(now[slot], before[s][slot]);
+        }
+      }
+    }
+  }
+  // Repeated failure of the same device is a no-op.
+  EXPECT_TRUE(router.MarkFailed(failed).empty());
+}
+
+TEST(ShardRouter, FailureWithoutSparesRemapsToSurvivors) {
+  RouterConfig cfg = SmallConfig();
+  cfg.spare_devices = 0;
+  ShardRouter router(cfg);
+  const DeviceId failed = 5;
+  const std::vector<ShardMove> moves = router.MarkFailed(failed);
+  EXPECT_FALSE(moves.empty());
+  for (const ShardMove& m : moves) {
+    EXPECT_EQ(m.from, failed);
+    EXPECT_NE(m.to, failed);
+    EXPECT_TRUE(router.IsAlive(m.to));
+  }
+  for (ShardId s = 0; s < cfg.num_shards; ++s) {
+    const std::vector<DeviceId>& p = router.PlacementOf(s);
+    const std::set<DeviceId> distinct(p.begin(), p.end());
+    EXPECT_EQ(distinct.size(), p.size());
+    for (const DeviceId d : p) EXPECT_NE(d, failed);
+  }
+}
+
+TEST(ShardRouter, SingleReplicaFailureIsUnrecoverable) {
+  RouterConfig cfg = SmallConfig();
+  cfg.replicas = 1;
+  cfg.spare_devices = 0;
+  ShardRouter router(cfg);
+  const std::vector<ShardMove> moves = router.MarkFailed(0);
+  EXPECT_FALSE(moves.empty());
+  for (const ShardMove& m : moves) {
+    EXPECT_EQ(m.source, kNoDevice);  // nobody left to rebuild from
+  }
+}
+
+TEST(ShardRouter, ValidatesConfig) {
+  RouterConfig cfg;
+  cfg.num_devices = 0;
+  EXPECT_THROW(ShardRouter{cfg}, std::invalid_argument);
+  cfg = RouterConfig{};
+  cfg.replicas = cfg.num_devices + 1;
+  EXPECT_THROW(ShardRouter{cfg}, std::invalid_argument);
+  cfg = RouterConfig{};
+  EXPECT_THROW(ShardRouter(cfg).MarkFailed(cfg.TotalDevices()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ctflash::cluster

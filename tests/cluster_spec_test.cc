@@ -1,0 +1,156 @@
+// ClusterSpec parsing: defaults, the campaign-style device template, QoS
+// tenant synthesis, fault schedules, and validation errors.
+#include <gtest/gtest.h>
+
+#include "cluster/spec.h"
+
+namespace ctflash::cluster {
+namespace {
+
+TEST(ClusterSpec, DefaultsAreSane) {
+  const ClusterSpec spec = ClusterSpec::Parse(R"({})");
+  EXPECT_EQ(spec.name, "cluster");
+  EXPECT_EQ(spec.router.num_devices, 8u);
+  EXPECT_EQ(spec.router.spare_devices, 0u);
+  EXPECT_EQ(spec.router.num_shards, 256u);
+  EXPECT_EQ(spec.router.replicas, 2u);
+  EXPECT_EQ(spec.router.seed, spec.seed);
+  EXPECT_EQ(spec.user_count, 1'000'000u);
+  EXPECT_EQ(spec.policy, RebalancePolicy::kOnFailure);
+  // The synthesized QoS table: users on all but the last queue, rebuild on
+  // the last, weights 8:1.
+  ASSERT_EQ(spec.device.host.qos.tenants.size(), 2u);
+  EXPECT_EQ(spec.device.host.qos.tenants[0].name, "users");
+  EXPECT_EQ(spec.device.host.qos.tenants[0].weight, 8u);
+  EXPECT_EQ(spec.device.host.qos.tenants[1].name, "rebuild");
+  EXPECT_EQ(spec.device.host.qos.tenants[1].weight, 1u);
+  EXPECT_EQ(spec.device.host.qos.tenants[1].queues.size(), 1u);
+  EXPECT_EQ(spec.device.host.qos.tenants[1].queues[0],
+            spec.device.host.num_queues - 1);
+}
+
+TEST(ClusterSpec, ParsesFullSpec) {
+  const ClusterSpec spec = ClusterSpec::Parse(R"({
+    "cluster": "loss-drill",
+    "workers": 4,
+    "seed": 7,
+    "fleet": {"devices": 4, "spares": 2},
+    "router": {"shards": 64, "replicas": 3, "vnodes": 16, "seed": 99},
+    "device": {"device_bytes": "32MiB", "ftl": "ppb", "prefill_pct": 70},
+    "users": {"count": 5000, "zipf_theta": 1.1},
+    "workload": {"rate_iops": 12000, "read_fraction": 0.8,
+                 "request_bytes": "32KiB", "epochs": 4, "epoch_us": 100000,
+                 "timeout_us": 500000},
+    "qos": {"user_weight": 6, "rebuild_weight": 2},
+    "rebalance": {"policy": "none", "fail_on_lost_pages": 5,
+                  "migration_chunk": "128KiB", "shard_bytes": "512KiB",
+                  "rebuild_epochs": 3, "rebuild_bytes_per_sec": 4194304},
+    "faults": [{"device": 1, "kind": "die", "at_us": 2000},
+               {"device": 3, "kind": "device", "at_us": 4000}]
+  })");
+  EXPECT_EQ(spec.name, "loss-drill");
+  EXPECT_EQ(spec.workers, 4u);
+  EXPECT_EQ(spec.router.num_devices, 4u);
+  EXPECT_EQ(spec.router.spare_devices, 2u);
+  EXPECT_EQ(spec.router.num_shards, 64u);
+  EXPECT_EQ(spec.router.replicas, 3u);
+  EXPECT_EQ(spec.router.seed, 99u);
+  EXPECT_EQ(spec.device.prefill_pct, 70u);
+  EXPECT_EQ(spec.user_count, 5000u);
+  EXPECT_DOUBLE_EQ(spec.zipf_theta, 1.1);
+  EXPECT_DOUBLE_EQ(spec.rate_iops, 12000.0);
+  EXPECT_EQ(spec.request_bytes, 32u * 1024);
+  EXPECT_EQ(spec.epochs, 4u);
+  EXPECT_EQ(spec.epoch_us, 100'000);
+  EXPECT_EQ(spec.timeout_us, 500'000);
+  EXPECT_EQ(spec.policy, RebalancePolicy::kNone);
+  EXPECT_EQ(spec.fail_on_lost_pages, 5u);
+  EXPECT_EQ(spec.migration_chunk_bytes, 128u * 1024);
+  EXPECT_EQ(spec.shard_bytes, 512u * 1024);
+  EXPECT_EQ(spec.rebuild_epochs, 3u);
+  EXPECT_DOUBLE_EQ(spec.rebuild_bytes_per_sec, 4194304.0);
+  // The admission cap lands on the rebuild tenant's token bucket.
+  EXPECT_DOUBLE_EQ(spec.device.host.qos.tenants[1].bytes_per_sec_limit,
+                   4194304.0);
+  EXPECT_EQ(spec.device.host.qos.tenants[0].weight, 6u);
+  EXPECT_EQ(spec.device.host.qos.tenants[1].weight, 2u);
+  ASSERT_EQ(spec.faults.size(), 2u);
+  EXPECT_EQ(spec.faults[0].device, 1u);
+  EXPECT_EQ(spec.faults[0].kind, "die");
+  EXPECT_EQ(spec.faults[1].at_us, 4000);
+}
+
+TEST(ClusterSpec, FaultPlansTargetTheRightHardware) {
+  const ClusterSpec spec = ClusterSpec::Parse(R"({
+    "fleet": {"devices": 4},
+    "device": {"device_bytes": "32MiB"},
+    "faults": [{"device": 1, "kind": "die", "at_us": 2000},
+               {"device": 2, "kind": "channel", "at_us": 3000},
+               {"device": 3, "kind": "device", "at_us": 4000}]
+  })");
+  const Us start = 1'000'000;
+  const nand::FaultPlanConfig clean = spec.FaultPlanFor(0, start);
+  EXPECT_TRUE(clean.fail_dies.empty());
+  EXPECT_TRUE(clean.fail_channels.empty());
+
+  const nand::FaultPlanConfig die = spec.FaultPlanFor(1, start);
+  ASSERT_EQ(die.fail_dies.size(), 1u);
+  EXPECT_EQ(die.fail_at_us, start + 2000);
+
+  const nand::FaultPlanConfig chan = spec.FaultPlanFor(2, start);
+  ASSERT_EQ(chan.fail_channels.size(), 1u);
+
+  // "device" darkens every channel of the template geometry.
+  const nand::FaultPlanConfig dead = spec.FaultPlanFor(3, start);
+  EXPECT_EQ(dead.fail_channels.size(),
+            spec.device.device.geometry.channels);
+  EXPECT_EQ(dead.fail_at_us, start + 4000);
+}
+
+TEST(ClusterSpec, RejectsBadSpecs) {
+  EXPECT_THROW(ClusterSpec::Parse(R"({"workers": 0})"), std::runtime_error);
+  EXPECT_THROW(ClusterSpec::Parse(R"({"rebalance": {"policy": "maybe"}})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      ClusterSpec::Parse(R"({"workload": {"read_fraction": 1.5}})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      ClusterSpec::Parse(R"({"faults": [{"device": 99, "kind": "die"}]})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      ClusterSpec::Parse(R"({"faults": [{"device": 0, "kind": "gremlin"}]})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      ClusterSpec::Parse(R"({"fleet": {"devices": 2},
+                             "router": {"replicas": 3}})"),
+      std::invalid_argument);
+  // Rebuild needs its own queue.
+  EXPECT_THROW(
+      ClusterSpec::Parse(R"({"device": {"host": {"num_queues": 1}}})"),
+      std::runtime_error);
+  EXPECT_THROW(
+      ClusterSpec::Parse(
+          R"({"rebalance": {"rebuild_bytes_per_sec": -1.0}})"),
+      std::runtime_error);
+}
+
+TEST(ClusterSpec, ConfigSummaryEchoesTheScenario) {
+  const ClusterSpec spec = ClusterSpec::Parse(R"({
+    "cluster": "echo",
+    "fleet": {"devices": 3, "spares": 1},
+    "device": {"device_bytes": "32MiB"},
+    "faults": [{"device": 2, "kind": "channel", "at_us": 1000}]
+  })");
+  const Json summary = spec.ConfigSummary();
+  EXPECT_EQ(summary.GetStringOr("cluster", ""), "echo");
+  EXPECT_EQ(summary.GetUintOr("devices", 0), 3u);
+  EXPECT_EQ(summary.GetUintOr("spares", 0), 1u);
+  EXPECT_EQ(summary.GetStringOr("policy", ""), "on_failure");
+  ASSERT_NE(summary.Get("faults"), nullptr);
+  EXPECT_EQ(summary.Get("faults")->AsArray().size(), 1u);
+  // The echo is deterministic (sorted keys, stable numbers).
+  EXPECT_EQ(summary.Dump(), spec.ConfigSummary().Dump());
+}
+
+}  // namespace
+}  // namespace ctflash::cluster

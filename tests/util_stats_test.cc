@@ -238,5 +238,42 @@ TEST(QuantileEstimator, MergeResetAndEdgeCases) {
   EXPECT_DOUBLE_EQ(a.Quantile(0.5), 0.0);
 }
 
+// Property: recording a sample stream split across K estimators and merging
+// them is indistinguishable from recording everything into one estimator —
+// identical bins, hence identical quantiles.  This is what lets the cluster
+// layer merge per-device histograms into cluster-level percentiles without
+// approximation error beyond the estimator's own bin width.
+TEST(QuantileEstimator, MergeOfShardsMatchesSingleEstimator) {
+  constexpr int kShards = 5;
+  QuantileEstimator single;
+  QuantileEstimator shards[kShards];
+  // Deterministic mixed-magnitude stream: exact small values, mid-range,
+  // heavy tail, zeros.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 20'000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG
+    const std::uint64_t sample = (x >> 33) % ((i % 7 == 0) ? 13ull
+                                              : (i % 3 == 0)
+                                                  ? 100'000ull
+                                                  : 9'000'000'000ull);
+    single.Add(sample);
+    shards[(x >> 7) % kShards].Add(sample);
+  }
+  QuantileEstimator merged;
+  for (const QuantileEstimator& s : shards) merged.Merge(s);
+  EXPECT_EQ(merged.count(), single.count());
+  ASSERT_EQ(merged.bins().size(), single.bins().size());
+  for (std::size_t b = 0; b < single.bins().size(); ++b) {
+    ASSERT_EQ(merged.bins()[b], single.bins()[b]) << "bin " << b;
+  }
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), single.Quantile(q)) << "q=" << q;
+  }
+  // Merge order cannot matter (bin-wise addition commutes).
+  QuantileEstimator reversed;
+  for (int s = kShards - 1; s >= 0; --s) reversed.Merge(shards[s]);
+  EXPECT_EQ(reversed.bins(), merged.bins());
+}
+
 }  // namespace
 }  // namespace ctflash::util
