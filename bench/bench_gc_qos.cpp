@@ -20,17 +20,29 @@
 //
 // Results are also written as JSON (default BENCH_gc_qos.json, override
 // with --json) so the numbers are diffable across PRs.
+//
+// Observability (obs/): --trace-out <file> attaches a lifecycle tracer to
+// every run and writes the fleet's Chrome/Perfetto timeline there (one
+// process per FTL x routing); the JSON rows then carry the phase
+// breakdowns.  --trace-smoke runs a single small scheduled-GC burst with
+// tracing on and asserts the contract instead: phase conservation on every
+// request, die-busy-gc stall attribution present, and the exported trace
+// re-parses as JSON (the CI smoke, sanitizer-friendly).
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness.h"
 #include "host/host_interface.h"
 #include "host/load_generator.h"
+#include "obs/export.h"
+#include "obs/tracer.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -50,11 +62,15 @@ struct RoutingResult {
   std::uint64_t gc_page_copies = 0;
   std::uint64_t gc_stale_copies = 0;
   std::uint64_t read_preemptions = 0;
+  /// Set only under --trace-out: the run's lifecycle tracer (timeline
+  /// spans + phase breakdowns).
+  std::unique_ptr<obs::Tracer> tracer;
 };
 
 RoutingResult RunOne(ssd::FtlKind kind, ftl::GcRouting routing,
                      std::uint64_t device_bytes, std::uint64_t requests,
-                     bench::PrefillSnapshotCache& prefills) {
+                     bench::PrefillSnapshotCache& prefills, bool trace,
+                     Us metrics_epoch_us) {
   auto cfg = ssd::ScaledConfig(kind, device_bytes, 16 * 1024, 2.0);
   cfg.timing_mode = ftl::TimingMode::kQueued;
   cfg.ftl.gc_routing = routing;
@@ -70,6 +86,16 @@ RoutingResult RunOne(ssd::FtlKind kind, ftl::GcRouting routing,
 
   host::HostInterface host(ssd, host::HostConfig{});
   host.AdvanceTo(prefill_end);
+
+  std::unique_ptr<obs::Tracer> tracer;
+  if (trace) {
+    obs::TracerConfig tc;
+    tc.record_spans = true;
+    tc.metrics_epoch_us = metrics_epoch_us;
+    tc.epoch_base_us = prefill_end;
+    tracer = std::make_unique<obs::Tracer>(tc);
+    host.AttachTracer(tracer.get());
+  }
 
   host::ClosedLoopGenerator::Config gen;
   gen.queue_depth = 16;
@@ -92,6 +118,7 @@ RoutingResult RunOne(ssd::FtlKind kind, ftl::GcRouting routing,
   r.gc_page_copies = ssd.ftl().stats().gc_page_copies;
   r.gc_stale_copies = ssd.ftl().stats().gc_stale_copies;
   r.read_preemptions = host.scheduler().ReadPreemptionsOfGc();
+  r.tracer = std::move(tracer);
   return r;
 }
 
@@ -151,17 +178,114 @@ void WriteJson(const std::string& path, std::uint64_t device_bytes,
         << ", \"gc_erases\": " << r.gc_erases
         << ", \"gc_page_copies\": " << r.gc_page_copies
         << ", \"gc_stale_copies\": " << r.gc_stale_copies
-        << ", \"read_preemptions\": " << r.read_preemptions << "}"
-        << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"read_preemptions\": " << r.read_preemptions;
+    if (r.tracer != nullptr) {
+      out << ", \"phases\": " << ctflash::obs::PhaseStatsJson(r.tracer->phases()).Dump();
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+}
+
+// --trace-smoke: one small scheduled-GC burst with full tracing on.  The
+// asserted contract is the observability story itself, not the p99 shape:
+// conservation holds per request, read tail time is attributable to GC
+// holding dies by name, and the export round-trips through the JSON parser.
+int RunTraceSmoke(const bench::BenchOptions& options) {
+  auto cfg =
+      ssd::ScaledConfig(ssd::FtlKind::kPpb, 256ull << 20, 16 * 1024, 2.0);
+  cfg.timing_mode = ftl::TimingMode::kQueued;
+  cfg.ftl.gc_routing = ftl::GcRouting::kScheduled;
+  ssd::Ssd ssd(cfg);
+  ssd::ExperimentRunner prefiller(ssd);
+  const Us prefill_end = prefiller.Prefill(ssd.LogicalBytes() / 100 * 85);
+  ssd.ftl().ResetStats();
+
+  host::HostInterface host(ssd, host::HostConfig{});
+  host.AdvanceTo(prefill_end);
+
+  obs::TracerConfig tc;
+  tc.record_spans = true;
+  tc.record_requests = true;
+  tc.metrics_epoch_us =
+      options.metrics_epoch_us != 0 ? options.metrics_epoch_us : 10'000;
+  tc.epoch_base_us = prefill_end;
+  obs::Tracer tracer(tc);
+  host.AttachTracer(&tracer);
+
+  host::ClosedLoopGenerator::Config gen;
+  gen.queue_depth = 16;
+  gen.total_requests = 20'000;
+  gen.read_fraction = 0.5;
+  gen.footprint_bytes = ssd.LogicalBytes() / 100 * 60;
+  gen.seed = 99;
+  host::ClosedLoopGenerator(host, gen).Run();
+
+  if (ssd.ftl().stats().gc_erases == 0) {
+    throw std::runtime_error("trace-smoke: burst was expected to be GC-heavy");
+  }
+  if (tracer.requests().empty()) {
+    throw std::runtime_error("trace-smoke: no requests recorded");
+  }
+  for (const obs::PhaseRecord& r : tracer.requests()) {
+    if (r.PacedUs() + r.QueuedUs() + r.MediaUs() != r.TotalUs()) {
+      throw std::runtime_error(
+          "trace-smoke: phase conservation violated on request " +
+          std::to_string(r.request_id));
+    }
+  }
+  const auto& read = tracer.phases().read;
+  const auto gc_idx = static_cast<std::size_t>(obs::StallCause::kDieBusyGc);
+  if (read.stall_us[gc_idx] == 0) {
+    throw std::runtime_error(
+        "trace-smoke: no die-busy-gc stall attributed to reads");
+  }
+  if (tracer.PendingRequests() != 0) {
+    throw std::runtime_error(
+        "trace-smoke: requests left pending after drain");
+  }
+
+  const std::string trace = obs::ChromeTraceJson(tracer);
+  const campaign::Json parsed = campaign::Json::Parse(trace);
+  const campaign::Json* events = parsed.Get("traceEvents");
+  if (events == nullptr || events->AsArray().empty()) {
+    throw std::runtime_error("trace-smoke: exported trace has no events");
+  }
+  const std::string path = options.trace_out_path.empty()
+                               ? "BENCH_gc_qos_trace.json"
+                               : options.trace_out_path;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << trace;
+  std::cout << "trace-smoke OK: " << events->AsArray().size()
+            << " trace events (" << tracer.spans().size() << " spans, "
+            << tracer.requests().size() << " requests, digest "
+            << obs::TraceDigest(trace) << ")\n"
+            << "read die-busy-gc stall: " << read.stall_us[gc_idx]
+            << " us over " << read.stall_events[gc_idx] << " events\n"
+            << "trace written to " << path << "\n";
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using ctflash::bench::BenchOptions;
-  auto options = BenchOptions::FromArgs(argc, argv);
+  // --trace-smoke is this bench's own mode switch, peeled off before the
+  // shared harness parser sees the argument list.
+  bool trace_smoke = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace-smoke") {
+      trace_smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  auto options =
+      BenchOptions::FromArgs(static_cast<int>(args.size()), args.data());
+  if (trace_smoke) return RunTraceSmoke(options);
   // This bench's own scale defaults (a small array GC cycles quickly),
   // applied only when the user did not pass the flag — the harness default
   // values are valid user choices, so detect presence, not value.
@@ -183,17 +307,20 @@ int main(int argc, char** argv) {
             << "Device: " << (options.device_bytes >> 20)
             << " MiB scaled array; " << requests << " requests\n\n";
 
+  const bool trace = !options.trace_out_path.empty();
   std::vector<RoutingResult> results;
   ctflash::bench::PrefillSnapshotCache prefills;
   for (const auto kind :
        {ctflash::ssd::FtlKind::kConventional, ctflash::ssd::FtlKind::kPpb}) {
-    const auto inline_r = RunOne(kind, ctflash::ftl::GcRouting::kInline,
-                                 options.device_bytes, requests, prefills);
-    const auto sched_r = RunOne(kind, ctflash::ftl::GcRouting::kScheduled,
-                                options.device_bytes, requests, prefills);
+    auto inline_r =
+        RunOne(kind, ctflash::ftl::GcRouting::kInline, options.device_bytes,
+               requests, prefills, trace, options.metrics_epoch_us);
+    auto sched_r =
+        RunOne(kind, ctflash::ftl::GcRouting::kScheduled, options.device_bytes,
+               requests, prefills, trace, options.metrics_epoch_us);
     CheckPair(inline_r, sched_r);
-    results.push_back(inline_r);
-    results.push_back(sched_r);
+    results.push_back(std::move(inline_r));
+    results.push_back(std::move(sched_r));
   }
 
   ctflash::util::TablePrinter table(
@@ -216,6 +343,21 @@ int main(int argc, char** argv) {
               << " us (" << (1.0 - sc.read_p99_us / in.read_p99_us) * 100.0
               << "% lower) at erase parity " << sc.gc_erases << "/"
               << in.gc_erases;
+  }
+  if (trace) {
+    std::vector<std::pair<std::string, const ctflash::obs::Tracer*>> fleet;
+    for (const auto& r : results) {
+      fleet.emplace_back(r.ftl + "-" + r.routing, r.tracer.get());
+    }
+    const std::string trace_json = ctflash::obs::ChromeTraceJson(fleet);
+    std::ofstream tout(options.trace_out_path);
+    if (!tout) {
+      throw std::runtime_error("cannot write " + options.trace_out_path);
+    }
+    tout << trace_json;
+    std::cout << "\ntrace written to " << options.trace_out_path << " ("
+              << trace_json.size() << " bytes, digest "
+              << ctflash::obs::TraceDigest(trace_json) << ")";
   }
   std::cout << "\n\nprefill snapshots: " << prefills.distinct_prefills()
             << " prefills, " << prefills.restores() << " restores, ~"

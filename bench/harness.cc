@@ -169,6 +169,13 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       }
     } else if (arg == "--json") {
       o.json_path = next();
+    } else if (arg == "--trace-out") {
+      o.trace_out_path = next();
+    } else if (arg == "--metrics-epoch-us") {
+      o.metrics_epoch_us = static_cast<Us>(std::stoll(next()));
+      if (o.metrics_epoch_us < 0) {
+        throw std::invalid_argument("--metrics-epoch-us must be >= 0");
+      }
     } else {
       throw std::invalid_argument("unknown bench option: " + arg);
     }

@@ -24,6 +24,8 @@
 //   --qd-requests <n>         requests per QD sweep point
 //   --frontiers <n>           write frontiers for the striped series
 //   --json <path>             machine-readable results (benches that emit it)
+//   --trace-out <path>        Chrome/Perfetto trace JSON (benches that trace)
+//   --metrics-epoch-us <n>    tracer time-series epoch length (0 = off)
 #pragma once
 
 #include <cstdint>
@@ -111,6 +113,12 @@ struct BenchOptions {
   std::uint64_t qd_requests = 20'000;
   std::uint32_t write_frontiers = 8;  ///< striped series of bench_write_scaling
   std::string json_path;              ///< "" = the bench's default file name
+  /// --trace-out: where tracing benches write the Chrome/Perfetto trace
+  /// JSON ("" = no trace export).  Shared by every bench via the harness.
+  std::string trace_out_path;
+  /// --metrics-epoch-us: tracer epoch length for per-epoch phase rows and
+  /// counter tracks (0 = no time series).
+  Us metrics_epoch_us = 0;
 
   static BenchOptions FromArgs(int argc, char** argv);
 };

@@ -13,6 +13,8 @@
 
 #include "host/host_interface.h"
 #include "host/load_generator.h"
+#include "obs/export.h"
+#include "obs/tracer.h"
 #include "replay/trace_source.h"
 #include "ssd/experiment.h"
 #include "ssd/ssd.h"
@@ -254,6 +256,19 @@ ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared) {
     host::HostInterface host(ssd, arm.host);
     host.AdvanceTo(prefill_end);
 
+    // Phase tracing covers the measured workload only (aggregate mode, no
+    // spans): attached after the prefill/restore so its epochs anchor at
+    // the measurement start.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (arm.trace_phases) {
+      obs::TracerConfig tc;
+      tc.record_spans = false;
+      tc.metrics_epoch_us = arm.metrics_epoch_us;
+      tc.epoch_base_us = prefill_end;
+      tracer = std::make_unique<obs::Tracer>(tc);
+      host.AttachTracer(tracer.get());
+    }
+
     const Json& w = *arm.merged.Get("workload");
     const std::string kind = w.GetStringOr("kind", "closed_loop");
     if (kind == "closed_loop") {
@@ -269,6 +284,16 @@ ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared) {
                                "\"");
     }
     out.metrics["device"] = DeviceCountersJson(ssd);
+    if (tracer != nullptr) {
+      out.metrics["phases"] = obs::PhaseStatsJson(tracer->phases());
+      if (arm.metrics_epoch_us > 0) {
+        JsonArray epochs;
+        for (const obs::PhaseStats& e : tracer->epoch_phases()) {
+          epochs.push_back(obs::PhaseStatsJson(e));
+        }
+        out.metrics["phase_epochs"] = Json(std::move(epochs));
+      }
+    }
     if (arm.inject_faults) {
       out.metrics["faults"] = FaultMetricsJson(ssd);
       out.outcome = ClassifyFaultOutcome(ssd);
@@ -404,12 +429,25 @@ std::string CsvField(const std::string& value) {
 std::string CampaignResult::Csv() const {
   std::string csv =
       "arm,ok,requests,iops,read_mean_us,read_p99_us,write_mean_us,"
-      "write_p99_us,waf\n";
+      "write_p99_us,waf,read_paced_us,read_queued_us,read_media_us,"
+      "write_paced_us,write_queued_us,write_media_us\n";
   auto field = [](const Json& metrics, const char* a, const char* b) {
     const Json* section = metrics.Get(a);
     if (section == nullptr) return std::string("0");
     const Json* v = section->Get(b);
     return v == nullptr ? std::string("0") : v->Dump();
+  };
+  // Mean of one phase series from the arm's "phases" breakdown ("0" when
+  // the arm ran without observability).
+  auto phase = [](const Json& metrics, const char* side, const char* which) {
+    const Json* phases = metrics.Get("phases");
+    if (phases == nullptr) return std::string("0");
+    const Json* s = phases->Get(side);
+    if (s == nullptr) return std::string("0");
+    const Json* p = s->Get(which);
+    if (p == nullptr) return std::string("0");
+    const Json* mean = p->Get("mean_us");
+    return mean == nullptr ? std::string("0") : mean->Dump();
   };
   for (const ArmResult& arm : arms) {
     csv += CsvField(arm.name) + "," + (arm.ok ? "1" : "0") + ",";
@@ -422,9 +460,15 @@ std::string CampaignResult::Csv() const {
       csv += field(arm.metrics, "read_latency", "p99_us") + ",";
       csv += field(arm.metrics, "write_latency", "mean_us") + ",";
       csv += field(arm.metrics, "write_latency", "p99_us") + ",";
-      csv += field(arm.metrics, "device", "waf");
+      csv += field(arm.metrics, "device", "waf") + ",";
+      csv += phase(arm.metrics, "read", "paced") + ",";
+      csv += phase(arm.metrics, "read", "queued") + ",";
+      csv += phase(arm.metrics, "read", "media") + ",";
+      csv += phase(arm.metrics, "write", "paced") + ",";
+      csv += phase(arm.metrics, "write", "queued") + ",";
+      csv += phase(arm.metrics, "write", "media");
     } else {
-      csv += "0,0,0,0,0,0,0";
+      csv += "0,0,0,0,0,0,0,0,0,0,0,0,0";
     }
     csv += "\n";
   }

@@ -118,6 +118,14 @@ ArmSpec ResolveArm(const Json& merged, std::uint64_t index,
         f->GetUintOr("seed", arm.seed * 0x9E3779B97F4A7C15ull + 0xFA17ull);
   }
 
+  // Observability: phase tracing is an overlay on the measured run, not
+  // device configuration — like faults it never affects the snapshot key.
+  if (const Json* o = merged.Get("observability");
+      o != nullptr && !o->IsNull()) {
+    arm.trace_phases = o->GetBoolOr("phases", false);
+    arm.metrics_epoch_us = static_cast<Us>(o->GetUintOr("metrics_epoch_us", 0));
+  }
+
   const Json* workload = merged.Get("workload");
   if (workload == nullptr || !workload->IsObject()) {
     throw std::runtime_error("campaign: arm \"" + name +
@@ -227,6 +235,10 @@ Json ArmSpec::ConfigSummary() const {
     // As a string: the derived seed is a full 64-bit mix, beyond the 2^53
     // integers Json numbers (doubles) represent exactly.
     summary["fault_seed"] = std::to_string(fault_seed);
+  }
+  if (const Json* o = merged.Get("observability");
+      o != nullptr && !o->IsNull()) {
+    summary["observability"] = *o;
   }
   return summary;
 }

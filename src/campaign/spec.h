@@ -74,6 +74,13 @@ struct ArmSpec {
   /// arm seed so replicated arms draw decorrelated fault sequences.
   std::uint64_t fault_seed = 0;
 
+  /// Observability settings, parsed from a top-level "observability"
+  /// object ({"phases": true, "metrics_epoch_us": N}).  With phases on,
+  /// the runner attaches an aggregate-only obs::Tracer for the measured
+  /// workload and the result carries a per-arm phase breakdown.
+  bool trace_phases = false;
+  Us metrics_epoch_us = 0;
+
   /// Canonical config echo for the result report (deterministic fields
   /// only: name, ftl, gc_routing, device/workload shape, seed).
   Json ConfigSummary() const;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "campaign/runner.h"
+#include "obs/export.h"
 #include "ssd/experiment.h"
 #include "util/parallel.h"
 
@@ -97,6 +98,17 @@ void ClusterSim::BuildFleet(ClusterResult& result) {
     dev.host =
         std::make_unique<host::HostInterface>(*dev.ssd, spec_.device.host);
     dev.host->AdvanceTo(run_start_us_);
+    if (spec_.trace_phases) {
+      // Aggregate-only tracing: per-epoch phase rows on the cluster's own
+      // epoch grid, no span recording (the fleet would dwarf the span cap).
+      obs::TracerConfig tc;
+      tc.record_spans = false;
+      tc.metrics_epoch_us = spec_.epoch_us;
+      tc.epoch_base_us = run_start_us_;
+      tc.max_epochs = spec_.epochs;
+      dev.tracer = std::make_unique<obs::Tracer>(tc);
+      dev.host->AttachTracer(dev.tracer.get());
+    }
     dev.epoch_read.resize(spec_.epochs);
     dev.epoch_write.resize(spec_.epochs);
   }
@@ -122,6 +134,9 @@ void ClusterSim::GenerateEpoch(std::uint32_t epoch, ClusterResult& result) {
       ++summary.timeouts;
       (is_read ? summary.read : summary.write)
           .Add(static_cast<Us>(spec_.timeout_us));
+      if (spec_.trace_phases) {
+        summary.phases.AddTimeout(is_read, static_cast<Us>(spec_.timeout_us));
+      }
       continue;
     }
     devices_[target].bucket.push_back(PendingOp{
@@ -184,6 +199,13 @@ void ClusterSim::RunDeviceEpoch(Device& dev, std::uint32_t epoch, Us until) {
     dev.epoch_timeouts += reads + writes;
     dev.completed_reads = dev.submitted_reads;
     dev.completed_writes = dev.submitted_writes;
+    if (dev.tracer != nullptr) {
+      // `until - 1` keeps the charge inside THIS epoch's row (the tracer
+      // would file `until` itself under the next one).
+      dev.tracer->ChargeDeadDevice(reads, writes,
+                                   static_cast<Us>(spec_.timeout_us),
+                                   until - 1);
+    }
   }
 }
 
@@ -334,6 +356,11 @@ ClusterResult ClusterSim::Run(std::uint32_t workers_override) {
       dev.epoch_timeouts += reads + writes;
       dev.completed_reads = dev.submitted_reads;
       dev.completed_writes = dev.submitted_writes;
+      if (dev.tracer != nullptr) {
+        dev.tracer->ChargeDeadDevice(
+            reads, writes, static_cast<Us>(spec_.timeout_us),
+            run_start_us_ + static_cast<Us>(spec_.epochs) * spec_.epoch_us - 1);
+      }
     }
   });
 
@@ -342,8 +369,12 @@ ClusterResult ClusterSim::Run(std::uint32_t workers_override) {
     for (Device& dev : devices_) {
       result.epochs[e].read.Merge(dev.epoch_read[e]);
       result.epochs[e].write.Merge(dev.epoch_write[e]);
+      if (dev.tracer != nullptr && e < dev.tracer->epoch_phases().size()) {
+        result.epochs[e].phases.Merge(dev.tracer->epoch_phases()[e]);
+      }
     }
   }
+  result.has_phases = spec_.trace_phases;
   for (Device& dev : devices_) {
     result.epochs[last].timeouts += dev.epoch_timeouts;
     dev.epoch_timeouts = 0;
@@ -364,6 +395,7 @@ ClusterResult ClusterSim::Run(std::uint32_t workers_override) {
       out.rebuild_reads = stats.read_dispatches;
       out.rebuild_writes = stats.write_dispatches;
     }
+    if (dev.tracer != nullptr) out.phases = dev.tracer->phases();
   }
 
   result.wall_ms = std::chrono::duration<double, std::milli>(
@@ -383,6 +415,7 @@ campaign::Json ClusterResult::DeterministicJson() const {
     row["timeouts"] = e.timeouts;
     row["read"] = LatencyJson(e.read);
     row["write"] = LatencyJson(e.write);
+    if (has_phases) row["phases"] = obs::PhaseStatsJson(e.phases);
     epoch_list.push_back(std::move(row));
   }
   out["epochs"] = campaign::Json(std::move(epoch_list));
@@ -397,6 +430,7 @@ campaign::Json ClusterResult::DeterministicJson() const {
     row["primary_shards"] = d.primary_shards;
     row["rebuild_reads"] = d.rebuild_reads;
     row["rebuild_writes"] = d.rebuild_writes;
+    if (has_phases) row["phases"] = obs::PhaseStatsJson(d.phases);
     device_list.push_back(std::move(row));
   }
   out["devices"] = campaign::Json(std::move(device_list));
@@ -423,7 +457,11 @@ campaign::Json ClusterResult::Report() const {
 std::string ClusterResult::Csv() const {
   std::string csv =
       "cluster,epoch,arrivals,timeouts,read_count,read_p50_us,read_p99_us,"
-      "write_count,write_p50_us,write_p99_us\n";
+      "write_count,write_p50_us,write_p99_us,read_paced_mean_us,"
+      "read_queued_mean_us,read_media_mean_us\n";
+  const auto phase_mean = [&](const util::LatencyStats& s) {
+    return has_phases ? std::to_string(s.mean_us()) : std::string("0");
+  };
   for (std::size_t e = 0; e < epochs.size(); ++e) {
     const EpochSummary& row = epochs[e];
     csv += campaign::CsvField(name) + "," + std::to_string(e) + "," +
@@ -433,7 +471,10 @@ std::string ClusterResult::Csv() const {
            std::to_string(row.read.p99_us()) + "," +
            std::to_string(row.write.count()) + "," +
            std::to_string(row.write.p50_us()) + "," +
-           std::to_string(row.write.p99_us()) + "\n";
+           std::to_string(row.write.p99_us()) + "," +
+           phase_mean(row.phases.read.paced) + "," +
+           phase_mean(row.phases.read.queued) + "," +
+           phase_mean(row.phases.read.media) + "\n";
   }
   return csv;
 }

@@ -38,6 +38,7 @@
 #include "cluster/shard_router.h"
 #include "cluster/spec.h"
 #include "host/host_interface.h"
+#include "obs/tracer.h"
 #include "ssd/ssd.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -51,6 +52,9 @@ struct EpochSummary {
   util::LatencyStats write;
   std::uint64_t arrivals = 0;  ///< user requests generated this epoch
   std::uint64_t timeouts = 0;  ///< charged at timeout_us (dead device)
+  /// Phase breakdown merged across the fleet (populated only with
+  /// observability on; dead-device timeouts book as dead-device stall).
+  obs::PhaseStats phases;
 };
 
 /// End-of-run state of one fleet device.
@@ -64,6 +68,8 @@ struct DeviceSummary {
   std::uint64_t rebuild_reads = 0;   ///< rebuild-tenant dispatches (source)
   std::uint64_t rebuild_writes = 0;  ///< rebuild-tenant dispatches (target)
   std::uint64_t primary_shards = 0;  ///< shards it primaries at end of run
+  /// Whole-run phase breakdown for this device (observability on only).
+  obs::PhaseStats phases;
 };
 
 struct ClusterResult {
@@ -81,6 +87,9 @@ struct ClusterResult {
   std::uint64_t unrecoverable_shards = 0;
   std::uint64_t migration_ops = 0;    ///< rebuild chunk reads + writes
   std::uint64_t migration_bytes = 0;  ///< bytes written to new placements
+  /// Phase breakdowns populated (spec observability.phases); gates the
+  /// "phases" fields in the JSON report and the CSV phase columns.
+  bool has_phases = false;
   double wall_ms = 0.0;
 
   /// Everything except wall-clock timing: byte-identical across runs and
@@ -118,6 +127,9 @@ class ClusterSim {
   struct Device {
     std::unique_ptr<ssd::Ssd> ssd;
     std::unique_ptr<host::HostInterface> host;
+    /// Aggregate-only lifecycle tracer (observability on); touched only by
+    /// this device's worker during the parallel phase.
+    std::unique_ptr<obs::Tracer> tracer;
     bool fatal = false;
     bool router_alive = true;  ///< mirror of router state (serial phase)
     std::vector<PendingOp> bucket;  ///< this epoch's arrivals

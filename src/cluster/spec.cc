@@ -145,6 +145,10 @@ ClusterSpec ClusterSpec::Parse(const Json& root) {
       spec.shard_bytes = BytesOf(*r, "shard_bytes", 0);
     }
   }
+  if (const Json* o = root.Get("observability");
+      o != nullptr && !o->IsNull()) {
+    spec.trace_phases = o->GetBoolOr("phases", false);
+  }
   if (const Json* faults = root.Get("faults"); faults != nullptr &&
                                                !faults->IsNull()) {
     for (const Json& f : faults->AsArray()) {
@@ -246,6 +250,7 @@ Json ClusterSpec::ConfigSummary() const {
   summary["user_weight"] = static_cast<std::uint64_t>(user_weight);
   summary["rebuild_weight"] = static_cast<std::uint64_t>(rebuild_weight);
   summary["device"] = device_json;
+  if (trace_phases) summary["trace_phases"] = true;
   if (!faults.empty()) {
     campaign::JsonArray list;
     for (const DeviceFaultSpec& f : faults) {

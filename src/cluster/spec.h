@@ -114,6 +114,11 @@ struct ClusterSpec {
 
   std::vector<DeviceFaultSpec> faults;
 
+  /// Observability ({"observability": {"phases": true}}): every fleet
+  /// device gets an aggregate-only obs::Tracer and the result carries
+  /// per-epoch phase breakdowns merged across the fleet.
+  bool trace_phases = false;
+
   static ClusterSpec Parse(const std::string& json_text);
   static ClusterSpec Parse(const Json& root);
   static ClusterSpec Parse(const char* json_text) {

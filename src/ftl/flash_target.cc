@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/media_hook.h"
 #include "util/logging.h"
 
 namespace ctflash::ftl {
@@ -49,6 +50,10 @@ MediaReadResult FlashTarget::ReadPageChecked(Ppn ppn, Us earliest,
     // The die no longer responds: the command times out without touching
     // the array or the timelines.
     StatsFor(kind).lost_reads++;
+    if (media_hook_ != nullptr) {
+      media_hook_->OnUnreachable(
+          static_cast<std::uint32_t>(geometry().DieOfBlock(block)), earliest);
+    }
     out.done = earliest;
     out.die_lost = true;
     return out;
@@ -109,12 +114,25 @@ MediaReadResult FlashTarget::ReadPageChecked(Ppn ppn, Us earliest,
     chip.Reserve(chip.FreeAt(), total_cell_us);     // busy-time accounting only
     die.Reserve(die.FreeAt(), total_cell_us);
     channel.Reserve(channel.FreeAt(), xfer_us);
+    if (media_hook_ != nullptr && extra_senses > 0) {
+      // The retry ladder occupies the die after the first sense.
+      media_hook_->OnReadRetry(
+          static_cast<std::uint32_t>(geometry().DieOfBlock(block)),
+          earliest + cell_us, cell_us * static_cast<Us>(extra_senses),
+          extra_senses, !out.uncorrectable);
+    }
     out.done = earliest + total_cell_us + xfer_us;
     return out;
   }
   const sim::Interval cell = die.Reserve(earliest, total_cell_us);
   chip.Reserve(chip.FreeAt(), total_cell_us);       // busy-time accounting only
   const sim::Interval xfer = channel.Reserve(cell.end, xfer_us);
+  if (media_hook_ != nullptr && extra_senses > 0) {
+    media_hook_->OnReadRetry(
+        static_cast<std::uint32_t>(geometry().DieOfBlock(block)),
+        cell.start + cell_us, cell_us * static_cast<Us>(extra_senses),
+        extra_senses, !out.uncorrectable);
+  }
   out.done = xfer.end;
   return out;
 }

@@ -40,6 +40,10 @@
 #include "util/random.h"
 #include "util/types.h"
 
+namespace ctflash::obs {
+class MediaHook;
+}
+
 namespace ctflash::ftl {
 
 enum class TimingMode { kServiceTime = 0, kQueued = 1 };
@@ -192,6 +196,11 @@ class FlashTarget {
   /// program before declaring the write unrecoverable; 1 when unarmed.
   std::uint32_t MaxProgramAttempts() const;
 
+  /// Wires a media observer (borrowed; e.g. obs::Tracer) that sees read
+  /// retry-ladder activity and dead-die accesses as they are booked on the
+  /// timelines.  Null (the default) disables the hook.
+  void AttachMediaHook(obs::MediaHook* hook) { media_hook_ = hook; }
+
   /// Host-attributed read error counters.
   const ReadErrorStats& read_error_stats() const { return error_stats_; }
   /// GC-relocation-attributed read error counters.
@@ -225,6 +234,7 @@ class FlashTarget {
   std::unique_ptr<nand::FaultInjector> faults_;
   FaultHandlingConfig handling_;
   bool state_restored_ = false;
+  obs::MediaHook* media_hook_ = nullptr;  ///< borrowed; null = disabled
 };
 
 }  // namespace ctflash::ftl

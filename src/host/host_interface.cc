@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace ctflash::host {
@@ -54,6 +55,18 @@ HostInterface::HostInterface(ssd::Ssd& ssd, const HostConfig& config)
       });
 }
 
+void HostInterface::AttachTracer(obs::Tracer* tracer) {
+  if (tracer_ != nullptr) {
+    scheduler_.DetachObserver(tracer_);
+    ssd_.target().AttachMediaHook(nullptr);
+  }
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    scheduler_.AttachObserver(tracer_);
+    ssd_.target().AttachMediaHook(tracer_);
+  }
+}
+
 std::uint64_t HostInterface::Submit(trace::OpType op,
                                     std::uint64_t offset_bytes,
                                     std::uint64_t size_bytes,
@@ -70,6 +83,10 @@ std::uint64_t HostInterface::Submit(trace::OpType op,
   request.size_bytes = size_bytes;
   request.submit_us = queue_.Now();
   stats_.submitted++;
+  if (tracer_ != nullptr) {
+    tracer_->OnSubmit(request.id, op == trace::OpType::kRead, qos::kNoTenant,
+                      request.submit_us);
+  }
 
   // Round-robin queue placement; fall through to the first queue with a
   // free slot so one hot queue does not block an idle device.
@@ -83,6 +100,7 @@ std::uint64_t HostInterface::Submit(trace::OpType op,
     }
   }
   stats_.backlogged++;
+  if (tracer_ != nullptr) tracer_->OnBacklogged(request.id);
   backlog_.emplace_back(request, std::move(cb));
   return request.id;
 }
@@ -114,6 +132,10 @@ std::uint64_t HostInterface::SubmitAs(qos::TenantId tenant, trace::OpType op,
   request.size_bytes = size_bytes;
   request.submit_us = queue_.Now();
   stats_.submitted++;
+  if (tracer_ != nullptr) {
+    tracer_->OnSubmit(request.id, op == trace::OpType::kRead, tenant,
+                      request.submit_us);
+  }
   auto& tstats = tenants_->StatsOf(tenant);
   tstats.submitted++;
   if (tstats.first_submit_us < 0) tstats.first_submit_us = request.submit_us;
@@ -124,6 +146,7 @@ std::uint64_t HostInterface::SubmitAs(qos::TenantId tenant, trace::OpType op,
       // FIFO behind earlier throttled work; its wake event is already
       // armed and will drain this request in turn.
       tstats.throttled++;
+      if (tracer_ != nullptr) tracer_->OnThrottled(request.id);
       pace.emplace_back(request, std::move(cb));
       return request.id;
     }
@@ -131,6 +154,7 @@ std::uint64_t HostInterface::SubmitAs(qos::TenantId tenant, trace::OpType op,
     const Us at = tenants_->AdmissionAt(tenant, now, size_bytes);
     if (at > now) {
       tstats.throttled++;
+      if (tracer_ != nullptr) tracer_->OnThrottled(request.id);
       pace.emplace_back(request, std::move(cb));
       queue_.ScheduleAt(at, [this, tenant](Us) { PumpPaceQueue(tenant); });
       return request.id;
@@ -186,6 +210,7 @@ void HostInterface::PlaceTenantRequest(qos::TenantId tenant,
     }
   }
   stats_.backlogged++;
+  if (tracer_ != nullptr) tracer_->OnBacklogged(request.id);
   tenant_backlogs_[tenant].emplace_back(std::move(request), std::move(cb));
 }
 
@@ -194,6 +219,7 @@ void HostInterface::Admit(HostRequest request, std::uint32_t qid,
   queue_fill_[qid]++;
   outstanding_++;
   stats_.per_queue[qid].admitted++;
+  if (tracer_ != nullptr) tracer_->OnAdmit(request.id, qid, queue_.Now());
   const qos::TenantId tenant =
       tenants_ ? tenants_->TenantOfQueue(qid) : qos::kNoTenant;
 
@@ -273,6 +299,9 @@ void HostInterface::FinalizeRequest(std::uint64_t id) {
   completion.request = pending.request;
   completion.completion_us = pending.completion_us;
   completion.pages = pending.pages;
+  if (tracer_ != nullptr) {
+    tracer_->OnRequestComplete(id, completion.completion_us);
+  }
   const bool is_read = pending.request.op == trace::OpType::kRead;
   const Us latency_us = completion.LatencyUs();
   (is_read ? stats_.read_latency : stats_.write_latency).Add(latency_us);

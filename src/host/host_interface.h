@@ -43,6 +43,10 @@
 #include "ssd/ssd.h"
 #include "util/types.h"
 
+namespace ctflash::obs {
+class Tracer;
+}
+
 namespace ctflash::host {
 
 struct HostConfig {
@@ -139,6 +143,13 @@ class HostInterface {
   IoScheduler& scheduler() { return scheduler_; }
   const IoScheduler& scheduler() const { return scheduler_; }
 
+  /// Wires a lifecycle tracer (borrowed; must outlive this host) into all
+  /// three seams at once: the host admission hooks here, the scheduler's
+  /// observer list, and the flash target's media hook.  Pass nullptr to
+  /// detach.  Without a tracer every hook site is one null check.
+  void AttachTracer(obs::Tracer* tracer);
+  obs::Tracer* tracer() { return tracer_; }
+
  private:
   struct Pending {
     HostRequest request;
@@ -186,6 +197,8 @@ class HostInterface {
   std::uint64_t next_id_ = 1;
   std::uint32_t rr_next_queue_ = 0;
   std::uint32_t outstanding_ = 0;
+  /// Borrowed lifecycle tracer; null (the default) disables tracing.
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace ctflash::host

@@ -1,10 +1,34 @@
 #include "host/io_scheduler.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "ftl/ftl_base.h"
 
 namespace ctflash::host {
+
+namespace {
+
+/// Adapter presenting the legacy OnDispatch(std::function) hook as a
+/// SchedulerObserver, so the scheduler maintains exactly one dispatch
+/// notification pathway.
+class CallbackObserver final : public sched::SchedulerObserver {
+ public:
+  explicit CallbackObserver(IoScheduler::DispatchCallback cb)
+      : cb_(std::move(cb)) {}
+
+  void OnDispatch(const sched::FlashTransaction& txn,
+                  const sched::DispatchContext&) override {
+    cb_(txn);
+  }
+  void OnTxnExecuted(const sched::FlashTransaction&, Us, Us) override {}
+
+ private:
+  IoScheduler::DispatchCallback cb_;
+};
+
+}  // namespace
 
 const char* SchedPolicyName(SchedPolicy policy) {
   switch (policy) {
@@ -45,9 +69,29 @@ IoScheduler::~IoScheduler() {
   if (attached_gc_) ssd_.ftl().DetachGcScheduler();
 }
 
+void IoScheduler::OnDispatch(DispatchCallback cb) {
+  if (dispatch_adapter_ != nullptr) {
+    DetachObserver(dispatch_adapter_.get());
+    dispatch_adapter_.reset();
+  }
+  if (cb) {
+    dispatch_adapter_ = std::make_unique<CallbackObserver>(std::move(cb));
+    AttachObserver(dispatch_adapter_.get());
+  }
+}
+
+void IoScheduler::AttachObserver(sched::SchedulerObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void IoScheduler::DetachObserver(sched::SchedulerObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
 void IoScheduler::Enqueue(FlashTransaction txn) {
   txn.seq = next_seq_++;
-  ready_.push_back(ReadyTxn{txn, 0});
+  ready_.push_back(ReadyTxn{txn, 0, queue_.Now(), false});
   Pump();
 }
 
@@ -61,7 +105,7 @@ void IoScheduler::PullGcWork() {
     if (txn.source == sched::TxnSource::kGcCopy) {
       gc_copies_undispatched_[txn.gc_block]++;
     }
-    ready_.push_back(ReadyTxn{txn, 0});
+    ready_.push_back(ReadyTxn{txn, 0, queue_.Now(), false});
     ++gc_ready_;
   }
 }
@@ -135,6 +179,42 @@ IoScheduler::DispatchKey IoScheduler::KeyOf(const FlashTransaction& txn,
               geo.PlaneOfBlock(txn.gc_block)};
   }
   return {0, 0};
+}
+
+sched::DispatchContext IoScheduler::ContextOf(const ReadyTxn& rt) const {
+  sched::DispatchContext ctx;
+  ctx.dispatch_us = queue_.Now();
+  ctx.enqueue_us = rt.enqueue_us;
+  ctx.write_held = rt.held;
+  const auto& geo = ssd_.target().geometry();
+  switch (rt.txn.source) {
+    case sched::TxnSource::kHostRead: {
+      const Ppn ppn = ssd_.ftl().ProbePpn(rt.txn.lpn);
+      if (ppn != kInvalidPpn) {
+        const BlockId block = geo.BlockOf(ppn);
+        ctx.die = geo.DieOfBlock(block);
+        ctx.die_free_at = ssd_.target().DieFreeAt(block);
+      }
+      break;
+    }
+    case sched::TxnSource::kHostWrite:
+      // The write's die is the allocator's business at execution time; the
+      // frontier probe still bounds when the program can start.
+      ctx.die_free_at =
+          ssd_.ftl().ProbeWriteFreeAt().value_or(ctx.dispatch_us);
+      break;
+    case sched::TxnSource::kGcCopy: {
+      const BlockId block = geo.BlockOf(rt.txn.gc_src);
+      ctx.die = geo.DieOfBlock(block);
+      ctx.die_free_at = ssd_.target().DieFreeAt(block);
+      break;
+    }
+    case sched::TxnSource::kGcErase:
+      ctx.die = geo.DieOfBlock(rt.txn.gc_block);
+      ctx.die_free_at = ssd_.target().DieFreeAt(rt.txn.gc_block);
+      break;
+  }
+  return ctx;
 }
 
 std::size_t IoScheduler::PickNext(bool urgent, bool write_pressure) const {
@@ -255,15 +335,24 @@ void IoScheduler::Dispatch(std::size_t idx) {
                                  : qos::ArbClass::kWrite);
     }
   }
-  if (on_dispatch_) on_dispatch_(txn);
+  if (!observers_.empty()) {
+    // ContextOf re-resolves the die availability the pick just keyed on;
+    // only observers pay for it.
+    const sched::DispatchContext ctx = ContextOf(rt);
+    for (auto* o : observers_) o->OnDispatch(txn, ctx);
+  }
   // SubmitRead/SubmitWrite/SubmitGc service the transaction on the
   // resource timelines immediately and fire `done` as a completion event,
-  // so Pump never re-enters itself.
+  // so Pump never re-enters itself.  RequestResult::arrival_us is the
+  // dispatch time (the Ssd services at queue_.Now()).
   switch (txn.source) {
     case sched::TxnSource::kHostRead:
       ssd_.SubmitRead(txn.offset_bytes, txn.size_bytes, queue_,
                       [this, txn](const ftl::RequestResult& r) {
                         --in_flight_;
+                        for (auto* o : observers_) {
+                          o->OnTxnExecuted(txn, r.arrival_us, r.completion_us);
+                        }
                         if (on_complete_) on_complete_(txn, r);
                         Pump();
                       });
@@ -272,15 +361,22 @@ void IoScheduler::Dispatch(std::size_t idx) {
       ssd_.SubmitWrite(txn.offset_bytes, txn.size_bytes, queue_,
                        [this, txn](const ftl::RequestResult& r) {
                          --in_flight_;
+                         for (auto* o : observers_) {
+                           o->OnTxnExecuted(txn, r.arrival_us,
+                                            r.completion_us);
+                         }
                          if (on_complete_) on_complete_(txn, r);
                          Pump();
                        });
       break;
     case sched::TxnSource::kGcCopy:
     case sched::TxnSource::kGcErase:
-      ssd_.SubmitGc(txn, queue_, [this](const ftl::RequestResult&) {
+      ssd_.SubmitGc(txn, queue_, [this, txn](const ftl::RequestResult& r) {
         --in_flight_;
         ++gc_completed_;
+        for (auto* o : observers_) {
+          o->OnTxnExecuted(txn, r.arrival_us, r.completion_us);
+        }
         Pump();
       });
       break;
@@ -298,10 +394,18 @@ void IoScheduler::Pump() {
     const bool urgent = scheduled && ftl.GcUrgent();
     const bool write_pressure = scheduled && ftl.GcWritePressure();
     if (write_pressure && gc_ready_ > 0) {
-      for (const auto& rt : ready_) {
+      bool counted = false;
+      for (auto& rt : ready_) {
         if (rt.txn.source == sched::TxnSource::kHostWrite) {
-          ++write_hold_picks_;
-          break;
+          if (!counted) {
+            ++write_hold_picks_;
+            counted = true;
+          }
+          // Mark every held write so the tracer can attribute its queueing
+          // delay to the admission guard; without observers the first hit
+          // still short-circuits as before.
+          if (observers_.empty()) break;
+          rt.held = true;
         }
       }
     }

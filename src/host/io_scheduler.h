@@ -61,10 +61,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "qos/tenant_table.h"
+#include "sched/observer.h"
 #include "sched/transaction.h"
 #include "sim/event_queue.h"
 #include "ssd/ssd.h"
@@ -110,7 +112,17 @@ class IoScheduler {
   void OnTxnComplete(TxnCallback cb) { on_complete_ = std::move(cb); }
 
   /// Diagnostic/test hook: invoked for every transaction in dispatch order.
-  void OnDispatch(DispatchCallback cb) { on_dispatch_ = std::move(cb); }
+  /// Implemented as a thin adapter over AttachObserver — both pathways see
+  /// the identical dispatch stream; setting a new callback replaces the
+  /// previous one (the historical contract).
+  void OnDispatch(DispatchCallback cb);
+
+  /// Registers a scheduler observer (borrowed; e.g. obs::Tracer).  Observers
+  /// see every dispatch with its resolved DispatchContext and every
+  /// execution completion, in deterministic event order.  With no observers
+  /// attached the scheduler computes no context at all.
+  void AttachObserver(sched::SchedulerObserver* observer);
+  void DetachObserver(sched::SchedulerObserver* observer);
 
   /// Adds a host transaction to the ready set and dispatches while slots
   /// allow.  The scheduler stamps the global intake sequence.
@@ -146,6 +158,10 @@ class IoScheduler {
   struct ReadyTxn {
     FlashTransaction txn;
     std::uint32_t age = 0;
+    /// Intake time (observer latency attribution; unused by scheduling).
+    Us enqueue_us = 0;
+    /// The write-admission guard held this write at least once.
+    bool held = false;
   };
 
   /// Out-of-order sort key within a priority rank: earliest cell-op start
@@ -169,6 +185,9 @@ class IoScheduler {
   /// eligible (held writes / gated erases wait for state to change).
   std::size_t PickNext(bool urgent, bool write_pressure) const;
   DispatchKey KeyOf(const FlashTransaction& txn, Us write_free_at) const;
+  /// Resolves the observer-facing dispatch context (target die and its
+  /// availability); only computed when observers are attached.
+  sched::DispatchContext ContextOf(const ReadyTxn& rt) const;
   void Dispatch(std::size_t idx);
 
   ssd::Ssd& ssd_;
@@ -201,7 +220,10 @@ class IoScheduler {
   std::uint64_t write_hold_picks_ = 0;
   std::uint64_t aged_write_dispatches_ = 0;
   TxnCallback on_complete_;
-  DispatchCallback on_dispatch_;
+  /// Dispatch/execution observers (obs::Tracer and the OnDispatch adapter).
+  std::vector<sched::SchedulerObserver*> observers_;
+  /// Owns the adapter wrapping the legacy OnDispatch callback.
+  std::unique_ptr<sched::SchedulerObserver> dispatch_adapter_;
 };
 
 }  // namespace ctflash::host

@@ -8,6 +8,7 @@
 // host-side blocking on full queues) to last-page completion.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -32,7 +33,15 @@ struct HostCompletion {
   Us completion_us = 0;     ///< last page transaction finished
   std::uint32_t pages = 0;  ///< flash transactions the request split into
 
-  Us LatencyUs() const { return completion_us - request.submit_us; }
+  /// End-to-end latency.  A completion cannot precede its submission; the
+  /// assert catches a clock inversion in debug builds and the clamp keeps
+  /// release-mode stats from booking an underflowed (huge) latency.
+  Us LatencyUs() const {
+    assert(completion_us >= request.submit_us);
+    return completion_us >= request.submit_us
+               ? completion_us - request.submit_us
+               : 0;
+  }
 };
 
 /// Per-submission-queue slice of the aggregates: the breakdown the benches

@@ -1,0 +1,263 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace ctflash::obs {
+
+namespace {
+
+/// Chrome thread ids by track kind: queues, dies, and tenants get disjoint
+/// tid ranges so each renders as its own named track group.
+std::uint32_t TidOf(TraceSpan::TrackKind kind, std::uint32_t id) {
+  switch (kind) {
+    case TraceSpan::TrackKind::kQueue:
+      return 100 + id;
+    case TraceSpan::TrackKind::kDie:
+      return 200 + id;
+    case TraceSpan::TrackKind::kTenant:
+      return 300 + id;
+  }
+  return id;
+}
+
+const char* TrackKindName(TraceSpan::TrackKind kind) {
+  switch (kind) {
+    case TraceSpan::TrackKind::kQueue:
+      return "queue";
+    case TraceSpan::TrackKind::kDie:
+      return "die";
+    case TraceSpan::TrackKind::kTenant:
+      return "tenant";
+  }
+  return "?";
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+}
+
+void AppendMeta(std::string& out, std::uint32_t pid, std::uint32_t tid,
+                const char* what, const std::string& name) {
+  out += "{\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"name\":\"";
+  out += what;
+  out += "\",\"args\":{\"name\":\"";
+  AppendEscaped(out, name);
+  out += "\"}},\n";
+}
+
+void AppendDevice(std::string& out, const Tracer& tracer, std::uint32_t pid,
+                  const std::string& process_name) {
+  AppendMeta(out, pid, 0, "process_name", process_name);
+
+  // Name every track that carries at least one span, in deterministic
+  // (kind, id) order.
+  std::map<std::pair<std::uint8_t, std::uint32_t>, TraceSpan::TrackKind>
+      tracks;
+  for (const TraceSpan& span : tracer.spans()) {
+    tracks.emplace(
+        std::make_pair(static_cast<std::uint8_t>(span.track), span.track_id),
+        span.track);
+  }
+  for (const auto& [key, kind] : tracks) {
+    AppendMeta(out, pid, TidOf(kind, key.second), "thread_name",
+               std::string(TrackKindName(kind)) + " " +
+                   std::to_string(key.second));
+  }
+
+  for (const TraceSpan& span : tracer.spans()) {
+    out += "{\"ph\":\"X\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":";
+    out += std::to_string(TidOf(span.track, span.track_id));
+    out += ",\"ts\":";
+    out += std::to_string(span.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(span.dur_us);
+    out += ",\"cat\":\"";
+    out += TrackKindName(span.track);
+    out += "\",\"name\":\"";
+    out += span.name;
+    out += "\",\"args\":{\"req\":";
+    out += std::to_string(span.request_id);
+    if (span.cause != StallCause::kNone) {
+      out += ",\"cause\":\"";
+      out += StallCauseName(span.cause);
+      out += "\",\"stall_us\":";
+      out += std::to_string(span.stall_us);
+    }
+    if (span.detail != 0) {
+      out += ",\"detail\":";
+      out += std::to_string(span.detail);
+    }
+    out += "}},\n";
+  }
+
+  // Counter tracks, one sample per metrics epoch.
+  const Us epoch_us = tracer.config().metrics_epoch_us;
+  if (epoch_us > 0) {
+    const Us base = tracer.config().epoch_base_us;
+    const auto& counters = tracer.epoch_counters();
+    for (std::size_t e = 0; e < counters.size(); ++e) {
+      const EpochCounters& c = counters[e];
+      const Us ts = base + static_cast<Us>(e) * epoch_us;
+      const auto counter = [&](const char* name, const std::string& args) {
+        out += "{\"ph\":\"C\",\"pid\":";
+        out += std::to_string(pid);
+        out += ",\"tid\":0,\"ts\":";
+        out += std::to_string(ts);
+        out += ",\"name\":\"";
+        out += name;
+        out += "\",\"args\":{";
+        out += args;
+        out += "}},\n";
+      };
+      counter("completions",
+              "\"read\":" + std::to_string(c.reads_completed) +
+                  ",\"write\":" + std::to_string(c.writes_completed));
+      counter("gc", "\"copies\":" + std::to_string(c.gc_copies) +
+                        ",\"erases\":" + std::to_string(c.gc_erases));
+      if (c.retry_rungs != 0) {
+        counter("retry_rungs", "\"rungs\":" + std::to_string(c.retry_rungs));
+      }
+      if (c.timeouts != 0) {
+        counter("timeouts", "\"count\":" + std::to_string(c.timeouts));
+      }
+    }
+  }
+}
+
+campaign::Json LatencyJson(const util::LatencyStats& s) {
+  campaign::Json out;
+  out["count"] = s.count();
+  out["total_us"] = s.total_us();
+  out["mean_us"] = s.mean_us();
+  out["p50_us"] = s.p50_us();
+  out["p99_us"] = s.p99_us();
+  out["max_us"] = s.max_us();
+  return out;
+}
+
+campaign::Json BreakdownJson(const PhaseBreakdown& b) {
+  campaign::Json out;
+  out["count"] = b.total.count();
+  out["total"] = LatencyJson(b.total);
+  out["paced"] = LatencyJson(b.paced);
+  out["queued"] = LatencyJson(b.queued);
+  out["media"] = LatencyJson(b.media);
+  campaign::Json stalls;
+  for (int c = 1; c < kStallCauseCount; ++c) {
+    campaign::Json entry;
+    entry["us"] = b.stall_us[c];
+    entry["events"] = b.stall_events[c];
+    stalls[StallCauseName(static_cast<StallCause>(c))] = std::move(entry);
+  }
+  out["stalls"] = std::move(stalls);
+  return out;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const Tracer& tracer,
+                            const TraceExportOptions& options) {
+  std::string out = "{\"traceEvents\":[\n";
+  AppendDevice(out, tracer, options.pid, options.process_name);
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);  // trailing comma before the closing ]
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string ChromeTraceJson(
+    const std::vector<std::pair<std::string, const Tracer*>>& devices) {
+  std::string out = "{\"traceEvents\":[\n";
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    if (devices[d].second == nullptr) continue;
+    AppendDevice(out, *devices[d].second, static_cast<std::uint32_t>(d + 1),
+                 devices[d].first);
+  }
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+campaign::Json PhaseStatsJson(const PhaseStats& stats) {
+  campaign::Json out;
+  out["read"] = BreakdownJson(stats.read);
+  out["write"] = BreakdownJson(stats.write);
+  return out;
+}
+
+campaign::Json TracerJson(const Tracer& tracer) {
+  campaign::Json out;
+  out["phases"] = PhaseStatsJson(tracer.phases());
+  if (!tracer.epoch_phases().empty()) {
+    campaign::JsonArray epochs;
+    for (const PhaseStats& e : tracer.epoch_phases()) {
+      epochs.push_back(PhaseStatsJson(e));
+    }
+    out["epoch_phases"] = campaign::Json(std::move(epochs));
+  }
+  if (!tracer.epoch_counters().empty()) {
+    campaign::JsonArray rows;
+    for (const EpochCounters& c : tracer.epoch_counters()) {
+      campaign::Json row;
+      row["reads_completed"] = c.reads_completed;
+      row["writes_completed"] = c.writes_completed;
+      row["gc_copies"] = c.gc_copies;
+      row["gc_erases"] = c.gc_erases;
+      row["retry_rungs"] = c.retry_rungs;
+      row["timeouts"] = c.timeouts;
+      rows.push_back(std::move(row));
+    }
+    out["epoch_counters"] = campaign::Json(std::move(rows));
+  }
+  out["spans"] = static_cast<std::uint64_t>(tracer.spans().size());
+  out["dropped_spans"] = tracer.dropped_spans();
+  return out;
+}
+
+void ExportPhaseStats(const PhaseStats& stats, const std::string& prefix,
+                      MetricsRegistry& registry) {
+  const auto side = [&](const PhaseBreakdown& b, const std::string& name) {
+    const std::string base = prefix + "." + name;
+    registry.Histogram(base + ".total").Merge(b.total);
+    registry.Histogram(base + ".paced").Merge(b.paced);
+    registry.Histogram(base + ".queued").Merge(b.queued);
+    registry.Histogram(base + ".media").Merge(b.media);
+    for (int c = 1; c < kStallCauseCount; ++c) {
+      const std::string cause =
+          base + ".stall." + StallCauseName(static_cast<StallCause>(c));
+      registry.AddCounter(cause + ".us", b.stall_us[c]);
+      registry.AddCounter(cause + ".events", b.stall_events[c]);
+    }
+  };
+  side(stats.read, "read");
+  side(stats.write, "write");
+}
+
+std::uint64_t TraceDigest(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace ctflash::obs

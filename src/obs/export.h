@@ -1,0 +1,56 @@
+// Exporters: Chrome/Perfetto trace-event JSON for timelines, deterministic
+// JSON for phase breakdowns, and a stable digest for byte-determinism
+// assertions.
+//
+// The trace format is the Chrome trace-event JSON ui.perfetto.dev loads
+// directly: {"traceEvents": [...]} with complete ("X") duration events,
+// metadata ("M") events naming one track per die / submission queue /
+// tenant, and counter ("C") tracks sampled per metrics epoch.  Timestamps
+// are simulated microseconds, so the timeline reads in device time.
+// Serialization is hand-rolled integer/string formatting — no float
+// printing, no pointer ordering — so the bytes are identical for any
+// worker count, which TraceDigest() makes cheap to assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/json.h"
+#include "obs/metrics.h"
+#include "obs/phase.h"
+#include "obs/tracer.h"
+
+namespace ctflash::obs {
+
+struct TraceExportOptions {
+  std::uint32_t pid = 1;              ///< Chrome process id for this device
+  std::string process_name = "device";
+};
+
+/// One device's timeline as Chrome trace-event JSON.
+std::string ChromeTraceJson(const Tracer& tracer,
+                            const TraceExportOptions& options = {});
+
+/// A fleet: every device becomes its own Chrome process (pid = index + 1,
+/// named by the pair's first element).  Null tracers are skipped.
+std::string ChromeTraceJson(
+    const std::vector<std::pair<std::string, const Tracer*>>& devices);
+
+/// Deterministic phase-breakdown JSON: {"read": {...}, "write": {...}}
+/// with count/mean/p50/p99/max per phase and the attributed stall table.
+campaign::Json PhaseStatsJson(const PhaseStats& stats);
+
+/// The tracer's aggregates as one deterministic JSON object: phases,
+/// per-epoch phase rows, epoch counters, span accounting.
+campaign::Json TracerJson(const Tracer& tracer);
+
+/// Dumps the whole-run phase aggregate into a metrics registry under
+/// `prefix` ("obs" -> "obs.read.media.p99_us", "obs.read.stall.die-busy-gc.us").
+void ExportPhaseStats(const PhaseStats& stats, const std::string& prefix,
+                      MetricsRegistry& registry);
+
+/// FNV-1a over the bytes (trace/report byte-determinism assertions).
+std::uint64_t TraceDigest(const std::string& bytes);
+
+}  // namespace ctflash::obs

@@ -1,0 +1,27 @@
+// Media-level observation hook: lets the flash target report read-retry
+// ladders and dead-die accesses to the tracer without the FTL layer
+// depending on obs internals (primitive arguments only; ftl/flash_target.h
+// forward-declares this class and holds a borrowed pointer).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace ctflash::obs {
+
+class MediaHook {
+ public:
+  virtual ~MediaHook() = default;
+
+  /// A checked read entered the retry ladder on `die`: `rungs` extra
+  /// senses spanning [start_us, start_us + dur_us); `recovered` tells
+  /// whether the ladder found a clean sense.
+  virtual void OnReadRetry(std::uint32_t die, Us start_us, Us dur_us,
+                           std::uint32_t rungs, bool recovered) = 0;
+
+  /// A media access hit a die/channel that no longer responds at `now_us`.
+  virtual void OnUnreachable(std::uint32_t die, Us now_us) = 0;
+};
+
+}  // namespace ctflash::obs

@@ -1,0 +1,151 @@
+// Request lifecycle phases and stall causes: the vocabulary of end-to-end
+// latency attribution.
+//
+// Every host request moves through submitted -> (admission-paced) ->
+// queued -> dispatched -> media-busy -> (retried) -> completed.  The
+// tracer (obs/tracer.h) measures the three durations that tile the
+// end-to-end latency exactly:
+//
+//   paced   = admit - submit      host-side admission wait (token-bucket
+//                                 pacing or full-queue backpressure);
+//   queued  = dispatch - admit    ready-set wait of the request's
+//                                 critical (last-completing) transaction;
+//   media   = complete - dispatch device time of the critical transaction,
+//                                 including waiting for its target die.
+//
+// paced + queued + media == completion - submit for every traced request
+// (the conservation property obs_tracer_test locks in).  Each phase can be
+// attributed to a StallCause: who the request was waiting FOR, not just
+// how long.  PhaseBreakdown aggregates the durations and the attributed
+// stall time; everything merges, like every aggregate in this tree.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace ctflash::obs {
+
+/// Lifecycle phases of a traced request / transaction.
+enum class Phase : std::uint8_t {
+  kSubmitted = 0,  ///< entered the host interface
+  kPaced,          ///< waiting host-side for admission
+  kQueued,         ///< in the scheduler ready set
+  kMediaBusy,      ///< executing on the device (incl. die wait)
+  kRetried,        ///< extra read-retry senses inside the media phase
+  kCompleted,      ///< finished
+};
+
+inline const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kSubmitted:
+      return "submitted";
+    case Phase::kPaced:
+      return "paced";
+    case Phase::kQueued:
+      return "queued";
+    case Phase::kMediaBusy:
+      return "media-busy";
+    case Phase::kRetried:
+      return "retried";
+    case Phase::kCompleted:
+      return "completed";
+  }
+  return "?";
+}
+
+/// What a phase's time was spent waiting for.
+enum class StallCause : std::uint8_t {
+  kNone = 0,        ///< no attributable stall
+  kTokenBucket,     ///< paced: tenant rate-limit admission
+  kBackpressure,    ///< paced: all submission queues full
+  kDieBusyGc,       ///< media: target die occupied by in-flight GC work
+  kDieBusyHost,     ///< media: target die occupied by other host work
+  kWriteHold,       ///< queued: write held by the GC admission guard
+  kDeadDevice,      ///< charged the SLA timeout (die/device loss)
+};
+
+inline constexpr int kStallCauseCount = 7;
+
+inline const char* StallCauseName(StallCause cause) {
+  switch (cause) {
+    case StallCause::kNone:
+      return "none";
+    case StallCause::kTokenBucket:
+      return "token-bucket";
+    case StallCause::kBackpressure:
+      return "backpressure";
+    case StallCause::kDieBusyGc:
+      return "die-busy-gc";
+    case StallCause::kDieBusyHost:
+      return "die-busy-host";
+    case StallCause::kWriteHold:
+      return "write-hold";
+    case StallCause::kDeadDevice:
+      return "dead-device";
+  }
+  return "?";
+}
+
+/// Phase-duration aggregate over one request class (reads or writes).
+/// Every completed request adds one sample to each of the four series
+/// (zeros included), so mean(paced) + mean(queued) + mean(media) ==
+/// mean(total) and the counts agree — the merge-safe form of the
+/// conservation property.
+struct PhaseBreakdown {
+  util::LatencyStats total;   ///< end-to-end latency
+  util::LatencyStats paced;   ///< admission wait
+  util::LatencyStats queued;  ///< ready-set wait (critical transaction)
+  util::LatencyStats media;   ///< device time (critical transaction)
+  /// Attributed stall time / event counts, indexed by StallCause.
+  std::array<std::uint64_t, kStallCauseCount> stall_us{};
+  std::array<std::uint64_t, kStallCauseCount> stall_events{};
+
+  void Add(Us paced_us, Us queued_us, Us media_us) {
+    total.Add(paced_us + queued_us + media_us);
+    paced.Add(paced_us);
+    queued.Add(queued_us);
+    media.Add(media_us);
+  }
+
+  void Attribute(StallCause cause, Us us) {
+    if (cause == StallCause::kNone || us <= 0) return;
+    stall_us[static_cast<std::size_t>(cause)] += static_cast<std::uint64_t>(us);
+    stall_events[static_cast<std::size_t>(cause)]++;
+  }
+
+  void Merge(const PhaseBreakdown& other) {
+    total.Merge(other.total);
+    paced.Merge(other.paced);
+    queued.Merge(other.queued);
+    media.Merge(other.media);
+    for (int c = 0; c < kStallCauseCount; ++c) {
+      stall_us[c] += other.stall_us[c];
+      stall_events[c] += other.stall_events[c];
+    }
+  }
+};
+
+/// Read/write pair of breakdowns: the per-arm / per-epoch unit the
+/// campaign and cluster reports carry.
+struct PhaseStats {
+  PhaseBreakdown read;
+  PhaseBreakdown write;
+
+  /// A request charged the SLA timeout (dead device): the whole duration
+  /// is media time attributed to kDeadDevice.
+  void AddTimeout(bool is_read, Us charged_us) {
+    PhaseBreakdown& b = is_read ? read : write;
+    b.Add(0, 0, charged_us);
+    b.Attribute(StallCause::kDeadDevice, charged_us);
+  }
+
+  void Merge(const PhaseStats& other) {
+    read.Merge(other.read);
+    write.Merge(other.write);
+  }
+};
+
+}  // namespace ctflash::obs

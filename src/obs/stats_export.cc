@@ -1,0 +1,94 @@
+#include "obs/stats_export.h"
+
+#include "ftl/flash_target.h"
+#include "ftl/ftl_base.h"
+#include "host/request.h"
+#include "qos/tenant_table.h"
+
+namespace ctflash::obs {
+
+namespace {
+
+void ExportLatency(const util::LatencyStats& stats, const std::string& name,
+                   MetricsRegistry& registry) {
+  registry.Histogram(name).Merge(stats);
+}
+
+}  // namespace
+
+void ExportFtlStats(const ftl::FtlStats& stats, const std::string& prefix,
+                    MetricsRegistry& registry) {
+  registry.AddCounter(prefix + ".host_read_pages", stats.host_read_pages);
+  registry.AddCounter(prefix + ".host_write_pages", stats.host_write_pages);
+  registry.AddCounter(prefix + ".gc_page_copies", stats.gc_page_copies);
+  registry.AddCounter(prefix + ".gc_erases", stats.gc_erases);
+  registry.AddCounter(prefix + ".gc_stale_copies", stats.gc_stale_copies);
+  registry.AddCounter(prefix + ".gc_time_us",
+                      static_cast<std::uint64_t>(stats.gc_time_us));
+  registry.SetGauge(prefix + ".waf", stats.Waf());
+}
+
+void ExportFaultStats(const ftl::FaultStats& stats, const std::string& prefix,
+                      MetricsRegistry& registry) {
+  registry.AddCounter(prefix + ".program_failures", stats.program_failures);
+  registry.AddCounter(prefix + ".erase_failures", stats.erase_failures);
+  registry.AddCounter(prefix + ".host_unreadable_pages",
+                      stats.host_unreadable_pages);
+  registry.AddCounter(prefix + ".gc_lost_pages", stats.gc_lost_pages);
+}
+
+void ExportReadErrorStats(const ftl::ReadErrorStats& stats,
+                          const std::string& prefix,
+                          MetricsRegistry& registry) {
+  registry.AddCounter(prefix + ".sampled_reads", stats.sampled_reads);
+  registry.AddCounter(prefix + ".total_bit_errors", stats.total_bit_errors);
+  registry.AddCounter(prefix + ".uncorrectable_reads",
+                      stats.uncorrectable_reads);
+  registry.AddCounter(prefix + ".retried_reads", stats.retried_reads);
+  registry.AddCounter(prefix + ".retry_rungs", stats.retry_rungs);
+  registry.AddCounter(prefix + ".recovered_reads", stats.recovered_reads);
+  registry.AddCounter(prefix + ".unrecovered_reads", stats.unrecovered_reads);
+  registry.AddCounter(prefix + ".lost_reads", stats.lost_reads);
+}
+
+void ExportHostStats(const host::HostStats& stats, const std::string& prefix,
+                     MetricsRegistry& registry) {
+  registry.AddCounter(prefix + ".submitted", stats.submitted);
+  registry.AddCounter(prefix + ".completed", stats.completed);
+  registry.AddCounter(prefix + ".backlogged", stats.backlogged);
+  registry.AddCounter(prefix + ".transactions_completed",
+                      stats.transactions_completed);
+  ExportLatency(stats.read_latency, prefix + ".read_latency", registry);
+  ExportLatency(stats.write_latency, prefix + ".write_latency", registry);
+  for (std::size_t q = 0; q < stats.per_queue.size(); ++q) {
+    const host::QueueStats& qs = stats.per_queue[q];
+    const std::string base = prefix + ".queue." + std::to_string(q);
+    registry.AddCounter(base + ".admitted", qs.admitted);
+    registry.AddCounter(base + ".completed", qs.completed);
+    registry.AddCounter(base + ".bytes_completed", qs.bytes_completed);
+    ExportLatency(qs.read_latency, base + ".read_latency", registry);
+    ExportLatency(qs.write_latency, base + ".write_latency", registry);
+  }
+}
+
+void ExportTenantStats(const qos::TenantTable& tenants,
+                       const std::string& prefix, MetricsRegistry& registry) {
+  for (std::uint32_t t = 0; t < tenants.TenantCount(); ++t) {
+    const qos::TenantTable::TenantStats& ts = tenants.StatsOf(t);
+    const std::string& name = tenants.ConfigOf(t).name;
+    const std::string base =
+        prefix + "." + (name.empty() ? std::to_string(t) : name);
+    registry.AddCounter(base + ".submitted", ts.submitted);
+    registry.AddCounter(base + ".completed", ts.completed);
+    registry.AddCounter(base + ".bytes_completed", ts.bytes_completed);
+    registry.AddCounter(base + ".throttled", ts.throttled);
+    registry.AddCounter(base + ".throttle_wait_us",
+                        static_cast<std::uint64_t>(ts.throttle_wait_us));
+    registry.AddCounter(base + ".read_dispatches", ts.read_dispatches);
+    registry.AddCounter(base + ".write_dispatches", ts.write_dispatches);
+    ExportLatency(ts.read_latency, base + ".read_latency", registry);
+    ExportLatency(ts.write_latency, base + ".write_latency", registry);
+  }
+}
+
+}  // namespace ctflash::obs

@@ -1,0 +1,47 @@
+// Adapters that flatten the stack's per-layer stat structs (FtlStats,
+// FaultStats, ReadErrorStats, HostStats, per-tenant TenantStats) into one
+// MetricsRegistry, so every counter and latency series in the stack is
+// enumerable through a single hierarchical namespace:
+//
+//   ftl.host_write_pages          ftl.waf (gauge)
+//   faults.program_failures       media.retry_rungs
+//   host.read_latency (histogram) host.queue.2.dispatched
+//   tenant.1.throttle_wait_us     tenant.1.read_latency
+//
+// All adapters ACCUMULATE into the registry (counters add, histograms
+// merge), so exporting several devices under distinct prefixes — or the
+// same prefix, to aggregate a fleet — both work.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ctflash::ftl {
+struct FtlStats;
+struct FaultStats;
+struct ReadErrorStats;
+}  // namespace ctflash::ftl
+namespace ctflash::host {
+struct HostStats;
+}
+namespace ctflash::qos {
+class TenantTable;
+}
+
+namespace ctflash::obs {
+
+void ExportFtlStats(const ftl::FtlStats& stats, const std::string& prefix,
+                    MetricsRegistry& registry);
+void ExportFaultStats(const ftl::FaultStats& stats, const std::string& prefix,
+                      MetricsRegistry& registry);
+void ExportReadErrorStats(const ftl::ReadErrorStats& stats,
+                          const std::string& prefix,
+                          MetricsRegistry& registry);
+void ExportHostStats(const host::HostStats& stats, const std::string& prefix,
+                     MetricsRegistry& registry);
+/// One sub-tree per registered tenant: "<prefix>.<tenant-name>.*".
+void ExportTenantStats(const qos::TenantTable& tenants,
+                       const std::string& prefix, MetricsRegistry& registry);
+
+}  // namespace ctflash::obs

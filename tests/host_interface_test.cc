@@ -187,6 +187,26 @@ TEST(HostInterface, OpenLoopArrivalsHonorTimestamps) {
   EXPECT_LT(load.end_us, prefill_end + 1'001'000);
 }
 
+TEST(HostCompletion, LatencyNeverUnderflows) {
+  HostCompletion done;
+  done.request.submit_us = 100;
+  done.completion_us = 250;
+  EXPECT_EQ(done.LatencyUs(), 150);
+  done.completion_us = 100;  // zero-latency edge is legal
+  EXPECT_EQ(done.LatencyUs(), 0);
+
+  // An inverted clock must never book a wrapped (huge) latency.  Debug
+  // builds assert on the inversion; release builds clamp to zero.
+  HostCompletion inverted;
+  inverted.request.submit_us = 500;
+  inverted.completion_us = 400;
+#ifdef NDEBUG
+  EXPECT_EQ(inverted.LatencyUs(), 0);
+#else
+  EXPECT_DEATH(inverted.LatencyUs(), "completion_us >= request.submit_us");
+#endif
+}
+
 TEST(HostConfigValidate, RejectsZeroedKnobs) {
   ssd::Ssd ssd(SmallConfig());
   HostConfig cfg;

@@ -1,0 +1,105 @@
+// MetricsRegistry unit tests: merge semantics per metric kind (counters
+// sum, gauges max, histograms merge), deterministic sorted serialization,
+// and the stats-export bridge that flattens a PhaseStats aggregate into
+// hierarchical registry names.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/phase.h"
+
+namespace ctflash::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndMergeBySum) {
+  MetricsRegistry a;
+  a.AddCounter("ftl.gc.erases", 3);
+  a.AddCounter("ftl.gc.erases", 4);
+  EXPECT_EQ(a.CounterValue("ftl.gc.erases"), 7u);
+  EXPECT_EQ(a.CounterValue("never.touched"), 0u);
+
+  MetricsRegistry b;
+  b.AddCounter("ftl.gc.erases", 10);
+  b.AddCounter("host.completed", 2);
+  a.Merge(b);
+  EXPECT_EQ(a.CounterValue("ftl.gc.erases"), 17u);
+  EXPECT_EQ(a.CounterValue("host.completed"), 2u);
+}
+
+TEST(MetricsRegistry, GaugesKeepLastWriteAndMergeByMax) {
+  MetricsRegistry a;
+  a.SetGauge("ftl.waf", 1.5);
+  a.SetGauge("ftl.waf", 1.2);  // last write wins within one registry
+  EXPECT_DOUBLE_EQ(a.GaugeValue("ftl.waf"), 1.2);
+
+  MetricsRegistry b;
+  b.SetGauge("ftl.waf", 1.9);  // fleet peak: merge keeps the max
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.GaugeValue("ftl.waf"), 1.9);
+}
+
+TEST(MetricsRegistry, HistogramsMergeSamples) {
+  MetricsRegistry a;
+  a.Histogram("host.read.latency").Add(100);
+  a.Histogram("host.read.latency").Add(300);
+
+  MetricsRegistry b;
+  b.Histogram("host.read.latency").Add(200);
+  a.Merge(b);
+  EXPECT_EQ(a.Histogram("host.read.latency").count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Histogram("host.read.latency").total_us(), 600.0);
+}
+
+TEST(MetricsRegistry, ToJsonIsSortedAndDeterministic) {
+  const auto build = [] {
+    MetricsRegistry r;
+    // Insertion order deliberately unsorted; std::map serializes sorted.
+    r.AddCounter("z.last", 1);
+    r.AddCounter("a.first", 2);
+    r.SetGauge("m.middle", 0.5);
+    r.Histogram("h.lat").Add(42);
+    return r.ToJson().Dump(2);
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  // Sorted counters: "a.first" serializes before "z.last".
+  EXPECT_LT(a.find("a.first"), a.find("z.last"));
+  const campaign::Json parsed = campaign::Json::Parse(a);
+  EXPECT_EQ(parsed.Get("counters")->Get("a.first")->AsUint(), 2u);
+  EXPECT_EQ(parsed.Get("histograms")->Get("h.lat")->GetUintOr("count", 0), 1u);
+}
+
+TEST(MetricsRegistry, ResetClearsEverything) {
+  MetricsRegistry r;
+  r.AddCounter("c", 1);
+  r.SetGauge("g", 1.0);
+  r.Histogram("h").Add(1);
+  EXPECT_EQ(r.Size(), 3u);
+  r.Reset();
+  EXPECT_EQ(r.Size(), 0u);
+}
+
+TEST(MetricsRegistry, ExportPhaseStatsFlattensToHierarchicalNames) {
+  PhaseStats stats;
+  stats.read.Add(/*paced_us=*/10, /*queued_us=*/20, /*media_us=*/70);
+  stats.read.Attribute(StallCause::kDieBusyGc, 15);
+  stats.write.Add(5, 0, 45);
+  stats.write.Attribute(StallCause::kWriteHold, 8);
+
+  MetricsRegistry r;
+  ExportPhaseStats(stats, "obs", r);
+  EXPECT_EQ(r.Histogram("obs.read.total").count(), 1u);
+  EXPECT_DOUBLE_EQ(r.Histogram("obs.read.media").total_us(), 70.0);
+  EXPECT_DOUBLE_EQ(r.Histogram("obs.write.paced").total_us(), 5.0);
+  EXPECT_EQ(r.CounterValue("obs.read.stall.die-busy-gc.us"), 15u);
+  EXPECT_EQ(r.CounterValue("obs.read.stall.die-busy-gc.events"), 1u);
+  EXPECT_EQ(r.CounterValue("obs.write.stall.write-hold.us"), 8u);
+  // Untouched causes exist as zeroed counters (enumerable time series).
+  EXPECT_EQ(r.CounterValue("obs.read.stall.dead-device.us"), 0u);
+}
+
+}  // namespace
+}  // namespace ctflash::obs
