@@ -9,6 +9,11 @@
 //              through the low-weight rebuild tenant;
 //   control    same failure, policy "none" — the router keeps routing to
 //              the corpse and every such request burns the SLA timeout.
+//   wear       one device on a progressive wear ramp (verify-fail
+//              probabilities eat its spare pool), twice: policy
+//              "on_failure" waits for the death, policy "on_observed"
+//              watches the health telemetry and drains the device while it
+//              is still serving.
 //
 // SELF-ASSERTS the cluster subsystem's core claims:
 //
@@ -24,7 +29,15 @@
 //      (spare adopted, shards moved, rebuild tenant dispatched real I/O).
 //   5. Control blowout — without rebalancing the final epoch's read p99
 //      exceeds the same bound (the timeouts dominate the tail).
+//   6. Predictive drain — under the wear ramp, on_observed drains the sick
+//      device (health-failing) STRICTLY BEFORE the epoch where the same
+//      ramp kills it under on_failure, and the drained device is never
+//      fatal; the on_observed report is byte-identical across worker
+//      counts; its health/SLO sections are populated.
+//   7. Observation pays — post-incident cluster read p99 under on_observed
+//      is <= the death-driven on_failure arm's (draining beats waiting).
 //
+
 // Options:
 //   --devices <n>     ring devices                  (default 8)
 //   --device <sz>     device bytes                  (default 64 MiB)
@@ -38,6 +51,9 @@
 //   --imbalance <x>   per-device load bound         (default 2.5)
 //   --quick           4 devices, 32 MiB, 6 x 100 ms epochs, 100k users
 //   --json <path>     result file (default BENCH_cluster.json)
+//   --trace-out <p>   Perfetto trace of the on_observed fleet (phase +
+//                     health-score counter tracks per device)
+//   --metrics-out <p> MetricsRegistry JSON for the on_observed arm
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -50,6 +66,8 @@
 #include "campaign/json.h"
 #include "cluster/cluster_sim.h"
 #include "cluster/spec.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/config.h"
 
 namespace {
@@ -74,6 +92,8 @@ struct Options {
   double p99_factor = 3.0;
   double imbalance = 2.5;
   std::string json_path = "BENCH_cluster.json";
+  std::string trace_out_path;
+  std::string metrics_out_path;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -118,6 +138,10 @@ Options ParseArgs(int argc, char** argv) {
       o.users = 100'000;
     } else if (arg == "--json") {
       o.json_path = next();
+    } else if (arg == "--trace-out") {
+      o.trace_out_path = next();
+    } else if (arg == "--metrics-out") {
+      o.metrics_out_path = next();
     } else {
       throw std::invalid_argument("unknown bench option: " + arg);
     }
@@ -176,6 +200,71 @@ Json WithDeviceLoss(Json spec, const Options& o, const std::string& policy) {
   rebalance["migration_chunk"] = std::uint64_t{16} * 1024;
   rebalance["rebuild_bytes_per_sec"] =
       static_cast<double>(o.device_bytes) / 8.0;
+  spec["rebalance"] = rebalance;
+  return spec;
+}
+
+/// Puts one mid-ring device on a progressive wear ramp from the start of
+/// the run: GC erases retire blocks probabilistically until the spare pool
+/// is gone — unobserved, the device eventually dies mid-epoch on an
+/// unrecoverable media error.
+///
+/// Block retirement only happens at GC erases, so the arm reshapes the
+/// shared scenario until GC actually churns at bench scale: short blocks
+/// (many small blocks, so the spare pool drains in fine steps while the
+/// per-page program cost stays put), a deep prefill, a write-heavy
+/// workload paced so each device sees a steady ~2.5 MiB of new writes per
+/// epoch, and a doubled epoch horizon for the ramp to play out.  Both
+/// wear arms share the reshape, so the on_observed-vs-on_failure
+/// comparison stays apples to apples.
+Json WithWearRamp(Json spec, const Options& o, const std::string& policy) {
+  Json& device = spec["device"];
+  device["pages_per_block"] = std::uint64_t{32};
+  device["prefill_pct"] = std::uint64_t{95};
+  Json& workload = spec["workload"];
+  const double read_fraction = 0.5;
+  const std::uint64_t write_bytes_per_device_epoch = 1792ull * 1024;
+  const std::uint64_t request_bytes = std::uint64_t{16} * 1024;
+  const double writes_per_sec =
+      static_cast<double>(write_bytes_per_device_epoch) /
+      static_cast<double>(request_bytes) * static_cast<double>(o.devices) *
+      1e6 / static_cast<double>(o.epoch_us);
+  workload["rate_iops"] = writes_per_sec / (1.0 - read_fraction);
+  workload["read_fraction"] = read_fraction;
+  workload["epochs"] = o.epochs * 3;
+  Json fault;
+  fault["device"] = std::uint64_t{1};
+  fault["kind"] = "wear";
+  fault["erase_fail_prob"] = 0.15;
+  fault["program_fail_prob"] = 0.02;
+  JsonArray faults;
+  faults.push_back(std::move(fault));
+  spec["faults"] = Json(std::move(faults));
+  Json rebalance;
+  rebalance["policy"] = policy;
+  rebalance["migration_chunk"] = std::uint64_t{16} * 1024;
+  rebalance["rebuild_bytes_per_sec"] =
+      static_cast<double>(o.device_bytes) / 8.0;
+  if (policy == "on_observed") {
+    // The drain decision rides the ramp's own symptoms: the program
+    // verify-fail trend (visible from the first sick write) holds the
+    // score just under failing, and the first spare-pool burn tips it
+    // over.  The shared-workload GC and retry signals are parked high so
+    // they cannot drain healthy devices seeing the same churn.
+    Json health;
+    health["spare_fail_frac"] = 0.3;
+    health["program_fail_rate"] = 0.025;
+    health["gc_stall_fail_share"] = 0.95;
+    health["retry_fail_rate"] = 0.95;
+    health["ewma_alpha"] = 0.6;
+    rebalance["health"] = health;
+    // A deliberately loose SLO: present in the report (exercising the SLO
+    // leg end-to-end) but only breached by timeout-scale tails the drain
+    // exists to prevent.
+    Json slo;
+    slo["read_p99_target_us"] = std::uint64_t{900'000};
+    rebalance["slo"] = slo;
+  }
   spec["rebalance"] = rebalance;
   return spec;
 }
@@ -344,11 +433,145 @@ int main(int argc, char** argv) {
                 " us — the failure arm is not stressing the router");
   }
 
+  // --- wear-ramp arms: observed drain vs death-driven rebalance ------------
+  const Json wear_failure_spec = WithWearRamp(
+      BaseSpec(options, "cluster-wear"), options, "on_failure");
+  const Json wear_observed_spec = WithWearRamp(
+      BaseSpec(options, "cluster-wear"), options, "on_observed");
+  const ClusterResult wear_failure = RunArm(wear_failure_spec, workers);
+  ClusterSim observed_sim(ClusterSpec::Parse(wear_observed_spec));
+  const ClusterResult observed = observed_sim.Run(workers);
+
+  // Assert 6 (determinism leg): the observed policy's monitors live in the
+  // serial director phase, so its report must also be worker-invariant.
+  {
+    const std::string one =
+        RunArm(wear_observed_spec, 1).DeterministicJson().Dump(2);
+    const std::string many = RunArm(wear_observed_spec,
+                                    std::max(2u, std::min(4u, hw)))
+                                 .DeterministicJson()
+                                 .Dump(2);
+    if (one != many) {
+      return Fail("worker count changed the on_observed cluster report");
+    }
+  }
+
+  const std::int64_t death_epoch = DetectionEpoch(wear_failure);
+  const std::int64_t drain_epoch = DetectionEpoch(observed);
+  std::cout << "\nwear ramp: on_failure death epoch " << death_epoch
+            << ", on_observed drain epoch " << drain_epoch << "\n";
+  std::cout << "device 1 health: " << observed.devices[1].health.Dump()
+            << "\n";
+  std::cout << "per-epoch read p99 (us): on_failure ["
+            << epoch_tails(wear_failure) << "], on_observed ["
+            << epoch_tails(observed) << "]\n";
+
+  // Assert 6: the ramp must actually kill the unobserved device, and the
+  // observed policy must drain it strictly earlier, while still alive.
+  if (death_epoch < 0 || wear_failure.devices_failed != 1 ||
+      !wear_failure.devices[1].fatal) {
+    return Fail("wear ramp did not kill device 1 under on_failure");
+  }
+  if (drain_epoch < 0 || observed.devices_drained != 1 ||
+      !observed.devices[1].drained) {
+    return Fail("on_observed never drained the wearing device");
+  }
+  if (observed.devices[1].fatal || observed.devices_failed != 0) {
+    return Fail("on_observed drain came too late: the device still died");
+  }
+  if (drain_epoch >= death_epoch) {
+    return Fail("drain epoch " + std::to_string(drain_epoch) +
+                " is not before the on_failure death epoch " +
+                std::to_string(death_epoch));
+  }
+  const std::string drain_cause =
+      observed.events[0].GetStringOr("cause", "");
+  if (observed.events[0].GetStringOr("action", "") != "drained") {
+    return Fail("first on_observed event is not a drain");
+  }
+
+  // Assert 7: over the incident window (the epochs where the unobserved
+  // arm is dying/dead), observation keeps the cluster tail no worse.
+  double failure_post_p99 = 0.0, observed_post_p99 = 0.0;
+  for (std::size_t e = static_cast<std::size_t>(death_epoch);
+       e < wear_failure.epochs.size(); ++e) {
+    failure_post_p99 =
+        std::max(failure_post_p99, wear_failure.epochs[e].read.p99_us());
+    observed_post_p99 =
+        std::max(observed_post_p99, observed.epochs[e].read.p99_us());
+  }
+  std::cout << "post-incident read p99: on_observed " << observed_post_p99
+            << " us vs on_failure " << failure_post_p99 << " us (cause: "
+            << drain_cause << ")\n";
+  if (observed_post_p99 > failure_post_p99) {
+    return Fail("on_observed post-incident read p99 " +
+                std::to_string(observed_post_p99) +
+                " us exceeds on_failure's " +
+                std::to_string(failure_post_p99) + " us");
+  }
+
+  // The health/SLO report sections must be populated end to end.
+  const std::string observed_dump = observed.DeterministicJson().Dump(2);
+  if (observed_dump.find("\"health\"") == std::string::npos ||
+      observed_dump.find("\"slo\"") == std::string::npos ||
+      observed_dump.find("\"devices_failing\"") == std::string::npos) {
+    return Fail("on_observed report is missing health/SLO sections");
+  }
+  const Json* dev1_health = observed.devices[1].health.Get("state");
+  if (dev1_health == nullptr || dev1_health->AsString() == "healthy") {
+    return Fail("drained device's health snapshot still reads healthy");
+  }
+
+  // Perfetto export must carry the per-device health counter tracks.
+  const std::string fleet_trace = observed_sim.FleetChromeTrace();
+  if (fleet_trace.find("health_score") == std::string::npos) {
+    return Fail("fleet trace has no health_score counter track");
+  }
+  if (!options.trace_out_path.empty()) {
+    std::ofstream tout(options.trace_out_path);
+    if (!tout) {
+      std::cerr << "cannot write " << options.trace_out_path << "\n";
+      return 1;
+    }
+    tout << fleet_trace;
+    std::cout << "fleet trace written to " << options.trace_out_path << " ("
+              << fleet_trace.size() << " bytes, digest "
+              << ctflash::obs::TraceDigest(fleet_trace) << ")\n";
+  }
+
+  // Metrics registry over the observed fleet's phase breakdowns; the
+  // quantile-extraction helper must agree with the estimator exactly.
+  ctflash::obs::MetricsRegistry registry;
+  for (std::size_t d = 0; d < observed.devices.size(); ++d) {
+    ctflash::obs::ExportPhaseStats(observed.devices[d].phases,
+                                   "device-" + std::to_string(d), registry);
+  }
+  registry.AddCounter("cluster.devices_drained", observed.devices_drained);
+  registry.AddCounter("cluster.devices_failed", observed.devices_failed);
+  {
+    const auto q = registry.HistogramQuantiles("device-0.read.total");
+    const auto& direct = registry.Histogram("device-0.read.total");
+    if (q.p99_us != direct.quantiles().Quantile(0.99)) {
+      return Fail("HistogramQuantiles disagrees with QuantileEstimator");
+    }
+  }
+  if (!options.metrics_out_path.empty()) {
+    std::ofstream mout(options.metrics_out_path);
+    if (!mout) {
+      std::cerr << "cannot write " << options.metrics_out_path << "\n";
+      return 1;
+    }
+    mout << registry.ToJson().Dump(2) << "\n";
+    std::cout << "metrics written to " << options.metrics_out_path << "\n";
+  }
+
   Json report;
   report["bench"] = std::string("cluster");
   report["healthy"] = healthy.Report();
   report["rebalance"] = rebalanced.Report();
   report["control"] = control.Report();
+  report["wear_failure"] = wear_failure.Report();
+  report["wear_observed"] = observed.Report();
   Json checks;
   checks["arrivals"] = arrivals;
   checks["completed"] = completed;
@@ -366,6 +589,11 @@ int main(int argc, char** argv) {
   checks["rebuild_bytes"] = rebalanced.migration_bytes;
   checks["control_timeouts"] = control_timeouts;
   checks["control_final_read_p99_us"] = control_final_p99;
+  checks["wear_death_epoch"] = static_cast<std::uint64_t>(death_epoch);
+  checks["wear_drain_epoch"] = static_cast<std::uint64_t>(drain_epoch);
+  checks["wear_drain_cause"] = drain_cause;
+  checks["wear_failure_post_p99_us"] = failure_post_p99;
+  checks["wear_observed_post_p99_us"] = observed_post_p99;
   report["self_check"] = checks;
   std::ofstream out(options.json_path);
   out << report.Dump(2) << "\n";

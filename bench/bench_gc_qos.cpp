@@ -257,6 +257,18 @@ int RunTraceSmoke(const bench::BenchOptions& options) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write " + path);
   out << trace;
+  if (!options.metrics_out_path.empty()) {
+    obs::MetricsRegistry registry;
+    obs::ExportPhaseStats(tracer.phases(), "gc_qos", registry);
+    registry.AddCounter("gc_qos.spans", tracer.spans().size());
+    registry.AddCounter("gc_qos.requests", tracer.requests().size());
+    std::ofstream mout(options.metrics_out_path);
+    if (!mout) {
+      throw std::runtime_error("cannot write " + options.metrics_out_path);
+    }
+    mout << registry.ToJson().Dump(2) << "\n";
+    std::cout << "metrics written to " << options.metrics_out_path << "\n";
+  }
   std::cout << "trace-smoke OK: " << events->AsArray().size()
             << " trace events (" << tracer.spans().size() << " spans, "
             << tracer.requests().size() << " requests, digest "
@@ -307,7 +319,10 @@ int main(int argc, char** argv) {
             << "Device: " << (options.device_bytes >> 20)
             << " MiB scaled array; " << requests << " requests\n\n";
 
-  const bool trace = !options.trace_out_path.empty();
+  // --metrics-out needs the tracers attached too: the registry is built
+  // from their phase breakdowns.
+  const bool trace =
+      !options.trace_out_path.empty() || !options.metrics_out_path.empty();
   std::vector<RoutingResult> results;
   ctflash::bench::PrefillSnapshotCache prefills;
   for (const auto kind :
@@ -344,7 +359,7 @@ int main(int argc, char** argv) {
               << "% lower) at erase parity " << sc.gc_erases << "/"
               << in.gc_erases;
   }
-  if (trace) {
+  if (!options.trace_out_path.empty()) {
     std::vector<std::pair<std::string, const ctflash::obs::Tracer*>> fleet;
     for (const auto& r : results) {
       fleet.emplace_back(r.ftl + "-" + r.routing, r.tracer.get());
@@ -358,6 +373,21 @@ int main(int argc, char** argv) {
     std::cout << "\ntrace written to " << options.trace_out_path << " ("
               << trace_json.size() << " bytes, digest "
               << ctflash::obs::TraceDigest(trace_json) << ")";
+  }
+  if (!options.metrics_out_path.empty()) {
+    // One registry over all arms, namespaced per (ftl, routing) pair.
+    ctflash::obs::MetricsRegistry registry;
+    for (const auto& r : results) {
+      if (r.tracer == nullptr) continue;
+      ctflash::obs::ExportPhaseStats(r.tracer->phases(),
+                                     r.ftl + "." + r.routing, registry);
+    }
+    std::ofstream mout(options.metrics_out_path);
+    if (!mout) {
+      throw std::runtime_error("cannot write " + options.metrics_out_path);
+    }
+    mout << registry.ToJson().Dump(2) << "\n";
+    std::cout << "\nmetrics written to " << options.metrics_out_path;
   }
   std::cout << "\n\nprefill snapshots: " << prefills.distinct_prefills()
             << " prefills, " << prefills.restores() << " restores, ~"

@@ -171,6 +171,8 @@ BenchOptions BenchOptions::FromArgs(int argc, char** argv) {
       o.json_path = next();
     } else if (arg == "--trace-out") {
       o.trace_out_path = next();
+    } else if (arg == "--metrics-out") {
+      o.metrics_out_path = next();
     } else if (arg == "--metrics-epoch-us") {
       o.metrics_epoch_us = static_cast<Us>(std::stoll(next()));
       if (o.metrics_epoch_us < 0) {

@@ -25,6 +25,7 @@
 //   --frontiers <n>           write frontiers for the striped series
 //   --json <path>             machine-readable results (benches that emit it)
 //   --trace-out <path>        Chrome/Perfetto trace JSON (benches that trace)
+//   --metrics-out <path>      MetricsRegistry JSON dump (benches that trace)
 //   --metrics-epoch-us <n>    tracer time-series epoch length (0 = off)
 #pragma once
 
@@ -116,6 +117,10 @@ struct BenchOptions {
   /// --trace-out: where tracing benches write the Chrome/Perfetto trace
   /// JSON ("" = no trace export).  Shared by every bench via the harness.
   std::string trace_out_path;
+  /// --metrics-out: where tracing benches dump their obs::MetricsRegistry
+  /// as JSON — counters plus histogram summaries with p50/p99/p99.9 ("" =
+  /// no metrics export).
+  std::string metrics_out_path;
   /// --metrics-epoch-us: tracer epoch length for per-epoch phase rows and
   /// counter tracks (0 = no time series).
   Us metrics_epoch_us = 0;

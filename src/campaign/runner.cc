@@ -218,6 +218,37 @@ std::string ClassifyFaultOutcome(const ssd::Ssd& ssd) {
   return recovery_ran ? "recovered" : "masked";
 }
 
+/// Cumulative wear / media-error / GC counters for the arm's health
+/// evaluation (mirrors the cluster director's per-epoch sampler; here the
+/// window is the whole measured workload).
+obs::HealthSample CollectHealthSample(const ssd::Ssd& ssd,
+                                      const obs::Tracer* tracer) {
+  obs::HealthSample s;
+  const ftl::FtlBase& f = ssd.ftl();
+  s.free_blocks = f.blocks().FreeCount();
+  s.retired_blocks = f.blocks().RetiredCount();
+  s.total_blocks = f.blocks().total_blocks();
+  s.gc_floor_blocks = f.config().gc_threshold_low;
+  const nand::NandDevice& nand = ssd.target().nand();
+  s.total_erases = nand.Wear().total_erases;
+  s.endurance_pe_cycles = nand.endurance_pe_cycles();
+  const ftl::ReadErrorStats& host_err = ssd.target().read_error_stats();
+  const ftl::ReadErrorStats& gc_err = ssd.target().gc_read_error_stats();
+  s.sampled_reads = host_err.sampled_reads + gc_err.sampled_reads;
+  s.retried_reads = host_err.retried_reads + gc_err.retried_reads;
+  s.unrecovered_reads = host_err.unrecovered_reads + gc_err.unrecovered_reads;
+  s.lost_pages = f.fault_stats().LostPages();
+  s.program_pages = f.stats().host_write_pages + f.stats().gc_page_copies;
+  s.program_failures = f.fault_stats().program_failures;
+  if (tracer != nullptr) {
+    const obs::PhaseBreakdown& read = tracer->phases().read;
+    s.read_stall_gc_us =
+        read.stall_us[static_cast<std::size_t>(obs::StallCause::kDieBusyGc)];
+    s.read_media_us = static_cast<std::uint64_t>(read.media.total_us());
+  }
+  return s;
+}
+
 /// Shared-prefill key: device shape + prefill parameters.  gc_routing is
 /// deliberately absent from the shape key (see campaign/snapshot.h) so
 /// inline- and scheduled-GC arms share one prefill.
@@ -269,6 +300,14 @@ ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared) {
       host.AttachTracer(tracer.get());
     }
 
+    // Health evaluation windows the whole measured workload: baseline
+    // sampled here (post-restore, pre-traffic), final sample after the run.
+    std::unique_ptr<obs::HealthMonitor> health;
+    if (arm.eval_health) {
+      health = std::make_unique<obs::HealthMonitor>(arm.health);
+      health->Observe(CollectHealthSample(ssd, tracer.get()));
+    }
+
     const Json& w = *arm.merged.Get("workload");
     const std::string kind = w.GetStringOr("kind", "closed_loop");
     if (kind == "closed_loop") {
@@ -297,6 +336,10 @@ ArmResult RunCampaignArm(const ArmSpec& arm, const DeviceState* shared) {
     if (arm.inject_faults) {
       out.metrics["faults"] = FaultMetricsJson(ssd);
       out.outcome = ClassifyFaultOutcome(ssd);
+    }
+    if (health != nullptr) {
+      health->Observe(CollectHealthSample(ssd, tracer.get()));
+      out.metrics["health"] = health->ToJson();
     }
     out.ok = true;
   } catch (const std::exception& e) {
@@ -430,7 +473,8 @@ std::string CampaignResult::Csv() const {
   std::string csv =
       "arm,ok,requests,iops,read_mean_us,read_p99_us,write_mean_us,"
       "write_p99_us,waf,read_paced_us,read_queued_us,read_media_us,"
-      "write_paced_us,write_queued_us,write_media_us\n";
+      "write_paced_us,write_queued_us,write_media_us,health_state,"
+      "health_score\n";
   auto field = [](const Json& metrics, const char* a, const char* b) {
     const Json* section = metrics.Get(a);
     if (section == nullptr) return std::string("0");
@@ -466,9 +510,15 @@ std::string CampaignResult::Csv() const {
       csv += phase(arm.metrics, "read", "media") + ",";
       csv += phase(arm.metrics, "write", "paced") + ",";
       csv += phase(arm.metrics, "write", "queued") + ",";
-      csv += phase(arm.metrics, "write", "media");
+      csv += phase(arm.metrics, "write", "media") + ",";
+      // Health columns ("" / 0 when the arm ran without evaluation).
+      const Json* health = arm.metrics.Get("health");
+      const Json* state = health ? health->Get("state") : nullptr;
+      const Json* score = health ? health->Get("score") : nullptr;
+      csv += (state ? CsvField(state->AsString()) : std::string()) + ",";
+      csv += score ? score->Dump() : std::string("0");
     } else {
-      csv += "0,0,0,0,0,0,0,0,0,0,0,0,0";
+      csv += "0,0,0,0,0,0,0,0,0,0,0,0,0,,0";
     }
     csv += "\n";
   }

@@ -124,6 +124,28 @@ ArmSpec ResolveArm(const Json& merged, std::uint64_t index,
       o != nullptr && !o->IsNull()) {
     arm.trace_phases = o->GetBoolOr("phases", false);
     arm.metrics_epoch_us = static_cast<Us>(o->GetUintOr("metrics_epoch_us", 0));
+    // "health": true enables the default thresholds; an object enables and
+    // overrides them.
+    if (const Json* h = o->Get("health"); h != nullptr && !h->IsNull()) {
+      if (h->IsObject()) {
+        arm.eval_health = true;
+        obs::HealthConfig& hc = arm.health;
+        hc.ewma_alpha = h->GetDoubleOr("ewma_alpha", hc.ewma_alpha);
+        hc.degraded_frac = h->GetDoubleOr("degraded_frac", hc.degraded_frac);
+        hc.spare_fail_frac =
+            h->GetDoubleOr("spare_fail_frac", hc.spare_fail_frac);
+        hc.wear_fail_frac = h->GetDoubleOr("wear_fail_frac", hc.wear_fail_frac);
+        hc.retry_fail_rate =
+            h->GetDoubleOr("retry_fail_rate", hc.retry_fail_rate);
+        hc.program_fail_rate =
+            h->GetDoubleOr("program_fail_rate", hc.program_fail_rate);
+        hc.gc_stall_fail_share =
+            h->GetDoubleOr("gc_stall_fail_share", hc.gc_stall_fail_share);
+      } else {
+        arm.eval_health = h->AsBool();
+      }
+      arm.health.Validate();
+    }
   }
 
   const Json* workload = merged.Get("workload");
@@ -145,9 +167,21 @@ DeviceSectionSpec ResolveDeviceSection(const Json& merged) {
   const double speed_ratio = merged.GetDoubleOr("speed_ratio", 2.0);
   const auto channels =
       static_cast<std::uint32_t>(merged.GetUintOr("channels", 0));
+  // Shorter blocks shrink the GC/retirement granularity without touching
+  // per-page program cost — wear scenarios use this to make small scaled
+  // devices churn like big ones.
+  const auto pages_per_block =
+      static_cast<std::uint32_t>(merged.GetUintOr("pages_per_block", 0));
 
   nand::NandGeometry base_shape;  // defaults = the paper's Table 1 shape
   if (channels != 0) base_shape.channels = channels;
+  if (pages_per_block != 0) {
+    base_shape.pages_per_block = pages_per_block;
+    // Every gate-stack layer must hold at least one page.
+    if (base_shape.num_layers > pages_per_block) {
+      base_shape.num_layers = pages_per_block;
+    }
+  }
   const ssd::FtlKind kind = ParseFtlKind(merged.GetStringOr("ftl", "conventional"));
   out.device = ssd::ScaledConfig(kind, device_bytes, page_size, speed_ratio,
                                  base_shape);

@@ -43,6 +43,7 @@
 #include "host/host_interface.h"
 #include "host/load_generator.h"
 #include "nand/fault_plan.h"
+#include "obs/health.h"
 #include "ssd/ssd.h"
 #include "util/types.h"
 
@@ -80,6 +81,13 @@ struct ArmSpec {
   /// workload and the result carries a per-arm phase breakdown.
   bool trace_phases = false;
   Us metrics_epoch_us = 0;
+  /// Health evaluation ({"observability": {"health": true}} or
+  /// {"health": {<HealthConfig knobs>}}): the runner samples the device's
+  /// wear/media/GC counters before and after the measured workload, scores
+  /// them through one obs::HealthMonitor window, and reports
+  /// metrics["health"] plus health_state / health_score report columns.
+  bool eval_health = false;
+  obs::HealthConfig health;
 
   /// Canonical config echo for the result report (deterministic fields
   /// only: name, ftl, gc_routing, device/workload shape, seed).

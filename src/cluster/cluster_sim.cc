@@ -91,7 +91,7 @@ void ClusterSim::BuildFleet(ClusterResult& result) {
     // snapshot stays fault-free and devices diverge only via their
     // schedules.
     const nand::FaultPlanConfig plan = spec_.FaultPlanFor(d, run_start_us_);
-    if (!plan.fail_dies.empty() || !plan.fail_channels.empty()) {
+    if (plan.Armed()) {
       dev.ssd->target().ArmFaults(plan, spec_.fault_handling,
                                   Mix64(spec_.seed ^ 0xFA17'0000ull ^ d));
     }
@@ -112,7 +112,43 @@ void ClusterSim::BuildFleet(ClusterResult& result) {
     dev.epoch_read.resize(spec_.epochs);
     dev.epoch_write.resize(spec_.epochs);
   }
+  if (spec_.policy == RebalancePolicy::kOnObserved) {
+    health_.reserve(total);
+    slo_.reserve(total);
+    for (std::uint32_t d = 0; d < total; ++d) {
+      health_.emplace_back(spec_.health);
+      slo_.emplace_back(spec_.slo);
+    }
+  }
   result.epochs.resize(spec_.epochs);
+}
+
+obs::HealthSample ClusterSim::CollectHealthSample(const Device& dev) const {
+  obs::HealthSample s;
+  const ftl::FtlBase& f = dev.ssd->ftl();
+  s.free_blocks = f.blocks().FreeCount();
+  s.retired_blocks = f.blocks().RetiredCount();
+  s.total_blocks = f.blocks().total_blocks();
+  s.gc_floor_blocks = f.config().gc_threshold_low;
+  const nand::NandDevice& nand = dev.ssd->target().nand();
+  s.total_erases = nand.Wear().total_erases;
+  s.endurance_pe_cycles = nand.endurance_pe_cycles();
+  const ftl::ReadErrorStats& host_err = dev.ssd->target().read_error_stats();
+  const ftl::ReadErrorStats& gc_err = dev.ssd->target().gc_read_error_stats();
+  s.sampled_reads = host_err.sampled_reads + gc_err.sampled_reads;
+  s.retried_reads = host_err.retried_reads + gc_err.retried_reads;
+  s.unrecovered_reads =
+      host_err.unrecovered_reads + gc_err.unrecovered_reads;
+  s.lost_pages = f.fault_stats().LostPages();
+  s.program_pages = f.stats().host_write_pages + f.stats().gc_page_copies;
+  s.program_failures = f.fault_stats().program_failures;
+  if (dev.tracer != nullptr) {
+    const obs::PhaseBreakdown& read = dev.tracer->phases().read;
+    s.read_stall_gc_us =
+        read.stall_us[static_cast<std::size_t>(obs::StallCause::kDieBusyGc)];
+    s.read_media_us = static_cast<std::uint64_t>(read.media.total_us());
+  }
+  return s;
 }
 
 void ClusterSim::GenerateEpoch(std::uint32_t epoch, ClusterResult& result) {
@@ -209,109 +245,157 @@ void ClusterSim::RunDeviceEpoch(Device& dev, std::uint32_t epoch, Us until) {
   }
 }
 
+void ClusterSim::RebalanceDevice(std::uint32_t d, std::uint32_t epoch,
+                                 ClusterResult& result,
+                                 campaign::Json& event) {
+  const std::uint32_t spares_before = router_->SparesLeft();
+  const std::vector<ShardMove> moves = router_->MarkFailed(d);
+  const bool spare_adopted = router_->SparesLeft() < spares_before;
+  if (spare_adopted) ++result.spares_used;
+  result.shards_moved += moves.size();
+  event["shards_moved"] = static_cast<std::uint64_t>(moves.size());
+  event["spare_adopted"] = spare_adopted;
+
+  // Turn each displaced shard into rebuild traffic over the next epoch:
+  // chunk reads on a surviving replica, chunk writes on the new holder,
+  // both as the low-weight rebuild tenant through the normal host path.
+  std::uint64_t unrecoverable = 0;
+  const std::uint32_t next = epoch + 1;
+  if (next < spec_.epochs) {
+    const Us next_start =
+        run_start_us_ + static_cast<Us>(next) * spec_.epoch_us;
+    const std::uint64_t shard_bytes =
+        spec_.shard_bytes != 0
+            ? spec_.shard_bytes
+            : std::max<std::uint64_t>(prefill_bytes_ /
+                                          spec_.router.num_shards,
+                                      spec_.migration_chunk_bytes);
+    const std::uint64_t chunk = spec_.migration_chunk_bytes;
+    const std::uint64_t chunks_per_shard = (shard_bytes + chunk - 1) / chunk;
+    const std::uint64_t chunk_slots =
+        std::max<std::uint64_t>(1, prefill_bytes_ / chunk);
+    // Pace the whole rebuild over the repair window (rebuild_epochs, or
+    // everything left of the run): repair speed must not buy its
+    // bandwidth out of the serving tail.
+    std::uint32_t window = spec_.epochs - next;
+    if (spec_.rebuild_epochs != 0) {
+      window = std::min(window, spec_.rebuild_epochs);
+    }
+    const Us window_us = static_cast<Us>(window) * spec_.epoch_us;
+    std::uint64_t total_chunks = 0;
+    for (const ShardMove& move : moves) {
+      if (move.source != kNoDevice && !devices_[move.source].fatal &&
+          !devices_[move.to].fatal) {
+        total_chunks += chunks_per_shard;
+      }
+    }
+    std::uint64_t chunk_index = 0;
+    for (const ShardMove& move : moves) {
+      if (move.source == kNoDevice) {
+        // No surviving replica: with replicas=1 the shard's data is gone.
+        ++unrecoverable;
+        continue;
+      }
+      if (devices_[move.source].fatal || devices_[move.to].fatal) continue;
+      for (std::uint64_t c = 0; c < chunks_per_shard; ++c) {
+        const Us at =
+            next_start +
+            static_cast<Us>((static_cast<std::uint64_t>(window_us) *
+                             chunk_index) /
+                            total_chunks);
+        ++chunk_index;
+        const std::uint64_t offset =
+            (Mix64(spec_.seed ^ (static_cast<std::uint64_t>(move.shard)
+                                 << 20) ^
+                   c) %
+             chunk_slots) *
+            chunk;
+        devices_[move.source].bucket.push_back(
+            PendingOp{at, kRebuildTenant, true, offset, chunk});
+        devices_[move.to].bucket.push_back(
+            PendingOp{at, kRebuildTenant, false, offset, chunk});
+        result.migration_ops += 2;
+        result.migration_bytes += chunk;
+      }
+    }
+  } else {
+    // Failure detected in the final epoch: the remap still happened but
+    // there is no simulated time left to carry the rebuild traffic.
+    event["rebuild_deferred"] = true;
+  }
+  result.unrecoverable_shards += unrecoverable;
+  event["unrecoverable"] = unrecoverable;
+}
+
 void ClusterSim::DirectorStep(std::uint32_t epoch, ClusterResult& result) {
+  const bool observed = spec_.policy == RebalancePolicy::kOnObserved;
   for (std::uint32_t d = 0; d < devices_.size(); ++d) {
     Device& dev = devices_[d];
     result.epochs[epoch].timeouts += dev.epoch_timeouts;
     dev.epoch_timeouts = 0;
 
+    // Observation leg: feed every live device's cumulative counters to its
+    // monitors each epoch (serial phase, so byte-deterministic), and decide
+    // whether the signals warrant a predictive drain.  A drained device is
+    // out of service: its monitors freeze at the drain-time snapshot
+    // instead of decaying back to healthy on idle windows.
+    bool drain = false;
+    const char* drain_cause = nullptr;
+    if (observed && !dev.fatal && !dev.drained) {
+      obs::HealthMonitor& health = health_[d];
+      obs::SloMonitor& slo = slo_[d];
+      health.Observe(CollectHealthSample(dev));
+      slo.ObserveWindow(dev.epoch_read[epoch].quantiles());
+      const obs::HealthState state = health.state();
+      if (state == obs::HealthState::kDegraded) {
+        ++result.epochs[epoch].devices_degraded;
+      } else if (state == obs::HealthState::kFailing) {
+        ++result.epochs[epoch].devices_failing;
+      }
+      if (slo.last_window_breached()) ++result.epochs[epoch].slo_breaches;
+      if (dev.router_alive) {
+        if (state == obs::HealthState::kFailing) {
+          drain = true;
+          drain_cause = "health-failing";
+        } else if (slo.alerting()) {
+          drain = true;
+          drain_cause = "slo-burn";
+        }
+      }
+    }
+
     const std::uint64_t lost = dev.ssd->ftl().fault_stats().LostPages();
     const bool unhealthy =
         dev.fatal || lost >= spec_.fail_on_lost_pages;
-    if (!unhealthy || !dev.router_alive) continue;
+    if ((!unhealthy && !drain) || !dev.router_alive) continue;
     dev.router_alive = false;
-    ++result.devices_failed;
 
     campaign::Json event;
     event["epoch"] = static_cast<std::uint64_t>(epoch);
     event["device"] = static_cast<std::uint64_t>(d);
-    event["cause"] = std::string(dev.fatal ? "media-fatal" : "lost-pages");
-    event["lost_pages"] = lost;
+    if (unhealthy) {
+      // Reactive leg: the device is already lost (or has lost data).
+      ++result.devices_failed;
+      event["cause"] = std::string(dev.fatal ? "media-fatal" : "lost-pages");
+      event["lost_pages"] = lost;
+    } else {
+      // Predictive leg: the device is still serving — evacuate it before
+      // the observed ramp kills it for real.
+      ++result.devices_drained;
+      dev.drained = true;
+      event["cause"] = std::string(drain_cause);
+      event["health_score"] = health_[d].score();
+      event["slo_burn_rate"] = slo_[d].burn_rate();
+    }
 
-    if (spec_.policy != RebalancePolicy::kOnFailure) {
+    if (spec_.policy == RebalancePolicy::kNone) {
       event["action"] = std::string("none");
       result.events.push_back(std::move(event));
       continue;
     }
 
-    const std::uint32_t spares_before = router_->SparesLeft();
-    const std::vector<ShardMove> moves = router_->MarkFailed(d);
-    const bool spare_adopted = router_->SparesLeft() < spares_before;
-    if (spare_adopted) ++result.spares_used;
-    result.shards_moved += moves.size();
-    event["action"] = std::string("rebalanced");
-    event["shards_moved"] = static_cast<std::uint64_t>(moves.size());
-    event["spare_adopted"] = spare_adopted;
-
-    // Turn each displaced shard into rebuild traffic over the next epoch:
-    // chunk reads on a surviving replica, chunk writes on the new holder,
-    // both as the low-weight rebuild tenant through the normal host path.
-    std::uint64_t unrecoverable = 0;
-    const std::uint32_t next = epoch + 1;
-    if (next < spec_.epochs) {
-      const Us next_start =
-          run_start_us_ + static_cast<Us>(next) * spec_.epoch_us;
-      const std::uint64_t shard_bytes =
-          spec_.shard_bytes != 0
-              ? spec_.shard_bytes
-              : std::max<std::uint64_t>(prefill_bytes_ /
-                                            spec_.router.num_shards,
-                                        spec_.migration_chunk_bytes);
-      const std::uint64_t chunk = spec_.migration_chunk_bytes;
-      const std::uint64_t chunks_per_shard = (shard_bytes + chunk - 1) / chunk;
-      const std::uint64_t chunk_slots =
-          std::max<std::uint64_t>(1, prefill_bytes_ / chunk);
-      // Pace the whole rebuild over the repair window (rebuild_epochs, or
-      // everything left of the run): repair speed must not buy its
-      // bandwidth out of the serving tail.
-      std::uint32_t window = spec_.epochs - next;
-      if (spec_.rebuild_epochs != 0) {
-        window = std::min(window, spec_.rebuild_epochs);
-      }
-      const Us window_us = static_cast<Us>(window) * spec_.epoch_us;
-      std::uint64_t total_chunks = 0;
-      for (const ShardMove& move : moves) {
-        if (move.source != kNoDevice && !devices_[move.source].fatal &&
-            !devices_[move.to].fatal) {
-          total_chunks += chunks_per_shard;
-        }
-      }
-      std::uint64_t chunk_index = 0;
-      for (const ShardMove& move : moves) {
-        if (move.source == kNoDevice) {
-          // No surviving replica: with replicas=1 the shard's data is gone.
-          ++unrecoverable;
-          continue;
-        }
-        if (devices_[move.source].fatal || devices_[move.to].fatal) continue;
-        for (std::uint64_t c = 0; c < chunks_per_shard; ++c) {
-          const Us at =
-              next_start +
-              static_cast<Us>((static_cast<std::uint64_t>(window_us) *
-                               chunk_index) /
-                              total_chunks);
-          ++chunk_index;
-          const std::uint64_t offset =
-              (Mix64(spec_.seed ^ (static_cast<std::uint64_t>(move.shard)
-                                   << 20) ^
-                     c) %
-               chunk_slots) *
-              chunk;
-          devices_[move.source].bucket.push_back(
-              PendingOp{at, kRebuildTenant, true, offset, chunk});
-          devices_[move.to].bucket.push_back(
-              PendingOp{at, kRebuildTenant, false, offset, chunk});
-          result.migration_ops += 2;
-          result.migration_bytes += chunk;
-        }
-      }
-    } else {
-      // Failure detected in the final epoch: the remap still happened but
-      // there is no simulated time left to carry the rebuild traffic.
-      event["rebuild_deferred"] = true;
-    }
-    result.unrecoverable_shards += unrecoverable;
-    event["unrecoverable"] = unrecoverable;
+    event["action"] = std::string(unhealthy ? "rebalanced" : "drained");
+    RebalanceDevice(d, epoch, result, event);
     result.events.push_back(std::move(event));
   }
 }
@@ -375,6 +459,7 @@ ClusterResult ClusterSim::Run(std::uint32_t workers_override) {
     }
   }
   result.has_phases = spec_.trace_phases;
+  result.has_health = spec_.policy == RebalancePolicy::kOnObserved;
   for (Device& dev : devices_) {
     result.epochs[last].timeouts += dev.epoch_timeouts;
     dev.epoch_timeouts = 0;
@@ -395,13 +480,44 @@ ClusterResult ClusterSim::Run(std::uint32_t workers_override) {
       out.rebuild_reads = stats.read_dispatches;
       out.rebuild_writes = stats.write_dispatches;
     }
+    out.drained = dev.drained;
     if (dev.tracer != nullptr) out.phases = dev.tracer->phases();
+    if (d < health_.size()) {
+      out.health = health_[d].ToJson();
+      out.slo = slo_[d].ToJson();
+    }
   }
 
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
   return result;
+}
+
+std::string ClusterSim::FleetChromeTrace() const {
+  std::vector<obs::FleetDeviceExport> fleet(devices_.size());
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    fleet[d].name = "device-" + std::to_string(d);
+    fleet[d].tracer = devices_[d].tracer.get();
+    if (d < health_.size()) {
+      obs::CounterSeries health;
+      health.name = "health_score";
+      health.key = "permille";
+      for (const double s : health_[d].score_series()) {
+        health.values.push_back(
+            static_cast<std::uint64_t>(s * 1000.0 + 0.5));
+      }
+      fleet[d].counters.push_back(std::move(health));
+      obs::CounterSeries slo;
+      slo.name = "slo_window_p99";
+      slo.key = "us";
+      for (const double q : slo_[d].quantile_series()) {
+        slo.values.push_back(static_cast<std::uint64_t>(q + 0.5));
+      }
+      fleet[d].counters.push_back(std::move(slo));
+    }
+  }
+  return obs::ChromeTraceJson(fleet);
 }
 
 campaign::Json ClusterResult::DeterministicJson() const {
@@ -416,6 +532,13 @@ campaign::Json ClusterResult::DeterministicJson() const {
     row["read"] = LatencyJson(e.read);
     row["write"] = LatencyJson(e.write);
     if (has_phases) row["phases"] = obs::PhaseStatsJson(e.phases);
+    if (has_health) {
+      campaign::Json health;
+      health["devices_degraded"] = e.devices_degraded;
+      health["devices_failing"] = e.devices_failing;
+      health["slo_breaches"] = e.slo_breaches;
+      row["health"] = std::move(health);
+    }
     epoch_list.push_back(std::move(row));
   }
   out["epochs"] = campaign::Json(std::move(epoch_list));
@@ -431,6 +554,11 @@ campaign::Json ClusterResult::DeterministicJson() const {
     row["rebuild_reads"] = d.rebuild_reads;
     row["rebuild_writes"] = d.rebuild_writes;
     if (has_phases) row["phases"] = obs::PhaseStatsJson(d.phases);
+    if (has_health) {
+      row["drained"] = d.drained;
+      row["health"] = d.health;
+      row["slo"] = d.slo;
+    }
     device_list.push_back(std::move(row));
   }
   out["devices"] = campaign::Json(std::move(device_list));
@@ -439,6 +567,7 @@ campaign::Json ClusterResult::DeterministicJson() const {
   out["events"] = campaign::Json(std::move(event_list));
   campaign::Json totals;
   totals["devices_failed"] = devices_failed;
+  totals["devices_drained"] = devices_drained;
   totals["shards_moved"] = shards_moved;
   totals["spares_used"] = spares_used;
   totals["unrecoverable_shards"] = unrecoverable_shards;
@@ -458,7 +587,8 @@ std::string ClusterResult::Csv() const {
   std::string csv =
       "cluster,epoch,arrivals,timeouts,read_count,read_p50_us,read_p99_us,"
       "write_count,write_p50_us,write_p99_us,read_paced_mean_us,"
-      "read_queued_mean_us,read_media_mean_us\n";
+      "read_queued_mean_us,read_media_mean_us,devices_degraded,"
+      "devices_failing,slo_breaches\n";
   const auto phase_mean = [&](const util::LatencyStats& s) {
     return has_phases ? std::to_string(s.mean_us()) : std::string("0");
   };
@@ -474,7 +604,10 @@ std::string ClusterResult::Csv() const {
            std::to_string(row.write.p99_us()) + "," +
            phase_mean(row.phases.read.paced) + "," +
            phase_mean(row.phases.read.queued) + "," +
-           phase_mean(row.phases.read.media) + "\n";
+           phase_mean(row.phases.read.media) + "," +
+           std::to_string(row.devices_degraded) + "," +
+           std::to_string(row.devices_failing) + "," +
+           std::to_string(row.slo_breaches) + "\n";
   }
   return csv;
 }

@@ -55,6 +55,10 @@ struct EpochSummary {
   /// Phase breakdown merged across the fleet (populated only with
   /// observability on; dead-device timeouts book as dead-device stall).
   obs::PhaseStats phases;
+  // Observed-policy fleet health counts at this epoch's director step.
+  std::uint64_t devices_degraded = 0;
+  std::uint64_t devices_failing = 0;
+  std::uint64_t slo_breaches = 0;  ///< devices whose window breached the SLO
 };
 
 /// End-of-run state of one fleet device.
@@ -68,8 +72,12 @@ struct DeviceSummary {
   std::uint64_t rebuild_reads = 0;   ///< rebuild-tenant dispatches (source)
   std::uint64_t rebuild_writes = 0;  ///< rebuild-tenant dispatches (target)
   std::uint64_t primary_shards = 0;  ///< shards it primaries at end of run
+  bool drained = false;  ///< predictively evacuated while still alive
   /// Whole-run phase breakdown for this device (observability on only).
   obs::PhaseStats phases;
+  /// Final health / SLO monitor snapshots (policy on_observed only).
+  campaign::Json health;
+  campaign::Json slo;
 };
 
 struct ClusterResult {
@@ -82,6 +90,7 @@ struct ClusterResult {
   std::vector<campaign::Json> events;
 
   std::uint64_t devices_failed = 0;
+  std::uint64_t devices_drained = 0;  ///< predictive evacuations (on_observed)
   std::uint64_t shards_moved = 0;
   std::uint64_t spares_used = 0;
   std::uint64_t unrecoverable_shards = 0;
@@ -90,6 +99,9 @@ struct ClusterResult {
   /// Phase breakdowns populated (spec observability.phases); gates the
   /// "phases" fields in the JSON report and the CSV phase columns.
   bool has_phases = false;
+  /// Health/SLO monitors ran (policy on_observed); gates the "health" and
+  /// "slo" report sections and the CSV health columns.
+  bool has_health = false;
   double wall_ms = 0.0;
 
   /// Everything except wall-clock timing: byte-identical across runs and
@@ -112,6 +124,12 @@ class ClusterSim {
 
   const ClusterSpec& spec() const { return spec_; }
 
+  /// Perfetto-loadable Chrome trace of the whole fleet: one process per
+  /// device with its phase/GC counter tracks, plus — under on_observed —
+  /// per-device health-score (per-mille) and SLO window-p99 counter tracks.
+  /// Valid after Run() when the spec enables tracing; "{}" otherwise.
+  std::string FleetChromeTrace() const;
+
  private:
   /// One scheduled I/O for a device (user or rebuild traffic).
   struct PendingOp {
@@ -132,6 +150,7 @@ class ClusterSim {
     std::unique_ptr<obs::Tracer> tracer;
     bool fatal = false;
     bool router_alive = true;  ///< mirror of router state (serial phase)
+    bool drained = false;      ///< predictively evacuated (on_observed)
     std::vector<PendingOp> bucket;  ///< this epoch's arrivals
     // User-op accounting (timeout attribution when the device dies with
     // requests in flight).
@@ -152,6 +171,14 @@ class ClusterSim {
   void RunDeviceEpoch(Device& dev, std::uint32_t epoch, Us until);
   /// Phase 3: detect failures, remap, emit next epoch's rebuild traffic.
   void DirectorStep(std::uint32_t epoch, ClusterResult& result);
+  /// Director helper: mark `d` failed/drained on the router, remap its
+  /// shards, and pace the rebuild traffic into future epoch buckets.
+  /// Fills the move-accounting fields of `event`.
+  void RebalanceDevice(std::uint32_t d, std::uint32_t epoch,
+                       ClusterResult& result, campaign::Json& event);
+  /// Snapshot of one device's cumulative wear / media-error / GC counters
+  /// for the health monitor (serial director phase only).
+  obs::HealthSample CollectHealthSample(const Device& dev) const;
 
   std::uint32_t EpochOf(Us at) const;
   std::uint64_t UserOffset(std::uint64_t user) const;
@@ -159,6 +186,11 @@ class ClusterSim {
   ClusterSpec spec_;
   std::unique_ptr<ShardRouter> router_;
   std::vector<Device> devices_;
+  /// Per-device monitors, one each per fleet member; sized only under
+  /// policy on_observed (zero-cost otherwise).  Observed serially in the
+  /// director phase, so byte-deterministic for any worker count.
+  std::vector<obs::HealthMonitor> health_;
+  std::vector<obs::SloMonitor> slo_;
   util::Xoshiro256StarStar rng_;       ///< serial-phase draws only
   std::unique_ptr<util::ZipfSampler> zipf_;
   Us run_start_us_ = 0;

@@ -22,8 +22,10 @@ std::uint64_t BytesOf(const Json& parent, const std::string& key,
 RebalancePolicy ParsePolicy(const std::string& s) {
   if (s == "on_failure") return RebalancePolicy::kOnFailure;
   if (s == "none") return RebalancePolicy::kNone;
-  throw std::runtime_error("cluster: unknown rebalance policy \"" + s +
-                           "\" (expected \"on_failure\" or \"none\")");
+  if (s == "on_observed") return RebalancePolicy::kOnObserved;
+  throw std::runtime_error(
+      "cluster: unknown rebalance policy \"" + s +
+      "\" (expected \"on_failure\", \"on_observed\" or \"none\")");
 }
 
 /// The fleet-wide two-tenant QoS table: user traffic on all but the last
@@ -51,6 +53,18 @@ qos::QosConfig DefaultQos(std::uint32_t num_queues, std::uint32_t user_weight,
 }
 
 }  // namespace
+
+const char* RebalancePolicyName(RebalancePolicy policy) {
+  switch (policy) {
+    case RebalancePolicy::kOnFailure:
+      return "on_failure";
+    case RebalancePolicy::kNone:
+      return "none";
+    case RebalancePolicy::kOnObserved:
+      return "on_observed";
+  }
+  return "?";
+}
 
 ClusterSpec ClusterSpec::Parse(const std::string& json_text) {
   return Parse(Json::Parse(json_text));
@@ -144,11 +158,41 @@ ClusterSpec ClusterSpec::Parse(const Json& root) {
         sb != nullptr && !(sb->IsString() && sb->AsString() == "auto")) {
       spec.shard_bytes = BytesOf(*r, "shard_bytes", 0);
     }
+    if (const Json* h = r->Get("health"); h != nullptr && !h->IsNull()) {
+      spec.health.ewma_alpha =
+          h->GetDoubleOr("ewma_alpha", spec.health.ewma_alpha);
+      spec.health.degraded_frac =
+          h->GetDoubleOr("degraded_frac", spec.health.degraded_frac);
+      spec.health.spare_fail_frac =
+          h->GetDoubleOr("spare_fail_frac", spec.health.spare_fail_frac);
+      spec.health.wear_fail_frac =
+          h->GetDoubleOr("wear_fail_frac", spec.health.wear_fail_frac);
+      spec.health.retry_fail_rate =
+          h->GetDoubleOr("retry_fail_rate", spec.health.retry_fail_rate);
+      spec.health.program_fail_rate =
+          h->GetDoubleOr("program_fail_rate", spec.health.program_fail_rate);
+      spec.health.gc_stall_fail_share = h->GetDoubleOr(
+          "gc_stall_fail_share", spec.health.gc_stall_fail_share);
+    }
+    if (const Json* s = r->Get("slo"); s != nullptr && !s->IsNull()) {
+      spec.slo.target_us =
+          static_cast<Us>(s->GetUintOr("read_p99_target_us", 0));
+      spec.slo.quantile = s->GetDoubleOr("quantile", spec.slo.quantile);
+      spec.slo.min_samples =
+          s->GetUintOr("min_samples", spec.slo.min_samples);
+      spec.slo.burn_windows = static_cast<std::uint32_t>(
+          s->GetUintOr("burn_windows", spec.slo.burn_windows));
+      spec.slo.burn_threshold =
+          s->GetDoubleOr("burn_threshold", spec.slo.burn_threshold);
+    }
   }
   if (const Json* o = root.Get("observability");
       o != nullptr && !o->IsNull()) {
     spec.trace_phases = o->GetBoolOr("phases", false);
   }
+  // The observed policy reads the tracer's die-busy-gc attribution; the
+  // per-epoch phase rows come along for free.
+  if (spec.policy == RebalancePolicy::kOnObserved) spec.trace_phases = true;
   if (const Json* faults = root.Get("faults"); faults != nullptr &&
                                                !faults->IsNull()) {
     for (const Json& f : faults->AsArray()) {
@@ -156,11 +200,26 @@ ClusterSpec ClusterSpec::Parse(const Json& root) {
       fault.device = static_cast<DeviceId>(f.GetUintOr("device", 0));
       fault.kind = f.GetStringOr("kind", "channel");
       fault.at_us = static_cast<Us>(f.GetUintOr("at_us", 0));
-      if (fault.kind != "die" && fault.kind != "channel" &&
-          fault.kind != "device") {
+      if (fault.kind == "wear") {
+        fault.program_fail_prob = f.GetDoubleOr("program_fail_prob", 0.0);
+        fault.erase_fail_prob = f.GetDoubleOr("erase_fail_prob", 0.0);
+        fault.read_disturb_per_read =
+            f.GetDoubleOr("read_disturb_per_read", 0.0);
+        fault.retention_rber_multiplier =
+            f.GetDoubleOr("retention_rber_multiplier", 1.0);
+        if (fault.program_fail_prob == 0.0 && fault.erase_fail_prob == 0.0 &&
+            fault.read_disturb_per_read == 0.0 &&
+            fault.retention_rber_multiplier <= 1.0) {
+          throw std::runtime_error(
+              "cluster: a wear fault needs at least one ramp knob "
+              "(program_fail_prob / erase_fail_prob / "
+              "read_disturb_per_read / retention_rber_multiplier)");
+        }
+      } else if (fault.kind != "die" && fault.kind != "channel" &&
+                 fault.kind != "device") {
         throw std::runtime_error("cluster: unknown fault kind \"" +
                                  fault.kind +
-                                 "\" (expected die/channel/device)");
+                                 "\" (expected die/channel/device/wear)");
       }
       spec.faults.push_back(std::move(fault));
     }
@@ -193,6 +252,8 @@ void ClusterSpec::Validate() const {
   if (timeout_us <= 0) {
     throw std::runtime_error("cluster: timeout_us must be > 0");
   }
+  health.Validate();
+  slo.Validate();
   for (const DeviceFaultSpec& f : faults) {
     if (f.device >= router.TotalDevices()) {
       throw std::runtime_error("cluster: fault device " +
@@ -208,6 +269,18 @@ nand::FaultPlanConfig ClusterSpec::FaultPlanFor(DeviceId device,
   bool any = false;
   for (const DeviceFaultSpec& f : faults) {
     if (f.device != device) continue;
+    if (f.kind == "wear") {
+      // A progressive ramp, active from the run's start (at_us is the
+      // hard-loss schedule and does not apply here).
+      plan.program_fail_prob =
+          std::max(plan.program_fail_prob, f.program_fail_prob);
+      plan.erase_fail_prob = std::max(plan.erase_fail_prob, f.erase_fail_prob);
+      plan.read_disturb_per_read =
+          std::max(plan.read_disturb_per_read, f.read_disturb_per_read);
+      plan.retention_rber_multiplier = std::max(
+          plan.retention_rber_multiplier, f.retention_rber_multiplier);
+      continue;
+    }
     if (f.kind == "die") {
       plan.fail_dies.push_back(0);
     } else if (f.kind == "channel") {
@@ -223,7 +296,7 @@ nand::FaultPlanConfig ClusterSpec::FaultPlanFor(DeviceId device,
     plan.fail_at_us = any ? std::min(plan.fail_at_us, at) : at;
     any = true;
   }
-  if (any) plan.Validate();
+  if (plan.Armed()) plan.Validate();
   return plan;
 }
 
@@ -244,9 +317,26 @@ Json ClusterSpec::ConfigSummary() const {
   summary["epochs"] = static_cast<std::uint64_t>(epochs);
   summary["epoch_us"] = static_cast<std::uint64_t>(epoch_us);
   summary["timeout_us"] = static_cast<std::uint64_t>(timeout_us);
-  summary["policy"] =
-      std::string(policy == RebalancePolicy::kOnFailure ? "on_failure"
-                                                        : "none");
+  summary["policy"] = std::string(RebalancePolicyName(policy));
+  if (policy == RebalancePolicy::kOnObserved) {
+    Json h;
+    h["ewma_alpha"] = health.ewma_alpha;
+    h["degraded_frac"] = health.degraded_frac;
+    h["spare_fail_frac"] = health.spare_fail_frac;
+    h["wear_fail_frac"] = health.wear_fail_frac;
+    h["retry_fail_rate"] = health.retry_fail_rate;
+    h["gc_stall_fail_share"] = health.gc_stall_fail_share;
+    summary["health"] = std::move(h);
+    if (slo.enabled()) {
+      Json s;
+      s["read_p99_target_us"] = static_cast<std::uint64_t>(slo.target_us);
+      s["quantile"] = slo.quantile;
+      s["min_samples"] = slo.min_samples;
+      s["burn_windows"] = static_cast<std::uint64_t>(slo.burn_windows);
+      s["burn_threshold"] = slo.burn_threshold;
+      summary["slo"] = std::move(s);
+    }
+  }
   summary["user_weight"] = static_cast<std::uint64_t>(user_weight);
   summary["rebuild_weight"] = static_cast<std::uint64_t>(rebuild_weight);
   summary["device"] = device_json;
@@ -258,6 +348,20 @@ Json ClusterSpec::ConfigSummary() const {
       entry["device"] = static_cast<std::uint64_t>(f.device);
       entry["kind"] = f.kind;
       entry["at_us"] = static_cast<std::uint64_t>(f.at_us);
+      if (f.kind == "wear") {
+        if (f.program_fail_prob > 0.0) {
+          entry["program_fail_prob"] = f.program_fail_prob;
+        }
+        if (f.erase_fail_prob > 0.0) {
+          entry["erase_fail_prob"] = f.erase_fail_prob;
+        }
+        if (f.read_disturb_per_read > 0.0) {
+          entry["read_disturb_per_read"] = f.read_disturb_per_read;
+        }
+        if (f.retention_rber_multiplier > 1.0) {
+          entry["retention_rber_multiplier"] = f.retention_rber_multiplier;
+        }
+      }
       list.push_back(std::move(entry));
     }
     summary["faults"] = Json(std::move(list));

@@ -41,6 +41,8 @@
 #include "ftl/flash_target.h"
 #include "host/host_interface.h"
 #include "nand/fault_plan.h"
+#include "obs/health.h"
+#include "obs/slo.h"
 #include "ssd/ssd.h"
 #include "util/types.h"
 
@@ -54,17 +56,29 @@ using campaign::Json;
 inline constexpr qos::TenantId kUserTenant = 0;
 inline constexpr qos::TenantId kRebuildTenant = 1;
 
-/// One scheduled device failure.
+/// One scheduled device failure or degradation.  Kinds "die", "channel"
+/// and "device" schedule hard loss at `at_us`; kind "wear" arms a
+/// progressive media ramp (verify-fail probabilities retire blocks until
+/// the spare pool is gone, RBER knobs inflate the retry ladder) — the
+/// scenario the on_observed policy evacuates BEFORE the eventual death.
 struct DeviceFaultSpec {
   DeviceId device = 0;
-  std::string kind = "channel";  ///< "die" | "channel" | "device"
+  std::string kind = "channel";  ///< "die" | "channel" | "device" | "wear"
   Us at_us = 0;                  ///< relative to the measured run's start
+  // "wear" ramp knobs (nand::FaultPlanConfig passthrough).
+  double program_fail_prob = 0.0;
+  double erase_fail_prob = 0.0;
+  double read_disturb_per_read = 0.0;
+  double retention_rber_multiplier = 1.0;
 };
 
 enum class RebalancePolicy {
-  kOnFailure = 0,  ///< director remaps + rebuilds on detected failure
-  kNone = 1,       ///< control: router never reacts
+  kOnFailure = 0,   ///< director remaps + rebuilds on detected failure
+  kNone = 1,        ///< control: router never reacts
+  kOnObserved = 2,  ///< on_failure + predictive drain on health/SLO signals
 };
+
+const char* RebalancePolicyName(RebalancePolicy policy);
 
 struct ClusterSpec {
   std::string name = "cluster";
@@ -112,11 +126,20 @@ struct ClusterSpec {
   /// adopting device — capping admission can.
   double rebuild_bytes_per_sec = 0.0;
 
+  /// Observed-policy thresholds ({"rebalance": {"health": {...},
+  /// "slo": {...}}}): the director feeds every device's counters into an
+  /// obs::HealthMonitor each epoch and drains a device once it reports
+  /// failing — or once its per-epoch read tail burns through the SLO.
+  obs::HealthConfig health;
+  obs::SloConfig slo;  ///< slo.target_us == 0 leaves the SLO leg off
+
   std::vector<DeviceFaultSpec> faults;
 
   /// Observability ({"observability": {"phases": true}}): every fleet
   /// device gets an aggregate-only obs::Tracer and the result carries
-  /// per-epoch phase breakdowns merged across the fleet.
+  /// per-epoch phase breakdowns merged across the fleet.  Forced on by
+  /// policy on_observed (the health monitor's GC-stall signal reads the
+  /// tracer).
   bool trace_phases = false;
 
   static ClusterSpec Parse(const std::string& json_text);

@@ -208,6 +208,17 @@ class FtlBase {
 
   std::uint64_t FreeBlockCount() const { return blocks_.FreeCount(); }
 
+  /// Free blocks above the GC trigger — the spendable spare budget.
+  /// Retirement (grown-bad blocks under fault injection, endurance
+  /// exhaustion) permanently shrinks it; health telemetry watches it
+  /// approach zero to evacuate a device BEFORE GC dies of spare
+  /// exhaustion.
+  std::uint64_t SpareHeadroomBlocks() const {
+    const std::uint64_t free = blocks_.FreeCount();
+    return free > config_.gc_threshold_low ? free - config_.gc_threshold_low
+                                           : 0;
+  }
+
   /// Free pool at/below the GC trigger: the scheduler boosts pending GC
   /// transactions above host writes while this holds.
   bool GcUrgent() const {

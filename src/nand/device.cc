@@ -1,5 +1,6 @@
 #include "nand/device.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -106,6 +107,16 @@ std::uint32_t NandDevice::PeCycles(BlockId block) const {
 bool NandDevice::IsBlockBad(BlockId block) const {
   if (!ValidBlock(block)) throw std::out_of_range("IsBlockBad: block out of range");
   return blocks_[block].bad;
+}
+
+WearSummary NandDevice::Wear() const {
+  WearSummary wear;
+  for (const BlockState& b : blocks_) {
+    wear.total_erases += b.pe_cycles;
+    wear.max_pe_cycles = std::max(wear.max_pe_cycles, b.pe_cycles);
+    if (b.bad) ++wear.bad_blocks;
+  }
+  return wear;
 }
 
 void NandDevice::SaveState(util::StateWriter& w) const {

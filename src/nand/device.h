@@ -45,6 +45,14 @@ struct NandCounters {
   Us erase_time_us = 0;
 };
 
+/// Device-wide wear digest (health telemetry: obs::HealthMonitor scores
+/// the erase tally against the endurance budget).
+struct WearSummary {
+  std::uint64_t total_erases = 0;   ///< sum of per-block P/E cycles
+  std::uint32_t max_pe_cycles = 0;  ///< hottest block
+  std::uint64_t bad_blocks = 0;     ///< retired (endurance or grown bad)
+};
+
 class NandDevice {
  public:
   NandDevice(const NandGeometry& geometry, const NandTiming& timing,
@@ -77,6 +85,9 @@ class NandDevice {
   std::uint32_t PeCycles(BlockId block) const;
   bool IsBlockBad(BlockId block) const;
   std::uint32_t endurance_pe_cycles() const { return endurance_; }
+
+  /// One pass over the block table: total/max P/E and the bad-block tally.
+  WearSummary Wear() const;
 
   std::uint64_t TotalBlocks() const { return geometry().TotalBlocks(); }
 

@@ -41,6 +41,13 @@ struct FaultPlanConfig {
   std::vector<std::uint32_t> fail_channels;  ///< channels that drop whole
   Us fail_at_us = 0;                       ///< when the die/channel loss hits
 
+  /// True when any fault class is active (an injector is worth arming).
+  bool Armed() const {
+    return program_fail_prob > 0.0 || erase_fail_prob > 0.0 ||
+           read_disturb_per_read > 0.0 || retention_rber_multiplier > 1.0 ||
+           !fail_dies.empty() || !fail_channels.empty();
+  }
+
   void Validate() const;
 };
 

@@ -58,6 +58,29 @@ void AppendMeta(std::string& out, std::uint32_t pid, std::uint32_t tid,
   out += "\"}},\n";
 }
 
+void AppendCounterSeries(std::string& out, const Tracer& tracer,
+                         std::uint32_t pid,
+                         const std::vector<CounterSeries>& series) {
+  const Us epoch_us = tracer.config().metrics_epoch_us;
+  if (epoch_us <= 0) return;
+  const Us base = tracer.config().epoch_base_us;
+  for (const CounterSeries& s : series) {
+    for (std::size_t e = 0; e < s.values.size(); ++e) {
+      out += "{\"ph\":\"C\",\"pid\":";
+      out += std::to_string(pid);
+      out += ",\"tid\":0,\"ts\":";
+      out += std::to_string(base + static_cast<Us>(e) * epoch_us);
+      out += ",\"name\":\"";
+      AppendEscaped(out, s.name);
+      out += "\",\"args\":{\"";
+      AppendEscaped(out, s.key);
+      out += "\":";
+      out += std::to_string(s.values[e]);
+      out += "}},\n";
+    }
+  }
+}
+
 void AppendDevice(std::string& out, const Tracer& tracer, std::uint32_t pid,
                   const std::string& process_name) {
   AppendMeta(out, pid, 0, "process_name", process_name);
@@ -183,11 +206,21 @@ std::string ChromeTraceJson(const Tracer& tracer,
 
 std::string ChromeTraceJson(
     const std::vector<std::pair<std::string, const Tracer*>>& devices) {
+  std::vector<FleetDeviceExport> fleet(devices.size());
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    fleet[d].name = devices[d].first;
+    fleet[d].tracer = devices[d].second;
+  }
+  return ChromeTraceJson(fleet);
+}
+
+std::string ChromeTraceJson(const std::vector<FleetDeviceExport>& devices) {
   std::string out = "{\"traceEvents\":[\n";
   for (std::size_t d = 0; d < devices.size(); ++d) {
-    if (devices[d].second == nullptr) continue;
-    AppendDevice(out, *devices[d].second, static_cast<std::uint32_t>(d + 1),
-                 devices[d].first);
+    if (devices[d].tracer == nullptr) continue;
+    const auto pid = static_cast<std::uint32_t>(d + 1);
+    AppendDevice(out, *devices[d].tracer, pid, devices[d].name);
+    AppendCounterSeries(out, *devices[d].tracer, pid, devices[d].counters);
   }
   if (out.size() >= 2 && out[out.size() - 2] == ',') {
     out.erase(out.size() - 2, 1);

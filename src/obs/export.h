@@ -37,6 +37,28 @@ std::string ChromeTraceJson(const Tracer& tracer,
 std::string ChromeTraceJson(
     const std::vector<std::pair<std::string, const Tracer*>>& devices);
 
+/// One extra counter track on a device's timeline, sampled on the
+/// tracer's metrics-epoch grid (value index == epoch).  Values are
+/// integers — the exporter never prints floats — so fractional series
+/// (health scores) are exported in fixed-point (e.g. per-mille).
+struct CounterSeries {
+  std::string name;         ///< counter track name ("health")
+  std::string key = "value";  ///< args key inside the counter sample
+  std::vector<std::uint64_t> values;
+};
+
+/// A fleet device plus its extra counter tracks (health score, SLO window
+/// p99, ...).  Null tracers are skipped, like the pair overload.
+struct FleetDeviceExport {
+  std::string name;
+  const Tracer* tracer = nullptr;
+  std::vector<CounterSeries> counters;
+};
+
+/// Fleet export with per-device extra counter tracks alongside the
+/// tracer's own spans and counters.
+std::string ChromeTraceJson(const std::vector<FleetDeviceExport>& devices);
+
 /// Deterministic phase-breakdown JSON: {"read": {...}, "write": {...}}
 /// with count/mean/p50/p99/max per phase and the attributed stall table.
 campaign::Json PhaseStatsJson(const PhaseStats& stats);

@@ -107,6 +107,64 @@ TEST(ClusterSpec, FaultPlansTargetTheRightHardware) {
   EXPECT_EQ(dead.fail_at_us, start + 4000);
 }
 
+TEST(ClusterSpec, ParsesObservedPolicyMonitorsAndWearFaults) {
+  const ClusterSpec spec = ClusterSpec::Parse(R"({
+    "fleet": {"devices": 4},
+    "device": {"device_bytes": "32MiB"},
+    "rebalance": {"policy": "on_observed",
+                  "health": {"ewma_alpha": 0.6, "degraded_frac": 0.4,
+                             "spare_fail_frac": 0.3,
+                             "program_fail_rate": 0.025,
+                             "retry_fail_rate": 0.9,
+                             "gc_stall_fail_share": 0.95},
+                  "slo": {"read_p99_target_us": 900000, "quantile": 0.95,
+                          "min_samples": 32, "burn_windows": 3,
+                          "burn_threshold": 0.67}},
+    "faults": [{"device": 1, "kind": "wear", "at_us": 0,
+                "erase_fail_prob": 0.15, "program_fail_prob": 0.02}]
+  })");
+  EXPECT_EQ(spec.policy, RebalancePolicy::kOnObserved);
+  // The health monitor's GC signal reads the tracer, so on_observed
+  // forces phase tracing on even when "observability" is absent.
+  EXPECT_TRUE(spec.trace_phases);
+  EXPECT_DOUBLE_EQ(spec.health.ewma_alpha, 0.6);
+  EXPECT_DOUBLE_EQ(spec.health.degraded_frac, 0.4);
+  EXPECT_DOUBLE_EQ(spec.health.spare_fail_frac, 0.3);
+  EXPECT_DOUBLE_EQ(spec.health.program_fail_rate, 0.025);
+  EXPECT_DOUBLE_EQ(spec.health.retry_fail_rate, 0.9);
+  EXPECT_DOUBLE_EQ(spec.health.gc_stall_fail_share, 0.95);
+  EXPECT_EQ(spec.slo.target_us, 900'000);
+  EXPECT_DOUBLE_EQ(spec.slo.quantile, 0.95);
+  EXPECT_EQ(spec.slo.min_samples, 32u);
+  EXPECT_EQ(spec.slo.burn_windows, 3u);
+  EXPECT_DOUBLE_EQ(spec.slo.burn_threshold, 0.67);
+
+  ASSERT_EQ(spec.faults.size(), 1u);
+  EXPECT_EQ(spec.faults[0].kind, "wear");
+  EXPECT_DOUBLE_EQ(spec.faults[0].erase_fail_prob, 0.15);
+  EXPECT_DOUBLE_EQ(spec.faults[0].program_fail_prob, 0.02);
+  // A wear ramp arms verify-fail probabilities, not hard loss.
+  const nand::FaultPlanConfig plan = spec.FaultPlanFor(1, 0);
+  EXPECT_TRUE(plan.fail_dies.empty());
+  EXPECT_TRUE(plan.fail_channels.empty());
+  EXPECT_DOUBLE_EQ(plan.erase_fail_prob, 0.15);
+  EXPECT_DOUBLE_EQ(plan.program_fail_prob, 0.02);
+
+  EXPECT_EQ(spec.ConfigSummary().GetStringOr("policy", ""), "on_observed");
+}
+
+TEST(ClusterSpec, DeviceTemplateAcceptsPagesPerBlock) {
+  // Wear scenarios shrink the block so retirement moves the needle on a
+  // scaled device; the knob must reshape the template geometry and keep
+  // the layer map legal (layers <= pages per block).
+  const ClusterSpec spec = ClusterSpec::Parse(R"({
+    "fleet": {"devices": 2},
+    "device": {"device_bytes": "32MiB", "pages_per_block": 32}
+  })");
+  EXPECT_EQ(spec.device.device.geometry.pages_per_block, 32u);
+  EXPECT_LE(spec.device.device.geometry.num_layers, 32u);
+}
+
 TEST(ClusterSpec, RejectsBadSpecs) {
   EXPECT_THROW(ClusterSpec::Parse(R"({"workers": 0})"), std::runtime_error);
   EXPECT_THROW(ClusterSpec::Parse(R"({"rebalance": {"policy": "maybe"}})"),
@@ -132,6 +190,20 @@ TEST(ClusterSpec, RejectsBadSpecs) {
       ClusterSpec::Parse(
           R"({"rebalance": {"rebuild_bytes_per_sec": -1.0}})"),
       std::runtime_error);
+  // A wear fault with every ramp knob at its no-op value does nothing.
+  EXPECT_THROW(
+      ClusterSpec::Parse(R"({"faults": [{"device": 0, "kind": "wear"}]})"),
+      std::runtime_error);
+  // Monitor knobs are validated at parse time, not first observation.
+  EXPECT_THROW(ClusterSpec::Parse(
+                   R"({"rebalance": {"policy": "on_observed",
+                                     "health": {"program_fail_rate": 2.0}}})"),
+               std::runtime_error);
+  EXPECT_THROW(ClusterSpec::Parse(
+                   R"({"rebalance": {"policy": "on_observed",
+                                     "slo": {"read_p99_target_us": 1000,
+                                             "burn_windows": 0}}})"),
+               std::runtime_error);
 }
 
 TEST(ClusterSpec, ConfigSummaryEchoesTheScenario) {

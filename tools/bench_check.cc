@@ -1,0 +1,219 @@
+// bench_check: diff BENCH_*.json bench reports against checked-in
+// baselines with tolerance bands, as a CI gate.
+//
+// The benches self-assert their own invariants (determinism, SLA bounds,
+// policy orderings) but nothing pins their headline NUMBERS release to
+// release — a change that doubles the healthy cluster's read p99 while
+// staying under every self-assert bound sails through CI silently.  This
+// tool closes that gap: a small JSON spec lists metrics (dot-paths into
+// the bench reports), each with either a baseline +/- tolerance band or
+// explicit min/max bounds, and the tool fails if any lands outside.
+//
+// Every baselined metric is SIMULATED-time derived and byte-deterministic
+// for a given bench invocation (the same property the benches' own
+// worker-count determinism asserts stand on), so bands can be tight
+// without flaking on machine speed.  Wall-clock fields are deliberately
+// not baselined.
+//
+// Spec format (see tools/bench_baselines.json):
+//   {"checks": [
+//     {"file": "BENCH_cluster.json",
+//      "metric": "self_check.cluster_read_p99_us",
+//      "baseline": 1868.48, "tolerance_pct": 25},
+//     {"file": "BENCH_cluster.json",
+//      "metric": "self_check.wear_drain_epoch", "max": 5},
+//     {"file": "BENCH_gc_qos.json", "metric": "...", "min": 1,
+//      "optional": true}
+//   ]}
+// `baseline` + `tolerance_pct` expand to [baseline*(1-t), baseline*(1+t)];
+// explicit `min` / `max` (either or both) are absolute bounds and compose
+// with the band (the tightest wins).  `optional: true` skips the check
+// when its report file is missing (benches gated off some CI legs).
+//
+// Usage: bench_check <spec.json> [--dir <report-dir>]
+// Exit 0 when every check passes, 1 otherwise.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/json.h"
+
+namespace {
+
+using ctflash::campaign::Json;
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench_check: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Walks a dot-separated path ("self_check.wear_drain_epoch") into nested
+/// objects; an all-digit hop indexes an array ("results.1.read_p99_us").
+/// Returns nullptr when any hop is missing.
+const Json* Lookup(const Json& root, const std::string& path) {
+  const Json* node = &root;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t dot = path.find('.', start);
+    const std::string key = path.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    if (node->IsArray()) {
+      if (key.empty() ||
+          key.find_first_not_of("0123456789") != std::string::npos) {
+        return nullptr;
+      }
+      const std::size_t index = std::stoull(key);
+      if (index >= node->AsArray().size()) return nullptr;
+      node = &node->AsArray()[index];
+    } else {
+      node = node->Get(key);
+      if (node == nullptr) return nullptr;
+    }
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return node;
+}
+
+struct CheckResult {
+  std::string label;
+  std::string verdict;  // "pass" | "FAIL" | "skip"
+  std::string detail;
+};
+
+std::string FormatNumber(double v) {
+  std::ostringstream out;
+  out << std::setprecision(10) << v;
+  return out.str();
+}
+
+CheckResult RunCheck(const Json& check, const std::string& dir,
+                     std::map<std::string, Json>& report_cache) {
+  const std::string file = check.GetStringOr("file", "");
+  const std::string metric = check.GetStringOr("metric", "");
+  CheckResult result;
+  result.label = file + " : " + metric;
+  if (file.empty() || metric.empty()) {
+    result.verdict = "FAIL";
+    result.detail = "check needs both \"file\" and \"metric\"";
+    return result;
+  }
+
+  const std::string path = dir.empty() ? file : dir + "/" + file;
+  auto cached = report_cache.find(path);
+  if (cached == report_cache.end()) {
+    std::ifstream probe(path);
+    if (!probe) {
+      if (check.GetBoolOr("optional", false)) {
+        result.verdict = "skip";
+        result.detail = "report missing (optional)";
+        return result;
+      }
+      result.verdict = "FAIL";
+      result.detail = "report file missing: " + path;
+      return result;
+    }
+    cached =
+        report_cache.emplace(path, Json::Parse(ReadWholeFile(path))).first;
+  }
+
+  const Json* node = Lookup(cached->second, metric);
+  if (node == nullptr || !node->IsNumber()) {
+    result.verdict = "FAIL";
+    result.detail = node == nullptr ? "metric path not found"
+                                    : "metric is not a number";
+    return result;
+  }
+  const double value = node->AsDouble();
+
+  // Assemble the band: baseline +/- tolerance, clipped by explicit bounds.
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  if (const Json* base = check.Get("baseline"); base != nullptr) {
+    const double b = base->AsDouble();
+    const double tol = check.GetDoubleOr("tolerance_pct", 0.0) / 100.0;
+    lo = b - std::abs(b) * tol;
+    hi = b + std::abs(b) * tol;
+  }
+  if (const Json* mn = check.Get("min"); mn != nullptr) {
+    lo = std::max(lo, mn->AsDouble());
+  }
+  if (const Json* mx = check.Get("max"); mx != nullptr) {
+    hi = std::min(hi, mx->AsDouble());
+  }
+  if (lo == -std::numeric_limits<double>::infinity() &&
+      hi == std::numeric_limits<double>::infinity()) {
+    result.verdict = "FAIL";
+    result.detail = "check has no bound (baseline or min/max required)";
+    return result;
+  }
+
+  const bool ok = value >= lo && value <= hi;
+  result.verdict = ok ? "pass" : "FAIL";
+  std::ostringstream detail;
+  detail << FormatNumber(value) << " in [" << FormatNumber(lo) << ", "
+         << FormatNumber(hi) << "]";
+  result.detail = detail.str();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::cerr << "usage: bench_check <spec.json> [--dir <report-dir>]\n";
+      return 2;
+    }
+  }
+  if (spec_path.empty()) {
+    std::cerr << "usage: bench_check <spec.json> [--dir <report-dir>]\n";
+    return 2;
+  }
+
+  try {
+    const Json spec = Json::Parse(ReadWholeFile(spec_path));
+    const Json* checks = spec.Get("checks");
+    if (checks == nullptr || checks->AsArray().empty()) {
+      std::cerr << "bench_check: spec has no checks\n";
+      return 2;
+    }
+
+    std::map<std::string, Json> report_cache;
+    std::size_t failures = 0;
+    std::size_t width = 0;
+    std::vector<CheckResult> results;
+    for (const Json& check : checks->AsArray()) {
+      results.push_back(RunCheck(check, dir, report_cache));
+      width = std::max(width, results.back().label.size());
+    }
+    for (const CheckResult& r : results) {
+      if (r.verdict == "FAIL") ++failures;
+      std::cout << std::left << std::setw(static_cast<int>(width) + 2)
+                << r.label << std::setw(6) << r.verdict << r.detail << "\n";
+    }
+    std::cout << results.size() << " checks, " << failures << " failed\n";
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
